@@ -1,0 +1,52 @@
+"""Section 2.2 ablation — 3-stage pipeline vs the one-stage
+full-record alternative.
+
+Paper: "We implemented this alternative and noticed a much worse
+performance" — carrying complete records through the shuffle multiplies
+the intermediate data by the record payload size.
+"""
+
+from repro.bench import dblp_times, format_table, make_cluster
+from repro.join.config import JoinConfig
+from repro.join.driver import ssjoin_self
+from repro.join.fullrecord import full_record_self_join
+
+from benchmarks.conftest import run_once
+
+
+def test_ablation_fullrecord(benchmark, record_result):
+    records = dblp_times(10)
+
+    def run():
+        config = JoinConfig()
+        cluster = make_cluster(10)
+        cluster.dfs.write("records", list(records))
+        three_stage = ssjoin_self(cluster, "records", config)
+
+        cluster2 = make_cluster(10)
+        cluster2.dfs.write("records", list(records))
+        one_stage = full_record_self_join(cluster2, "records", config)
+        return three_stage, one_stage
+
+    three_stage, one_stage = run_once(benchmark, run)
+
+    table = format_table(
+        ["pipeline", "stage2+3_s", "stage2 shuffle MB"],
+        [
+            [
+                "3-stage (projections)",
+                three_stage.stage2.simulated_total_s + three_stage.stage3.simulated_total_s,
+                three_stage.stage2.shuffle_bytes / 1e6,
+            ],
+            [
+                "1-stage (full records)",
+                one_stage.stage2.simulated_total_s,
+                one_stage.stage2.shuffle_bytes / 1e6,
+            ],
+        ],
+        title="Section 2.2 ablation: projections vs full records (DBLPx10, 10 nodes)",
+    )
+    record_result(table)
+
+    # full records must shuffle strictly more bytes
+    assert one_stage.stage2.shuffle_bytes > three_stage.stage2.shuffle_bytes

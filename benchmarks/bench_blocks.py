@@ -1,0 +1,67 @@
+"""Section 5 ablation — map-based vs reduce-based block processing.
+
+The paper describes both strategies' trade-off: map-based replicates
+blocks through the shuffle; reduce-based ships each record once but
+re-reads spilled blocks from local disk.  This bench quantifies the
+trade-off and verifies both bound reducer memory.
+"""
+
+from repro.bench import dblp_times, format_table
+from repro.bench.harness import make_cluster
+from repro.join.blocks import SPILL_READ, SPILL_WRITTEN, BlockPolicy
+from repro.join.config import JoinConfig
+from repro.join.driver import ssjoin_self
+
+from benchmarks.conftest import run_once
+
+NUM_BLOCKS = 4
+
+
+def run_one(records, blocks):
+    config = JoinConfig(kernel="bk", blocks=blocks)
+    cluster = make_cluster(10)
+    cluster.dfs.write("records", list(records))
+    report = ssjoin_self(cluster, "records", config)
+    stats = report.stage2
+    peak = max(
+        (t.peak_memory_bytes for p in stats.phases for t in p.reduce_tasks),
+        default=0,
+    )
+    counters = stats.counters()
+    return {
+        "stage2_s": stats.simulated_total_s,
+        "shuffle_mb": stats.shuffle_bytes / 1e6,
+        "spill_mb": (counters.get(SPILL_WRITTEN, 0) + counters.get(SPILL_READ, 0)) / 1e6,
+        "peak_kb": peak / 1e3,
+    }
+
+
+def test_blocks_tradeoff(benchmark, record_result):
+    records = dblp_times(5)
+
+    def run():
+        return {
+            "no blocks (BK)": run_one(records, None),
+            "map-based": run_one(records, BlockPolicy("map", NUM_BLOCKS)),
+            "reduce-based": run_one(records, BlockPolicy("reduce", NUM_BLOCKS)),
+        }
+
+    results = run_once(benchmark, run)
+
+    table = format_table(
+        ["strategy", "stage2_s", "shuffle_mb", "spill_mb", "peak reducer KB"],
+        [
+            [name, r["stage2_s"], r["shuffle_mb"], r["spill_mb"], r["peak_kb"]]
+            for name, r in results.items()
+        ],
+        title=f"Section 5: block processing trade-offs (DBLPx5, {NUM_BLOCKS} blocks)",
+    )
+    record_result(table)
+
+    # map-based shuffles more than reduce-based; reduce-based spills
+    assert results["map-based"]["shuffle_mb"] > results["reduce-based"]["shuffle_mb"]
+    assert results["reduce-based"]["spill_mb"] > 0
+    assert results["map-based"]["spill_mb"] == 0
+    # both strategies bound reducer memory below plain BK
+    assert results["map-based"]["peak_kb"] < results["no blocks (BK)"]["peak_kb"]
+    assert results["reduce-based"]["peak_kb"] < results["no blocks (BK)"]["peak_kb"]

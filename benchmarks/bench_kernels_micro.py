@@ -1,0 +1,55 @@
+"""Kernel micro-benchmark — single-node join algorithms.
+
+Not a paper figure; quantifies the filter stack the PK kernel builds
+on: brute force vs All-Pairs (prefix+length) vs PPJoin (positional) vs
+PPJoin+ (suffix), on one node with real wall-clock times.
+"""
+
+from functools import lru_cache
+
+import pytest
+
+from repro.bench import dblp_times
+from repro.core.allpairs import allpairs_self_join
+from repro.core.naive import naive_self_join
+from repro.core.ordering import TokenOrder, count_token_frequencies
+from repro.core.ppjoin import ppjoin_self_join
+from repro.core.prefixes import Projection
+from repro.core.similarity import Jaccard
+from repro.core.tokenizers import WordTokenizer
+from repro.join.records import RecordSchema, join_value, rid_of
+
+NUM_RECORDS = 600  # brute force is O(n^2); keep the oracle affordable
+
+
+def projections(records):
+    schema = RecordSchema()
+    tokenizer = WordTokenizer()
+    values = [join_value(line, schema) for line in records]
+    order = TokenOrder.from_frequencies(count_token_frequencies(values, tokenizer))
+    return [
+        Projection(rid_of(line), order.encode(tokenizer.tokenize(value)))
+        for line, value in zip(records, values)
+    ]
+
+
+PROJS = projections(list(dblp_times(1))[:NUM_RECORDS])
+SIM = Jaccard()
+
+KERNELS = {
+    "naive": lambda: naive_self_join(PROJS, SIM, 0.8),
+    "allpairs": lambda: allpairs_self_join(PROJS, SIM, 0.8),
+    "ppjoin": lambda: ppjoin_self_join(PROJS, SIM, 0.8, use_suffix=False),
+    "ppjoin+": lambda: ppjoin_self_join(PROJS, SIM, 0.8),
+}
+
+
+@lru_cache(maxsize=1)
+def reference_pairs() -> frozenset:
+    return frozenset(tuple(p[:2]) for p in KERNELS["naive"]())
+
+
+@pytest.mark.parametrize("kernel", list(KERNELS))
+def test_kernel_micro(benchmark, kernel):
+    result = benchmark.pedantic(KERNELS[kernel], rounds=3, iterations=1)
+    assert {tuple(p[:2]) for p in result} == reference_pairs()

@@ -1,0 +1,42 @@
+"""Shared infrastructure for the paper-reproduction benchmarks.
+
+Every ``bench_*`` file reproduces one table or figure from Section 6
+of the paper.  Each benchmark
+
+* runs its sweep once under pytest-benchmark (wall-clock of the whole
+  experiment is the benchmarked quantity);
+* prints the paper-style rows/series;
+* appends the same text to ``benchmarks/results/<name>.txt`` so the
+  numbers quoted in EXPERIMENTS.md are regenerable artifacts.
+
+Simulated times come from the cluster cost model (shape-comparable
+with the paper's Hadoop seconds, not absolute).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def record_result(request):
+    """Return a callback that prints and persists an experiment table."""
+
+    def _record(text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        name = request.node.name.replace("/", "_")
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n", encoding="utf-8")
+        print()
+        print(text)
+
+    return _record
+
+
+def run_once(benchmark, func):
+    """Run *func* exactly once under pytest-benchmark."""
+    return benchmark.pedantic(func, rounds=1, iterations=1)

@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Refresh the measured tables in EXPERIMENTS.md from benchmarks/results/.
+
+Each ``<!--TAG-->`` placeholder (or a previously inserted block marked
+with the same tag) is replaced by the corresponding result file wrapped
+in a code fence.  Run after ``pytest benchmarks/ --benchmark-only``:
+
+    python benchmarks/update_experiments.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).parent.parent
+RESULTS = Path(__file__).parent / "results"
+
+#: placeholder tag -> result file stem
+SOURCES = {
+    "FIG8": "test_fig8_selfjoin_size",
+    "FIG9": "test_fig9_fig10_selfjoin_speedup",
+    "TABLE1": "test_table1_stage_speedup",
+    "FIG11": "test_fig11_selfjoin_scaleup",
+    "TABLE2": "test_table2_stage_scaleup",
+    "FIG12": "test_fig12_rsjoin_size",
+    "FIG13": "test_fig13_rsjoin_speedup",
+    "FIG14": "test_fig14_rsjoin_scaleup",
+    "GROUPS": "test_groups_sweep",
+    "FULLRECORD": "test_ablation_fullrecord",
+    "BLOCKS": "test_blocks_tradeoff",
+    "THRESHOLD": "test_threshold_sweep",
+}
+
+
+def render_block(tag: str, body: str) -> str:
+    return f"<!--{tag}-->\n```\n{body.rstrip()}\n```\n<!--/{tag}-->"
+
+
+def main() -> int:
+    path = ROOT / "EXPERIMENTS.md"
+    text = path.read_text(encoding="utf-8")
+    missing = []
+    for tag, stem in SOURCES.items():
+        result_path = RESULTS / f"{stem}.txt"
+        if not result_path.exists():
+            missing.append(stem)
+            continue
+        block = render_block(tag, result_path.read_text(encoding="utf-8"))
+        # replace an existing managed block, or the bare placeholder
+        managed = re.compile(
+            rf"<!--{tag}-->.*?<!--/{tag}-->", flags=re.DOTALL
+        )
+        if managed.search(text):
+            text = managed.sub(lambda _m: block, text, count=1)
+        elif f"<!--{tag}-->" in text:
+            text = text.replace(f"<!--{tag}-->", block, 1)
+        else:
+            print(f"warning: no placeholder for {tag}", file=sys.stderr)
+    path.write_text(text, encoding="utf-8")
+    if missing:
+        print(f"missing result files (bench not run?): {', '.join(missing)}",
+              file=sys.stderr)
+        return 1
+    print(f"EXPERIMENTS.md updated from {len(SOURCES)} result files")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

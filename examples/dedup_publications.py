@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Near-duplicate detection in a publication catalog (self-join).
+
+The paper's motivating master-data-management scenario: one catalog,
+many near-duplicate entries ("John W. Smith" vs "Smith, John").  This
+example
+
+1. generates a DBLP-like corpus with injected near-duplicates,
+2. self-joins it on title+authors at Jaccard τ = 0.8 with the paper's
+   recommended BTO-PK-BRJ combination,
+3. clusters the resulting pairs into duplicate groups
+   (union-find over the similarity graph),
+4. prints the largest duplicate clusters and pipeline statistics.
+
+Run:  python examples/dedup_publications.py [num_records]
+"""
+
+import sys
+from collections import defaultdict
+
+from repro import ClusterConfig, InMemoryDFS, JoinConfig, SimulatedCluster
+from repro.data import generate_dblp
+from repro.join.driver import ssjoin_self
+from repro.join.records import parse_fields, rid_of
+
+
+def union_find_clusters(pairs):
+    """Connected components of the similar-pair graph."""
+    parent: dict[int, int] = {}
+
+    def find(x):
+        parent.setdefault(x, x)
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    for rid1, rid2 in pairs:
+        parent[find(rid1)] = find(rid2)
+
+    clusters = defaultdict(set)
+    for rid in parent:
+        clusters[find(rid)].add(rid)
+    return [sorted(members) for members in clusters.values() if len(members) > 1]
+
+
+def main() -> None:
+    num_records = int(sys.argv[1]) if len(sys.argv) > 1 else 3000
+    records = generate_dblp(num_records, seed=2026)
+    print(f"catalog: {num_records} publications "
+          f"({sum(map(len, records)) // 1024} KB)")
+
+    config = JoinConfig(similarity="jaccard", threshold=0.8,
+                        stage1="bto", kernel="pk", stage3="brj")
+    cluster_config = ClusterConfig(num_nodes=10)
+    cluster = SimulatedCluster(cluster_config, InMemoryDFS(num_nodes=10))
+    cluster.dfs.write("catalog", records)
+
+    report = ssjoin_self(cluster, "catalog", config)
+    joined = cluster.dfs.read_all(report.output_file)
+
+    pair_rids = [(rid_of(a), rid_of(b)) for a, b, _ in joined]
+    clusters = union_find_clusters(pair_rids)
+    clusters.sort(key=len, reverse=True)
+
+    print(f"\nduplicate pairs: {len(joined)}")
+    print(f"duplicate clusters: {len(clusters)}")
+    by_rid = {rid_of(line): line for line in records}
+    for members in clusters[:3]:
+        print(f"\n  cluster of {len(members)}:")
+        for rid in members[:4]:
+            title = parse_fields(by_rid[rid])[1]
+            print(f"    [{rid}] {title}")
+
+    print("\npipeline statistics (simulated 10-node cluster):")
+    for stage, seconds in report.stage_times().items():
+        print(f"  {stage}: {seconds:7.1f}s")
+    counters = report.counters()
+    print(f"  candidate pairs verified: {counters.get('stage2.candidate_pairs', 'n/a (PK)')}")
+    print(f"  RID pairs emitted:        {counters.get('stage2.pairs_output', 0)}")
+    print(f"  shuffled bytes:           {counters.get('framework.shuffle_bytes', 0):,}")
+
+
+if __name__ == "__main__":
+    main()

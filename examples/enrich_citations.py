@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Cross-catalog record linkage (R-S join).
+
+The paper's R-S evaluation scenario: link a clean bibliography (DBLP)
+against a noisy crawled corpus (CITESEERX) to enrich each publication
+with its crawled metadata.  Demonstrates the R-S machinery:
+
+* the token ordering is built on the *smaller* relation (DBLP) only;
+* S-only tokens are dropped at projection time while similarities stay
+  exact against the original sets;
+* the PK kernel streams R before S in length-class order so the
+  inverted index can evict entries.
+
+Run:  python examples/enrich_citations.py [num_records]
+"""
+
+import sys
+
+from repro import ClusterConfig, InMemoryDFS, JoinConfig, SimulatedCluster
+from repro.data import generate_citeseerx, generate_dblp
+from repro.join.driver import ssjoin_rs
+from repro.join.records import parse_fields
+
+
+def main() -> None:
+    num_records = int(sys.argv[1]) if len(sys.argv) > 1 else 2000
+    dblp = generate_dblp(num_records, seed=7)
+    citeseerx = generate_citeseerx(
+        num_records, seed=8, rid_base=1_000_000, shared_with=dblp
+    )
+    print(f"R = DBLP-like:      {len(dblp)} records, "
+          f"avg {sum(map(len, dblp)) // len(dblp)} B")
+    print(f"S = CITESEERX-like: {len(citeseerx)} records, "
+          f"avg {sum(map(len, citeseerx)) // len(citeseerx)} B")
+
+    cluster = SimulatedCluster(ClusterConfig(num_nodes=10), InMemoryDFS(num_nodes=10))
+    cluster.dfs.write("dblp", dblp)
+    cluster.dfs.write("citeseerx", citeseerx)
+
+    config = JoinConfig(similarity="jaccard", threshold=0.8, kernel="pk", stage3="brj")
+    report = ssjoin_rs(cluster, "dblp", "citeseerx", config)
+    matches = cluster.dfs.read_all(report.output_file)
+
+    print(f"\nlinked publications: {len(matches)}")
+    for r_line, s_line, similarity in matches[:5]:
+        r_title = parse_fields(r_line)[1]
+        s_title = parse_fields(s_line)[1]
+        print(f"  {similarity:.3f}")
+        print(f"    DBLP:      {r_title}")
+        print(f"    CITESEERX: {s_title}")
+
+    print("\npipeline statistics (simulated 10-node cluster):")
+    for stage, seconds in report.stage_times().items():
+        print(f"  {stage}: {seconds:7.1f}s")
+    print("note how stage 3 is a much larger share than in a self-join —")
+    print("it scans both datasets and CITESEERX records are ~5x larger.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+"""Experiment harness: canonical workloads, sweep runners and
+paper-style reporting for every table and figure in Section 6."""
+
+from repro.bench.workloads import (
+    BASE_DBLP_RECORDS,
+    BASE_CITESEERX_RECORDS,
+    dblp_times,
+    citeseerx_times,
+    rs_workload,
+)
+from repro.bench.harness import (
+    PAPER_COMBOS,
+    make_cluster,
+    run_self_join,
+    run_rs_join,
+    self_join_size_sweep,
+    self_join_speedup,
+    self_join_scaleup,
+    rs_join_size_sweep,
+    rs_join_speedup,
+    rs_join_scaleup,
+    stage_breakdown_speedup,
+    stage_breakdown_scaleup,
+    groups_sweep,
+)
+from repro.bench.reporting import format_table, format_speedup_series
+
+__all__ = [
+    "BASE_DBLP_RECORDS",
+    "BASE_CITESEERX_RECORDS",
+    "dblp_times",
+    "citeseerx_times",
+    "rs_workload",
+    "PAPER_COMBOS",
+    "make_cluster",
+    "run_self_join",
+    "run_rs_join",
+    "self_join_size_sweep",
+    "self_join_speedup",
+    "self_join_scaleup",
+    "rs_join_size_sweep",
+    "rs_join_speedup",
+    "rs_join_scaleup",
+    "stage_breakdown_speedup",
+    "stage_breakdown_scaleup",
+    "groups_sweep",
+    "format_table",
+    "format_speedup_series",
+]

@@ -1,0 +1,51 @@
+"""Paper-style text reporting for benchmark rows."""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+
+def _format_cell(value: object) -> str:
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "-"
+        return f"{value:.2f}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = "") -> str:
+    """Fixed-width text table (printed under ``pytest -s``)."""
+    cells = [[_format_cell(v) for v in row] for row in rows]
+    widths = [
+        max(len(str(headers[i])), *(len(row[i]) for row in cells)) if cells else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def rows_to_table(rows: list[dict], columns: Sequence[str], title: str = "") -> str:
+    """Render row dicts selecting *columns*."""
+    return format_table(columns, [[row.get(c) for c in columns] for row in rows], title)
+
+
+def format_speedup_series(rows: list[dict], baseline_key: int) -> str:
+    """Fig. 10-style relative speedup: time(baseline) / time(n) per combo."""
+    by_combo: dict[str, dict[int, float]] = {}
+    for row in rows:
+        by_combo.setdefault(row["combo"], {})[row["key"]] = row["total_s"]
+    headers = ["combo", *sorted({row["key"] for row in rows})]
+    table_rows = []
+    for combo, series in by_combo.items():
+        base = series.get(baseline_key, float("nan"))
+        table_rows.append(
+            [combo, *(base / series[k] if series.get(k) else float("nan") for k in headers[1:])]
+        )
+    return format_table(headers, table_rows, title=f"relative speedup (vs {baseline_key} nodes)")

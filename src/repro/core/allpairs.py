@@ -1,0 +1,45 @@
+"""All-Pairs baseline (Bayardo, Ma, Srikant — WWW'07).
+
+All-Pairs is the prefix-filter + length-filter ancestor of PPJoin: it
+indexes prefix tokens, accumulates candidate overlaps and verifies,
+without the positional or suffix filters.  The paper cites it as one
+of the interchangeable Stage-2 kernels; we keep it as an ablation
+baseline for the kernel micro-benchmarks.
+
+Implementation note: with positional and suffix filters disabled,
+:class:`repro.core.ppjoin.PPJoinIndex` *is* All-Pairs (same index
+structure, same verification), so this module is a thin configuration
+wrapper rather than a re-implementation — one code path, tested once.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.core.ppjoin import ppjoin_rs_join, ppjoin_self_join
+from repro.core.prefixes import Projection
+from repro.core.similarity import SimilarityFunction
+
+
+def allpairs_self_join(
+    projections: Iterable[Projection],
+    sim: SimilarityFunction,
+    threshold: float,
+) -> list[tuple[int, int, float]]:
+    """All-Pairs self-join: prefix + length filters only."""
+    return ppjoin_self_join(
+        projections, sim, threshold, use_positional=False, use_suffix=False
+    )
+
+
+def allpairs_rs_join(
+    r_projections: Iterable[Projection],
+    s_projections: Iterable[Projection],
+    sim: SimilarityFunction,
+    threshold: float,
+) -> list[tuple[int, int, float]]:
+    """All-Pairs R-S join: prefix + length filters only."""
+    return ppjoin_rs_join(
+        r_projections, s_projections, sim, threshold,
+        use_positional=False, use_suffix=False,
+    )

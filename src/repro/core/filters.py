@@ -1,0 +1,156 @@
+"""The PPJoin / PPJoin+ filter family.
+
+Three filters prune candidate pairs before exact verification:
+
+* **length filter** (Arasu et al. '06) — similar sets have similar
+  sizes; :func:`length_bounds` re-exports the bound interval from the
+  similarity function.
+* **positional filter** (Xiao et al. '08, PPJoin) — when a common
+  prefix token is found at positions ``i`` (in ``x``) and ``j`` (in
+  ``y``), the total overlap is at most
+  ``current + 1 + min(|x|-i-1, |y|-j-1)``; if that upper bound cannot
+  reach the required overlap ``α`` the pair is pruned.
+* **suffix filter** (Xiao et al. '08, PPJoin+) — a divide-and-conquer
+  lower bound on the Hamming distance of the two suffixes following
+  the first common prefix token.  If the bound exceeds
+  ``Hmax = |xs| + |ys| - 2·(α - 1)`` the pair cannot reach ``α``.
+
+The suffix filter implements Algorithms 3 and 4 of the PPJoin+ paper
+with the usual recursion depth limit (``MAX_DEPTH = 2``).  Its single
+correctness obligation — *never* underestimate feasibility (no false
+negatives) — is covered by property-based tests.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Sequence
+
+from repro.core.similarity import SimilarityFunction
+
+#: Default recursion depth for the suffix filter, per Xiao et al. '08.
+MAX_DEPTH = 2
+
+
+def length_bounds(
+    n: int, sim: SimilarityFunction, threshold: float
+) -> tuple[int, int]:
+    """Inclusive size interval of sets that can be *threshold*-similar
+    to a set of size *n* under *sim*."""
+    return sim.length_bounds(n, threshold)
+
+
+def positional_filter_passes(
+    nx: int,
+    ny: int,
+    pos_x: int,
+    pos_y: int,
+    current_overlap: int,
+    alpha: int,
+) -> bool:
+    """Positional filter at a shared prefix token.
+
+    ``pos_x`` / ``pos_y`` are the 0-based positions of the shared token
+    in the globally-ordered token lists of ``x`` / ``y``;
+    ``current_overlap`` counts the matches found strictly before this
+    one.  Returns ``False`` when the pair can no longer reach ``alpha``.
+    """
+    upper = current_overlap + 1 + min(nx - pos_x - 1, ny - pos_y - 1)
+    return upper >= alpha
+
+
+def _partition(
+    s: Sequence, w, lo: int, hi: int
+) -> tuple[Sequence, Sequence, bool, int]:
+    """Partition the ordered token array *s* around token *w*.
+
+    ``[lo, hi]`` is the (possibly out-of-range, deliberately
+    *unclamped*) window that *w*'s position — its actual position if
+    present, its insertion point otherwise — must fall into when the
+    Hamming budget is still satisfiable; a position outside the window
+    proves the budget is blown and ``found`` is False.  Otherwise
+    returns ``(s_left, s_right, True, diff)`` with ``diff = 0`` iff *w*
+    occurs in *s*; the partitions exclude *w* itself.
+
+    Clamping before the containment test would over-reject: an
+    insertion point of 0 with ``lo = -1`` is inside the lemma's window
+    even though index ``-1`` does not exist.
+    """
+    p = bisect_left(s, w)
+    if p < lo or p > hi:
+        return (), (), False, 1
+    if p < len(s) and s[p] == w:
+        return s[:p], s[p + 1 :], True, 0
+    return s[:p], s[p:], True, 1
+
+
+def suffix_hamming_lower_bound(
+    x: Sequence,
+    y: Sequence,
+    hmax: int,
+    depth: int = 1,
+    max_depth: int = MAX_DEPTH,
+) -> int:
+    """Lower bound on the Hamming distance of ordered token arrays.
+
+    Guarantee: if the true Hamming distance ``H(x, y)`` is ``<= hmax``
+    then the returned bound is also ``<= hmax`` (no false negatives).
+    The bound may exceed ``hmax`` (by returning ``hmax + 1``) when the
+    window probe proves ``H > hmax``.
+    """
+    size_diff = abs(len(x) - len(y))
+    if not x or not y:
+        return size_diff
+    if size_diff > hmax:
+        return size_diff
+    if depth > max_depth:
+        return size_diff
+    mid = len(y) // 2
+    w = y[mid]
+    y_left, y_right = y[:mid], y[mid + 1 :]
+    slack = (hmax - size_diff) // 2
+    if len(x) < len(y):
+        lo, hi = mid - slack - size_diff, mid + slack
+    else:
+        lo, hi = mid - slack, mid + slack + size_diff
+    x_left, x_right, found, diff = _partition(x, w, lo, hi)
+    if not found:
+        return hmax + 1
+    right_diff = abs(len(x_right) - len(y_right)) + diff
+    h = abs(len(x_left) - len(y_left)) + right_diff
+    if h > hmax:
+        return h
+    h_left = suffix_hamming_lower_bound(
+        x_left, y_left, hmax - right_diff, depth + 1, max_depth
+    )
+    h = h_left + right_diff
+    if h > hmax:
+        return h
+    h_right = suffix_hamming_lower_bound(
+        x_right, y_right, hmax - h_left - diff, depth + 1, max_depth
+    )
+    return h_left + h_right + diff
+
+
+def suffix_filter_passes(
+    x_suffix: Sequence,
+    y_suffix: Sequence,
+    alpha: int,
+    overlap_so_far: int = 1,
+    max_depth: int = MAX_DEPTH,
+) -> bool:
+    """Suffix filter for a candidate pair.
+
+    ``x_suffix`` / ``y_suffix`` are the token arrays strictly after the
+    first shared prefix token; ``overlap_so_far`` counts matches found
+    up to and including that token.  Returns ``False`` when the pair
+    provably cannot reach overlap ``alpha``.
+    """
+    needed = alpha - overlap_so_far
+    if needed <= 0:
+        return True
+    hmax = len(x_suffix) + len(y_suffix) - 2 * needed
+    if hmax < 0:
+        return False
+    bound = suffix_hamming_lower_bound(x_suffix, y_suffix, hmax, 1, max_depth)
+    return bound <= hmax

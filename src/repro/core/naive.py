@@ -1,0 +1,51 @@
+"""Brute-force nested-loop join — the test oracle.
+
+Quadratic and filter-free: every pair is verified by exact set
+intersection.  Every kernel, routing strategy and end-to-end pipeline
+in this library is differential-tested against these functions.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.core.prefixes import Projection
+from repro.core.similarity import SimilarityFunction
+
+
+def naive_self_join(
+    projections: Iterable[Projection],
+    sim: SimilarityFunction,
+    threshold: float,
+) -> list[tuple[int, int, float]]:
+    """All ``(rid_low, rid_high, similarity)`` with similarity >= threshold."""
+    items = sorted(projections, key=lambda p: p.rid)
+    results = []
+    for i, x in enumerate(items):
+        sx = set(x.tokens)
+        for y in items[i + 1 :]:
+            similarity = sim.similarity(sx, set(y.tokens))
+            if similarity >= threshold:
+                low, high = sorted((x.rid, y.rid))
+                results.append((low, high, similarity))
+    results.sort()
+    return results
+
+
+def naive_rs_join(
+    r_projections: Iterable[Projection],
+    s_projections: Iterable[Projection],
+    sim: SimilarityFunction,
+    threshold: float,
+) -> list[tuple[int, int, float]]:
+    """All ``(r_rid, s_rid, similarity)`` with similarity >= threshold."""
+    s_items = list(s_projections)
+    results = []
+    for x in r_projections:
+        sx = set(x.tokens)
+        for y in s_items:
+            similarity = sim.similarity(sx, set(y.tokens))
+            if similarity >= threshold:
+                results.append((x.rid, y.rid, similarity))
+    results.sort()
+    return results

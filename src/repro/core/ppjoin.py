@@ -1,0 +1,341 @@
+"""PPJoin / PPJoin+ — the indexed single-node kernel (Xiao et al. '08).
+
+The paper's PK kernel runs this algorithm inside each Stage-2 reducer:
+an inverted index over *prefix* tokens, probed record-by-record, with
+the length, positional and (optionally) suffix filters applied before
+merge-based verification.
+
+:class:`PPJoinIndex` is the incremental index.  It supports the two
+usage patterns of the paper:
+
+* **self-join** — records arrive in ascending set-size order; each
+  record first probes the index, then is added to it.  The index side
+  uses the shorter *mid-prefix*, and entries whose size falls below the
+  length-filter lower bound of the current probe are evicted — the
+  memory-footprint optimization Section 3.2.2 obtains via the composite
+  ``(group, length)`` MapReduce key.
+* **R-S join** — all R records are added (ascending size), S records
+  only probe.  Eviction uses the probe's lower bound, which is why the
+  R-S kernel streams records in the length-class order of Section 4.
+
+Verification resumes the token merge after the last prefix match
+(PPJoin's optimized verify) and is differential-tested against the
+naive oracle.
+
+All token arrays are rank-encoded (ascending ints in global frequency
+order); see :meth:`repro.core.ordering.TokenOrder.encode`.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Iterable, Sequence
+
+from repro.core.filters import (
+    positional_filter_passes,
+    suffix_filter_passes,
+)
+from repro.core.prefixes import Projection
+from repro.core.similarity import SimilarityFunction
+from repro.core.verification import overlap
+
+
+def _entry_bytes(size: int) -> int:
+    """Approximate in-memory bytes of one indexed entry of *size* tokens."""
+    return 8 * size + 32
+
+
+class PPJoinIndex:
+    """Incremental PPJoin+ inverted prefix index.
+
+    Parameters
+    ----------
+    sim, threshold:
+        The similarity function and join threshold.
+    mode:
+        ``"self"`` — probe-then-add self-join; indexed entries use the
+        mid-prefix.  ``"rs"`` — index R, probe with S; indexed entries
+        use the full probing prefix (required because S records may be
+        shorter than indexed R records).
+    use_positional, use_suffix:
+        Enable the positional / suffix filters (PPJoin+ uses both;
+        disabling both degenerates to the plain prefix+length filter).
+    evict:
+        Drop indexed entries once the probe stream's length lower bound
+        passes them.  Requires both add and probe streams to be
+        non-decreasing in set size (enforced).
+    """
+
+    def __init__(
+        self,
+        sim: SimilarityFunction,
+        threshold: float,
+        mode: str = "self",
+        use_positional: bool = True,
+        use_suffix: bool = True,
+        evict: bool = True,
+        suffix_max_depth: int = 2,
+    ) -> None:
+        if mode not in ("self", "rs"):
+            raise ValueError(f"mode must be 'self' or 'rs', got {mode!r}")
+        if threshold < 0.0:
+            raise ValueError(f"threshold must be non-negative, got {threshold}")
+        self.sim = sim
+        self.threshold = threshold
+        self.mode = mode
+        self.use_positional = use_positional
+        self.use_suffix = use_suffix
+        self.evict = evict
+        self.suffix_max_depth = suffix_max_depth
+
+        self._postings: dict[int, list[tuple[int, int]]] = {}
+        self._cursor: dict[int, int] = {}  # per-token eviction cursor
+        self._rids: list[int] = []
+        self._tokens: list[tuple[int, ...] | None] = []
+        self._sizes: list[int] = []
+        self._prefix_lens: list[int] = []
+        self._frontier = 0  # entries below this id are evicted
+        self._last_added_size = 0
+        self._last_probe_size = 0
+        self.peak_live_entries = 0
+        #: approximate bytes of live (non-evicted) entries, for memory metering
+        self.live_bytes = 0
+
+    # -- size / memory accounting -------------------------------------
+
+    @property
+    def live_entries(self) -> int:
+        """Number of record entries currently held in memory."""
+        return len(self._rids) - self._frontier
+
+    def _note_live(self) -> None:
+        if self.live_entries > self.peak_live_entries:
+            self.peak_live_entries = self.live_entries
+
+    # -- indexing ------------------------------------------------------
+
+    def add(self, rid: int, tokens: Sequence[int]) -> None:
+        """Index one record (rank-encoded, globally ordered tokens)."""
+        n = len(tokens)
+        if self.evict and n < self._last_added_size:
+            raise ValueError(
+                "eviction requires records added in non-decreasing size order "
+                f"(got size {n} after {self._last_added_size}); "
+                "construct with evict=False for unordered input"
+            )
+        self._last_added_size = max(self._last_added_size, n)
+        if n == 0:
+            return
+        entry_id = len(self._rids)
+        self._rids.append(rid)
+        self._tokens.append(tuple(tokens))
+        self._sizes.append(n)
+        if self.mode == "self":
+            plen = self.sim.index_prefix_length(n, self.threshold)
+        else:
+            plen = self.sim.prefix_length(n, self.threshold)
+        self._prefix_lens.append(plen)
+        for pos in range(plen):
+            self._postings.setdefault(tokens[pos], []).append((entry_id, pos))
+        self.live_bytes += _entry_bytes(n)
+        self._note_live()
+
+    def _evict_below(self, min_size: int) -> None:
+        """Advance the eviction frontier past entries smaller than
+        *min_size* (valid because entry sizes are non-decreasing)."""
+        frontier = bisect_left(self._sizes, min_size, self._frontier)
+        for entry_id in range(self._frontier, frontier):
+            self._tokens[entry_id] = None  # free the payload
+            self.live_bytes -= _entry_bytes(self._sizes[entry_id])
+        self._frontier = frontier
+
+    # -- probing ---------------------------------------------------------
+
+    def probe(
+        self, rid: int, tokens: Sequence[int], true_size: int | None = None
+    ) -> list[tuple[int, float]]:
+        """Find indexed records similar to (*rid*, *tokens*).
+
+        Returns ``(other_rid, similarity)`` pairs; in self mode the
+        probing record itself is never reported (it is not yet added).
+
+        ``true_size`` supports the R-S optimization that drops S-only
+        tokens before shipping S projections (Section 4 Stage 1): the
+        *filtered* token array is probed (dropped tokens cannot match
+        any indexed R record), but the length filter and the required
+        overlap are computed against the record's *original* set size
+        so the reported similarity is exact.
+        """
+        nx = len(tokens)
+        n_true = nx if true_size is None else true_size
+        if n_true < nx:
+            raise ValueError(f"true_size {n_true} smaller than token count {nx}")
+        if nx == 0 or not self._rids:
+            return []
+        if self.evict:
+            if n_true < self._last_probe_size:
+                raise ValueError(
+                    "eviction requires probes in non-decreasing size order "
+                    f"(got size {n_true} after {self._last_probe_size})"
+                )
+            self._last_probe_size = n_true
+        sim, threshold = self.sim, self.threshold
+        lo, hi = sim.length_bounds(n_true, threshold)
+        if self.evict:
+            self._evict_below(lo)
+        probe_len = sim.prefix_length(nx, threshold)
+        candidates: dict[int, list[int]] = {}
+        pruned: set[int] = set()
+        sizes = self._sizes
+        for i in range(probe_len):
+            postings = self._postings.get(tokens[i])
+            if postings is None:
+                continue
+            start = self._cursor.get(tokens[i], 0)
+            if self.evict and start < len(postings):
+                while start < len(postings) and postings[start][0] < self._frontier:
+                    start += 1
+                self._cursor[tokens[i]] = start
+            for entry_id, j in postings[start:]:
+                ny = sizes[entry_id]
+                if ny < lo or ny > hi:
+                    continue
+                if entry_id in pruned:
+                    continue
+                state = candidates.get(entry_id)
+                current = state[0] if state else 0
+                alpha = sim.overlap_threshold(n_true, ny, threshold)
+                if self.use_positional and not positional_filter_passes(
+                    nx, ny, i, j, current, alpha
+                ):
+                    pruned.add(entry_id)
+                    candidates.pop(entry_id, None)
+                    continue
+                if state is None:
+                    if self.use_suffix:
+                        y_tokens = self._tokens[entry_id]
+                        assert y_tokens is not None
+                        if not suffix_filter_passes(
+                            tokens[i + 1 :],
+                            y_tokens[j + 1 :],
+                            alpha,
+                            overlap_so_far=1,
+                            max_depth=self.suffix_max_depth,
+                        ):
+                            pruned.add(entry_id)
+                            continue
+                    candidates[entry_id] = [1, i, j]
+                else:
+                    state[0] = current + 1
+                    state[1] = i
+                    state[2] = j
+        if not candidates:
+            return []
+        return self._verify(rid, tokens, n_true, probe_len, candidates)
+
+    def _verify(
+        self,
+        rid: int,
+        tokens: Sequence[int],
+        n_true: int,
+        probe_len: int,
+        candidates: dict[int, list[int]],
+    ) -> list[tuple[int, float]]:
+        """PPJoin optimized verification: resume the merge after the
+        last prefix match instead of re-scanning the prefixes."""
+        sim, threshold = self.sim, self.threshold
+        nx = len(tokens)
+        results: list[tuple[int, float]] = []
+        for entry_id, (count, i, j) in candidates.items():
+            y_tokens = self._tokens[entry_id]
+            assert y_tokens is not None
+            ny = len(y_tokens)
+            alpha = sim.overlap_threshold(n_true, ny, threshold)
+            plen_y = self._prefix_lens[entry_id]
+            last_x = tokens[probe_len - 1]
+            last_y = y_tokens[plen_y - 1]
+            if last_x < last_y:
+                if count + (nx - probe_len) < alpha:
+                    continue
+                total = count + overlap(
+                    tokens[probe_len:], y_tokens[j + 1 :], required=alpha - count
+                )
+            else:
+                if count + (ny - plen_y) < alpha:
+                    continue
+                total = count + overlap(
+                    tokens[i + 1 :], y_tokens[plen_y:], required=alpha - count
+                )
+            if total >= alpha and sim.accepts_overlap(n_true, ny, total, threshold):
+                similarity = sim.similarity_from_overlap(n_true, ny, total)
+                results.append((self._rids[entry_id], similarity))
+        return results
+
+
+def _sorted_by_size(projections: Iterable[Projection]) -> list[Projection]:
+    """Ascending set-size order, ties broken by RID for determinism."""
+    return sorted(projections, key=lambda p: (p.size, p.rid))
+
+
+def ppjoin_self_join(
+    projections: Iterable[Projection],
+    sim: SimilarityFunction,
+    threshold: float,
+    use_positional: bool = True,
+    use_suffix: bool = True,
+) -> list[tuple[int, int, float]]:
+    """Single-node PPJoin(+) self-join over rank-encoded projections.
+
+    Returns ``(rid_low, rid_high, similarity)`` triples, canonically
+    sorted.  This is exactly what one Stage-2 PK reducer computes for
+    its partition; it is also usable standalone as a laptop-scale
+    set-similarity join.
+    """
+    index = PPJoinIndex(
+        sim,
+        threshold,
+        mode="self",
+        use_positional=use_positional,
+        use_suffix=use_suffix,
+    )
+    results: list[tuple[int, int, float]] = []
+    for proj in _sorted_by_size(projections):
+        for other_rid, similarity in index.probe(proj.rid, proj.tokens):
+            low, high = sorted((proj.rid, other_rid))
+            results.append((low, high, similarity))
+        index.add(proj.rid, proj.tokens)
+    results.sort()
+    return results
+
+
+def ppjoin_rs_join(
+    r_projections: Iterable[Projection],
+    s_projections: Iterable[Projection],
+    sim: SimilarityFunction,
+    threshold: float,
+    use_positional: bool = True,
+    use_suffix: bool = True,
+) -> list[tuple[int, int, float]]:
+    """Single-node PPJoin(+) R-S join.
+
+    Indexes R fully, probes with S (eviction disabled: a standalone
+    call has no guaranteed interleaved length order — the MapReduce PK
+    kernel recreates it via length classes and streams instead).
+    Returns ``(r_rid, s_rid, similarity)`` triples, canonically sorted.
+    """
+    index = PPJoinIndex(
+        sim,
+        threshold,
+        mode="rs",
+        use_positional=use_positional,
+        use_suffix=use_suffix,
+        evict=False,
+    )
+    for proj in _sorted_by_size(r_projections):
+        index.add(proj.rid, proj.tokens)
+    results: list[tuple[int, int, float]] = []
+    for proj in _sorted_by_size(s_projections):
+        for r_rid, similarity in index.probe(proj.rid, proj.tokens):
+            results.append((r_rid, proj.rid, similarity))
+    results.sort()
+    return results

@@ -1,0 +1,111 @@
+"""Tokenizers mapping strings to token sequences.
+
+The paper maps strings into sets by tokenizing them (Section 2):
+words or q-grams.  The evaluation tokenizes by word and performs data
+cleaning *inside* the algorithms (lower-casing, punctuation removal),
+so cleaning lives here as well.
+
+Tokens are plain strings.  Duplicate tokens within one value are
+disambiguated with an occurrence suffix (``token``, ``token#2``, ...)
+so that a string maps to a proper *set*; this is the standard
+bag-to-set widening used by the set-similarity join literature and
+keeps Jaccard well-defined on repeated words.
+"""
+
+from __future__ import annotations
+
+import re
+from abc import ABC, abstractmethod
+
+_CLEAN_RE = re.compile(r"[^a-z0-9 ]+")
+_WS_RE = re.compile(r"\s+")
+
+
+def clean_text(text: str) -> str:
+    """Lower-case *text* and strip punctuation, collapsing whitespace.
+
+    Mirrors the cleaning the paper applies inside its algorithms
+    ("we did the cleaning inside our algorithms", Section 6).
+    """
+    lowered = text.lower()
+    stripped = _CLEAN_RE.sub(" ", lowered)
+    return _WS_RE.sub(" ", stripped).strip()
+
+
+def _widen_duplicates(tokens: list[str]) -> list[str]:
+    """Rename repeated tokens so the result is duplicate-free.
+
+    The first occurrence keeps its name; the k-th occurrence becomes
+    ``token#k``.  Order is preserved.
+    """
+    seen: dict[str, int] = {}
+    widened = []
+    for token in tokens:
+        count = seen.get(token, 0) + 1
+        seen[token] = count
+        widened.append(token if count == 1 else f"{token}#{count}")
+    return widened
+
+
+class Tokenizer(ABC):
+    """Maps a string to a duplicate-free list of tokens."""
+
+    #: Whether :meth:`tokenize` cleans its input first.
+    clean: bool
+
+    def __init__(self, clean: bool = True) -> None:
+        self.clean = clean
+
+    @abstractmethod
+    def _raw_tokens(self, text: str) -> list[str]:
+        """Split *text* into raw (possibly duplicated) tokens."""
+
+    def tokenize(self, text: str) -> list[str]:
+        """Return the duplicate-free token list for *text*."""
+        if self.clean:
+            text = clean_text(text)
+        return _widen_duplicates(self._raw_tokens(text))
+
+    def tokenize_set(self, text: str) -> frozenset[str]:
+        """Return the token *set* for *text*."""
+        return frozenset(self.tokenize(text))
+
+
+class WordTokenizer(Tokenizer):
+    """Whitespace word tokenizer — the tokenizer used in the paper's
+    evaluation (Section 6: "we tokenized the data by word")."""
+
+    def _raw_tokens(self, text: str) -> list[str]:
+        return text.split()
+
+    def __repr__(self) -> str:
+        return f"WordTokenizer(clean={self.clean})"
+
+
+class QGramTokenizer(Tokenizer):
+    """Overlapping fixed-length substring (q-gram) tokenizer.
+
+    The string is padded with ``q - 1`` copies of *pad* on each side so
+    that every character participates in exactly *q* grams, the usual
+    convention for edit-distance-style filtering.
+    """
+
+    def __init__(self, q: int = 3, pad: str = "$", clean: bool = True) -> None:
+        if q < 1:
+            raise ValueError(f"q must be >= 1, got {q}")
+        if len(pad) != 1:
+            raise ValueError(f"pad must be a single character, got {pad!r}")
+        super().__init__(clean=clean)
+        self.q = q
+        self.pad = pad
+
+    def _raw_tokens(self, text: str) -> list[str]:
+        if not text:
+            return []
+        if self.q == 1:
+            return list(text)
+        padded = self.pad * (self.q - 1) + text + self.pad * (self.q - 1)
+        return [padded[i : i + self.q] for i in range(len(padded) - self.q + 1)]
+
+    def __repr__(self) -> str:
+        return f"QGramTokenizer(q={self.q}, pad={self.pad!r}, clean={self.clean})"

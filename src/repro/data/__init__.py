@@ -1,0 +1,25 @@
+"""Workload data: synthetic DBLP/CITESEERX corpora and the paper's
+dataset-increase technique (Section 6)."""
+
+from repro.data.synthetic import (
+    CorpusSpec,
+    DBLP_SPEC,
+    CITESEERX_SPEC,
+    generate_corpus,
+    generate_dblp,
+    generate_citeseerx,
+)
+from repro.data.increase import increase_dataset
+from repro.data.loaders import read_records, write_records
+
+__all__ = [
+    "CorpusSpec",
+    "DBLP_SPEC",
+    "CITESEERX_SPEC",
+    "generate_corpus",
+    "generate_dblp",
+    "generate_citeseerx",
+    "increase_dataset",
+    "read_records",
+    "write_records",
+]

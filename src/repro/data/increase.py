@@ -1,0 +1,108 @@
+"""The paper's dataset-increase technique (Section 6).
+
+To evaluate at scale while "maintaining set-similarity join
+properties", the paper grows a dataset by generating new records
+rather than duplicating old ones: order the tokens of the join
+attribute by ascending frequency, then create each new record by
+replacing every join-attribute token with the token *after* it in
+that order.  This keeps the token dictionary (roughly) constant and
+makes the join-result cardinality grow linearly with the increase
+factor — duplicating records instead would square the result size.
+
+``increase_dataset(lines, n)`` returns the "×n" dataset: the original
+records plus ``n - 1`` shifted copies (copy *k* shifts tokens by *k*,
+equivalent to the paper's chain of copy-of-copy generations).  Tokens
+at the end of the order wrap around to the beginning.  New RIDs are
+``rid + k * stride`` with a stride larger than any original RID, so
+copies never collide.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.join.records import RecordSchema, make_line, parse_fields
+from repro.core.tokenizers import clean_text
+
+
+def _join_field_tokens(fields: list[str], schema: RecordSchema) -> list[str]:
+    tokens: list[str] = []
+    for index in schema.join_fields:
+        if index < len(fields):
+            tokens.extend(clean_text(fields[index]).split())
+    return tokens
+
+
+def token_shift_order(
+    lines: list[str], schema: RecordSchema | None = None
+) -> list[str]:
+    """Ascending-frequency token order over the join attribute —
+    the substitution chain used by the increase."""
+    schema = schema or RecordSchema()
+    counts: Counter[str] = Counter()
+    for line in lines:
+        counts.update(_join_field_tokens(parse_fields(line), schema))
+    return [token for token, _ in sorted(counts.items(), key=lambda kv: (kv[1], kv[0]))]
+
+
+def increase_dataset(
+    lines: list[str],
+    factor: int,
+    schema: RecordSchema | None = None,
+    order: list[str] | None = None,
+) -> list[str]:
+    """Grow *lines* to ``factor`` times its size (Section 6).
+
+    ``factor=1`` returns a copy of the input.  Join-attribute fields of
+    copy *k* have every token replaced by the token *k* positions later
+    in the ascending-frequency order (wrapping); other fields are kept
+    verbatim.
+
+    ``order`` overrides the substitution chain.  This matters when two
+    datasets are increased *together* for an R-S join: shared
+    publications only stay similar across copies if both datasets shift
+    along the same order, so the R-S workloads pass the order computed
+    over the union of the two corpora.  It must cover every
+    join-attribute token of *lines*.
+    """
+    if factor < 1:
+        raise ValueError(f"factor must be >= 1, got {factor}")
+    schema = schema or RecordSchema()
+    if factor == 1 or not lines:
+        return list(lines)
+
+    if order is None:
+        order = token_shift_order(lines, schema)
+    else:
+        covered = set(order)
+        missing = {
+            token
+            for line in lines
+            for token in _join_field_tokens(parse_fields(line), schema)
+            if token not in covered
+        }
+        if missing:
+            raise ValueError(
+                f"explicit order is missing {len(missing)} join-attribute "
+                f"token(s), e.g. {sorted(missing)[:3]}"
+            )
+    position = {token: i for i, token in enumerate(order)}
+    vocab = len(order)
+    max_rid = max(int(parse_fields(line)[0]) for line in lines)
+    stride = max_rid + 1
+
+    out = list(lines)
+    for k in range(1, factor):
+        for line in lines:
+            fields = parse_fields(line)
+            rid = int(fields[0]) + k * stride
+            new_fields = list(fields[1:])
+            for index in schema.join_fields:
+                if index < len(fields):
+                    shifted = [
+                        order[(position[token] + k) % vocab]
+                        for token in clean_text(fields[index]).split()
+                    ]
+                    new_fields[index - 1] = " ".join(shifted)
+            out.append(make_line(rid, new_fields))
+    return out

@@ -1,0 +1,28 @@
+"""Record file (de)serialization.
+
+Record lines are plain text (see :mod:`repro.join.records`); these
+helpers move them between disk and memory for the examples and for
+users bringing their own data.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable
+
+
+def write_records(path: str | Path, lines: Iterable[str]) -> int:
+    """Write record lines to *path* (one per line); returns the count."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for line in lines:
+            handle.write(line)
+            handle.write("\n")
+            count += 1
+    return count
+
+
+def read_records(path: str | Path) -> list[str]:
+    """Read record lines from *path*, dropping empty lines."""
+    with open(path, encoding="utf-8") as handle:
+        return [line.rstrip("\n") for line in handle if line.strip()]

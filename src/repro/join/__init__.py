@@ -1,0 +1,44 @@
+"""The paper's contribution: 3-stage parallel set-similarity joins.
+
+Stage 1 (token ordering): :mod:`repro.join.stage1` — BTO, OPTO.
+Stage 2 (RID-pair generation): :mod:`repro.join.stage2` (self-join BK,
+PK), :mod:`repro.join.stage2_rs` (R-S variants).
+Stage 3 (record join): :mod:`repro.join.stage3` — BRJ, OPRJ.
+Section 5 (insufficient memory): :mod:`repro.join.blocks`.
+
+End-to-end drivers live in :mod:`repro.join.driver`.
+"""
+
+from repro.join.config import JoinConfig
+from repro.join.records import (
+    RecordSchema,
+    join_value,
+    make_line,
+    parse_fields,
+    rid_of,
+)
+from repro.join.estimate import estimate_self_join_cardinality
+from repro.join.planner import recommend_config
+from repro.join.driver import (
+    JoinReport,
+    set_similarity_self_join,
+    set_similarity_rs_join,
+    ssjoin_self,
+    ssjoin_rs,
+)
+
+__all__ = [
+    "JoinConfig",
+    "estimate_self_join_cardinality",
+    "recommend_config",
+    "RecordSchema",
+    "join_value",
+    "make_line",
+    "parse_fields",
+    "rid_of",
+    "JoinReport",
+    "set_similarity_self_join",
+    "set_similarity_rs_join",
+    "ssjoin_self",
+    "ssjoin_rs",
+]

@@ -1,0 +1,103 @@
+"""End-to-end join configuration.
+
+A :class:`JoinConfig` picks one algorithm per stage — the paper's
+nomenclature maps directly:
+
+=========  ==========================  =========================
+stage      option                      paper name
+=========  ==========================  =========================
+stage1     ``"bto"``                   Basic Token Ordering
+stage1     ``"opto"``                  One-Phase Token Ordering
+kernel     ``"bk"``                    Basic Kernel
+kernel     ``"pk"``                    PPJoin+ (Indexed) Kernel
+routing    ``"individual"``            individual prefix tokens
+routing    ``"grouped"``               grouped tokens (round-robin)
+stage3     ``"brj"``                   Basic Record Join
+stage3     ``"oprj"``                  One-Phase Record Join
+=========  ==========================  =========================
+
+So ``JoinConfig(stage1="bto", kernel="pk", stage3="oprj")`` is the
+paper's fastest self-join combination BTO-PK-OPRJ, and the recommended
+robust combination is BTO-PK-BRJ (Section 6.1.3/6.2.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.core.similarity import SimilarityFunction, get_similarity_function
+from repro.core.tokenizers import Tokenizer, WordTokenizer
+from repro.join.blocks import BlockPolicy
+from repro.join.records import RecordSchema
+
+STAGE1_ALGORITHMS = ("bto", "opto")
+KERNELS = ("bk", "pk")
+ROUTINGS = ("individual", "grouped")
+STAGE3_ALGORITHMS = ("brj", "oprj")
+
+
+@dataclass
+class JoinConfig:
+    """Configuration of one end-to-end set-similarity join."""
+
+    similarity: str | SimilarityFunction = "jaccard"
+    threshold: float = 0.8
+    tokenizer: Tokenizer = field(default_factory=WordTokenizer)
+    schema: RecordSchema = field(default_factory=RecordSchema)
+    stage1: str = "bto"
+    kernel: str = "pk"
+    routing: str = "individual"
+    #: group count for ``routing="grouped"``; ``None`` = one group per token
+    num_groups: int | None = None
+    stage3: str = "brj"
+    #: reducers for data-parallel jobs; ``None`` = one per cluster reduce slot
+    num_reducers: int | None = None
+    #: Section 5 block processing for oversized kernel groups
+    blocks: BlockPolicy | None = None
+    #: Section 5 (first paragraph): use the length filter as a
+    #: *secondary routing criterion* for the BK kernel — reducer keys
+    #: become (token, length-class) so each reduce call holds only one
+    #: class of records in memory.  Value = class width in tokens.
+    length_class_width: int | None = None
+
+    def __post_init__(self) -> None:
+        if isinstance(self.similarity, str):
+            self.similarity = get_similarity_function(self.similarity)
+        if self.stage1 not in STAGE1_ALGORITHMS:
+            raise ValueError(f"stage1 must be one of {STAGE1_ALGORITHMS}, got {self.stage1!r}")
+        if self.kernel not in KERNELS:
+            raise ValueError(f"kernel must be one of {KERNELS}, got {self.kernel!r}")
+        if self.routing not in ROUTINGS:
+            raise ValueError(f"routing must be one of {ROUTINGS}, got {self.routing!r}")
+        if self.stage3 not in STAGE3_ALGORITHMS:
+            raise ValueError(f"stage3 must be one of {STAGE3_ALGORITHMS}, got {self.stage3!r}")
+        if not 0.0 < self.threshold:
+            raise ValueError(f"threshold must be positive, got {self.threshold}")
+        if self.num_groups is not None and self.num_groups < 1:
+            raise ValueError(f"num_groups must be >= 1, got {self.num_groups}")
+        if self.length_class_width is not None and self.length_class_width < 1:
+            raise ValueError(
+                f"length_class_width must be >= 1, got {self.length_class_width}"
+            )
+        if self.length_class_width is not None and self.blocks is not None:
+            raise ValueError(
+                "length_class_width and blocks are alternative Section-5 "
+                "strategies; configure at most one"
+            )
+
+    @property
+    def sim(self) -> SimilarityFunction:
+        """The resolved similarity function (never a string)."""
+        assert isinstance(self.similarity, SimilarityFunction)
+        return self.similarity
+
+    @property
+    def combo_name(self) -> str:
+        """Paper-style combination label, e.g. ``"BTO-PK-OPRJ"``."""
+        return "-".join(
+            part.upper() for part in (self.stage1, self.kernel, self.stage3)
+        )
+
+    def with_options(self, **changes) -> "JoinConfig":
+        """Copy with the given fields replaced."""
+        return replace(self, **changes)

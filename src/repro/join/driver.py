@@ -1,0 +1,213 @@
+"""End-to-end set-similarity join drivers.
+
+Chains the three stages on a :class:`SimulatedCluster`:
+
+1. token ordering (BTO/OPTO) → ``<prefix>.tokens``
+2. RID-pair generation (BK/PK) → ``<prefix>.ridpairs``
+3. record join (BRJ/OPRJ) → ``<prefix>.joined``
+
+``ssjoin_self`` / ``ssjoin_rs`` operate on files already in the
+cluster's DFS and return a :class:`JoinReport` with per-stage stats —
+the unit the paper's experiments measure.  The module-level
+convenience functions :func:`set_similarity_self_join` and
+:func:`set_similarity_rs_join` wrap record lists for library users who
+do not care about the cluster.
+
+For R-S joins the token ordering is built on R only (per Section 4,
+Stage 1 runs "on the relation with fewer records"); pass the smaller
+relation as R.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.join.config import JoinConfig
+from repro.join.stage1 import stage1_jobs
+from repro.join.stage2 import stage2_self_job
+from repro.join.stage2_rs import stage2_rs_job
+from repro.join.stage3 import stage3_jobs
+from repro.mapreduce.cluster import ClusterConfig, SimulatedCluster
+from repro.mapreduce.dfs import InMemoryDFS
+from repro.mapreduce.pipeline import run_pipeline
+from repro.mapreduce.types import JobStats
+
+
+@dataclass
+class JoinReport:
+    """Per-stage statistics of one end-to-end join run."""
+
+    combo: str
+    output_file: str
+    stage1: JobStats = field(default_factory=JobStats)
+    stage2: JobStats = field(default_factory=JobStats)
+    stage3: JobStats = field(default_factory=JobStats)
+
+    @property
+    def stages(self) -> dict[str, JobStats]:
+        return {"stage1": self.stage1, "stage2": self.stage2, "stage3": self.stage3}
+
+    @property
+    def total_simulated_s(self) -> float:
+        """End-to-end simulated wall-clock (the paper's y-axis)."""
+        return sum(stats.simulated_total_s for stats in self.stages.values())
+
+    def stage_times(self) -> dict[str, float]:
+        return {
+            name: stats.simulated_total_s for name, stats in self.stages.items()
+        }
+
+    def counters(self) -> dict[str, int]:
+        merged: dict[str, int] = {}
+        for stats in self.stages.values():
+            for name, value in stats.counters().items():
+                merged[name] = merged.get(name, 0) + value
+        return merged
+
+    def format_summary(self) -> str:
+        """Multi-line human-readable run summary."""
+        counters = self.counters()
+        lines = [
+            f"{self.combo}: {self.total_simulated_s:.1f}s simulated",
+        ]
+        for name, stats in self.stages.items():
+            phases = ", ".join(p.job_name for p in stats.phases) or "-"
+            lines.append(
+                f"  {name}: {stats.simulated_total_s:7.1f}s  ({phases})"
+            )
+        lines.append(
+            f"  shuffled: {sum(s.shuffle_bytes for s in self.stages.values()):,} bytes"
+        )
+        pairs = counters.get("stage3.record_pairs_output")
+        if pairs is not None:
+            lines.append(f"  record pairs: {pairs:,}")
+        return "\n".join(lines)
+
+
+def _num_reducers(config: JoinConfig, cluster: SimulatedCluster) -> int:
+    if config.num_reducers is not None:
+        return config.num_reducers
+    return cluster.config.reduce_slots
+
+
+def ssjoin_self(
+    cluster: SimulatedCluster,
+    records_file: str,
+    config: JoinConfig | None = None,
+    prefix: str | None = None,
+) -> JoinReport:
+    """Run the three-stage self-join on a DFS file.
+
+    Returns a :class:`JoinReport`; the joined record pairs are in
+    ``report.output_file`` as ``(line1, line2, similarity)`` records.
+    """
+    config = config or JoinConfig()
+    prefix = prefix or f"{records_file}.selfjoin"
+    reducers = _num_reducers(config, cluster)
+
+    token_order_file = f"{prefix}.tokens"
+    pairs_file = f"{prefix}.ridpairs"
+    output_file = f"{prefix}.joined"
+
+    report = JoinReport(combo=config.combo_name, output_file=output_file)
+    report.stage1 = run_pipeline(
+        cluster, stage1_jobs(config, [records_file], token_order_file, reducers)
+    )
+    report.stage2 = run_pipeline(
+        cluster,
+        [stage2_self_job(config, records_file, token_order_file, pairs_file, reducers)],
+    )
+    report.stage3 = run_pipeline(
+        cluster,
+        stage3_jobs(
+            config, {records_file: 0}, pairs_file, output_file, reducers, is_rs=False
+        ),
+    )
+    return report
+
+
+def ssjoin_rs(
+    cluster: SimulatedCluster,
+    r_file: str,
+    s_file: str,
+    config: JoinConfig | None = None,
+    prefix: str | None = None,
+) -> JoinReport:
+    """Run the three-stage R-S join on two DFS files.
+
+    The token ordering is built on ``r_file``; pass the smaller
+    relation as R (Section 4).  Output records are
+    ``(r_line, s_line, similarity)``.
+    """
+    config = config or JoinConfig()
+    prefix = prefix or f"{r_file}.rsjoin"
+    reducers = _num_reducers(config, cluster)
+
+    token_order_file = f"{prefix}.tokens"
+    pairs_file = f"{prefix}.ridpairs"
+    output_file = f"{prefix}.joined"
+
+    report = JoinReport(combo=config.combo_name, output_file=output_file)
+    report.stage1 = run_pipeline(
+        cluster, stage1_jobs(config, [r_file], token_order_file, reducers)
+    )
+    report.stage2 = run_pipeline(
+        cluster,
+        [
+            stage2_rs_job(
+                config, r_file, s_file, token_order_file, pairs_file, reducers
+            )
+        ],
+    )
+    report.stage3 = run_pipeline(
+        cluster,
+        stage3_jobs(
+            config,
+            {r_file: 0, s_file: 1},
+            pairs_file,
+            output_file,
+            reducers,
+            is_rs=True,
+        ),
+    )
+    return report
+
+
+def _default_cluster() -> SimulatedCluster:
+    config = ClusterConfig()
+    return SimulatedCluster(config, InMemoryDFS(num_nodes=config.num_nodes))
+
+
+def set_similarity_self_join(
+    records: list[str],
+    config: JoinConfig | None = None,
+    cluster: SimulatedCluster | None = None,
+) -> tuple[list[tuple[str, str, float]], JoinReport]:
+    """Self-join a list of record lines; the simplest public entry point.
+
+    >>> from repro.join import JoinConfig, set_similarity_self_join
+    >>> records = ["1\\ta b c d\\t", "2\\ta b c e\\t", "3\\tx y z w\\t"]
+    >>> pairs, report = set_similarity_self_join(
+    ...     records, JoinConfig(threshold=0.5, schema=RecordSchema((1,))))
+    ... # doctest: +SKIP
+    """
+    cluster = cluster or _default_cluster()
+    cluster.dfs.write("input.records", records)
+    report = ssjoin_self(cluster, "input.records", config)
+    pairs = sorted(cluster.dfs.read_all(report.output_file))
+    return pairs, report
+
+
+def set_similarity_rs_join(
+    r_records: list[str],
+    s_records: list[str],
+    config: JoinConfig | None = None,
+    cluster: SimulatedCluster | None = None,
+) -> tuple[list[tuple[str, str, float]], JoinReport]:
+    """R-S join two lists of record lines (R should be the smaller)."""
+    cluster = cluster or _default_cluster()
+    cluster.dfs.write("input.r", r_records)
+    cluster.dfs.write("input.s", s_records)
+    report = ssjoin_rs(cluster, "input.r", "input.s", config)
+    pairs = sorted(cluster.dfs.read_all(report.output_file))
+    return pairs, report

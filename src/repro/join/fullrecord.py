@@ -1,0 +1,116 @@
+"""The one-stage full-record alternative (Section 2.2).
+
+The paper considered replacing Stages 2 and 3 with a single stage
+whose key-value pairs carry *complete records* instead of RID
+projections: reducers then verify candidates and emit joined record
+pairs directly, with no record-join stage.  The authors implemented it,
+"noticed a much worse performance", and dropped it — full records are
+replicated once per prefix token, multiplying shuffle volume by the
+record payload size.
+
+We keep it as an ablation baseline (``bench_ablation_fullrecord``).
+Only the self-join PK form is provided; that is enough to reproduce the
+comparison.  Stage 1 is still required for the token ordering.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.core.ppjoin import PPJoinIndex
+from repro.join.config import JoinConfig
+from repro.join.driver import JoinReport, _num_reducers
+from repro.join.stage1 import stage1_jobs
+from repro.join.stage2 import PAIRS_OUTPUT, load_token_order, make_router, project_record
+from repro.mapreduce.cluster import SimulatedCluster
+from repro.mapreduce.job import Context, MapReduceJob
+from repro.mapreduce.pipeline import run_pipeline
+
+
+def full_record_job(
+    config: JoinConfig,
+    records_file: str,
+    token_order_file: str,
+    output: str,
+    num_reducers: int,
+) -> MapReduceJob:
+    """One job that replaces Stages 2+3: values are whole record lines."""
+    sim, threshold = config.sim, config.threshold
+    state: dict = {}
+
+    def map_setup(ctx: Context) -> None:
+        order = load_token_order(ctx, token_order_file)
+        state["order"] = order
+        state["routes"] = make_router(config, order)
+
+    def mapper(line: str, ctx: Context) -> None:
+        rid, ranks, _true = project_record(line, config, state["order"], "error")
+        n = len(ranks)
+        if n == 0:
+            return
+        prefix = ranks[: sim.prefix_length(n, threshold)]
+        for route in state["routes"](prefix):
+            # the value carries the complete record — the whole point
+            # of the ablation: payload bytes ride the shuffle
+            ctx.emit((route, n, 0), (rid, ranks, line))
+
+    def reducer(route: int, values: Iterator, ctx: Context) -> None:
+        index = PPJoinIndex(sim, threshold, mode="self", evict=True)
+        lines: dict[int, str] = {}
+        charged = 0
+        for rid, ranks, line in values:
+            charged += ctx.reserve_memory_for(line, "full-record group")
+            for other_rid, similarity in index.probe(rid, ranks):
+                first, second = sorted((rid, other_rid))
+                this, other = (
+                    (line, lines[other_rid]) if first == rid else (lines[other_rid], line)
+                )
+                ctx.write((this, other, similarity))
+                ctx.counters.increment(PAIRS_OUTPUT)
+            index.add(rid, ranks)
+            lines[rid] = line
+        ctx.release_memory(charged)
+
+    return MapReduceJob(
+        name="fullrecord-self",
+        inputs=[records_file],
+        output=output,
+        mapper=mapper,
+        reducer=reducer,
+        num_reducers=num_reducers,
+        partition=lambda key: key[0],
+        sort_key=lambda key: key,
+        group_key=lambda key: key[0],
+        broadcast=[token_order_file],
+        map_setup=map_setup,
+    )
+
+
+def full_record_self_join(
+    cluster: SimulatedCluster,
+    records_file: str,
+    config: JoinConfig | None = None,
+    prefix: str | None = None,
+) -> JoinReport:
+    """End-to-end self-join using the one-stage full-record alternative.
+
+    Note the output may contain duplicate record pairs (one per shared
+    routing group) — there is no Stage 3 to deduplicate them, which is
+    part of why the paper rejected this design.  ``JoinReport.stage3``
+    is empty.
+    """
+    config = config or JoinConfig()
+    prefix = prefix or f"{records_file}.fullrecord"
+    reducers = _num_reducers(config, cluster)
+    token_order_file = f"{prefix}.tokens"
+    output_file = f"{prefix}.joined"
+
+    report = JoinReport(combo=f"{config.stage1.upper()}-FULLRECORD", output_file=output_file)
+    report.stage1 = run_pipeline(
+        cluster, stage1_jobs(config, [records_file], token_order_file, reducers)
+    )
+    report.stage2 = run_pipeline(
+        cluster,
+        [full_record_job(config, records_file, token_order_file, output_file, reducers)],
+    )
+    return report

@@ -1,0 +1,381 @@
+"""Stage 2 — RID-pair generation, self-join case (Section 3.2).
+
+The mapper loads the Stage-1 token ordering (distributed cache),
+projects each record on (RID, rank-encoded join-attribute tokens),
+extracts the probing prefix and replicates the projection under one
+routing key per prefix token (individual routing) or per distinct
+prefix-token group (grouped routing).
+
+Keys are composite, exactly as the paper manipulates them:
+
+    (route, length, relation)
+
+partitioned on ``route`` only (custom partitioner), sorted on the full
+key, grouped on ``route`` — so each reduce call sees one candidate
+group with values streaming in ascending set-size order, which is what
+lets the PK kernel evict index entries below the length-filter lower
+bound (Section 3.2.2) and the R-S kernel stream R before S
+(Section 4).  The relation component is 0 for self-joins.
+
+Reducers:
+
+* **BK** (Basic Kernel) — materializes the group (memory-metered) and
+  verifies its cross product pairwise with the length filter plus
+  merge-based verification.
+* **PK** (PPJoin+ Kernel) — runs :class:`repro.core.ppjoin.PPJoinIndex`
+  over the length-sorted stream.
+
+Both may emit the same RID pair from different groups; duplicates are
+eliminated in Stage 3, per the paper.  Output records are
+``(rid1, rid2, similarity)`` with ``rid1 < rid2``.
+
+Section 5 plugs into the BK path in two forms: block processing
+(see :mod:`repro.join.blocks` and the ``*_blocks_*`` reducers here)
+and the length filter as a *secondary routing criterion*
+(``JoinConfig.length_class_width`` — reducer keys become
+``(token, length-class)`` so each reduce step holds one class).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.core.ordering import TokenOrder
+from repro.core.ppjoin import PPJoinIndex
+from repro.core.prefixes import TokenGrouping
+from repro.core.verification import overlap
+from repro.join.blocks import (
+    ROLE_LOAD,
+    ROLE_STREAM,
+    SPILL_READ,
+    SPILL_WRITTEN,
+    BlockPolicy,
+    MAP_BASED,
+)
+from repro.join.config import JoinConfig
+from repro.join.records import join_value, rid_of
+from repro.mapreduce.job import Context, MapReduceJob
+
+#: user counters
+CANDIDATE_PAIRS = "stage2.candidate_pairs"
+PAIRS_OUTPUT = "stage2.pairs_output"
+
+# Relation tags inside keys/values (R sorts before S).
+REL_R = 0
+REL_S = 1
+
+
+# ---------------------------------------------------------------------------
+# shared mapper machinery
+# ---------------------------------------------------------------------------
+
+
+def load_token_order(ctx: Context, token_order_file: str) -> TokenOrder:
+    """Rebuild the global token order from the distributed cache.
+
+    This happens once per map task — the per-task constant cost the
+    paper attributes to loading the ordered tokens in Stage 2.
+    """
+    return TokenOrder(ctx.broadcast[token_order_file])
+
+
+def make_router(config: JoinConfig, order: TokenOrder):
+    """Return ``routes(prefix_ranks) -> list[int]`` for the configured
+    routing strategy."""
+    if config.routing == "individual":
+        def routes(prefix_ranks: tuple[int, ...]) -> list[int]:
+            return list(dict.fromkeys(prefix_ranks))
+        return routes
+    num_groups = config.num_groups or max(1, len(order))
+    grouping = TokenGrouping(order, num_groups)
+    def routes(prefix_ranks: tuple[int, ...]) -> list[int]:
+        return grouping.groups_of_ranks(prefix_ranks)
+    return routes
+
+
+def project_record(
+    line: str, config: JoinConfig, order: TokenOrder, unknown: str
+) -> tuple[int, tuple[int, ...], int]:
+    """Parse a record line into (rid, rank-encoded tokens, true size).
+
+    ``true size`` counts tokens *before* dropping unknowns — for R and
+    self-join inputs it equals ``len(tokens)``.
+    """
+    rid = rid_of(line)
+    raw = config.tokenizer.tokenize(join_value(line, config.schema))
+    ranks = order.encode(raw, unknown=unknown)
+    return rid, ranks, len(raw)
+
+
+def make_self_mapper(
+    config: JoinConfig, blocks: BlockPolicy | None, token_order_file: str
+):
+    """Self-join Stage-2 mapper (shared by BK and PK)."""
+    sim, threshold = config.sim, config.threshold
+    state: dict = {}
+
+    def map_setup(ctx: Context) -> None:
+        order = load_token_order(ctx, token_order_file)
+        state["order"] = order
+        state["routes"] = make_router(config, order)
+
+    width = config.length_class_width
+
+    def mapper(line: str, ctx: Context) -> None:
+        rid, ranks, _true = project_record(line, config, state["order"], "error")
+        n = len(ranks)
+        if n == 0:
+            return
+        prefix = ranks[: sim.prefix_length(n, threshold)]
+        value = (REL_R, rid, n, ranks)
+        for route in state["routes"](prefix):
+            if blocks is not None:
+                block = blocks.block_of(rid)
+                if blocks.strategy == MAP_BASED:
+                    for step, role in blocks.replication_schedule(block):
+                        ctx.emit((route, step, role), (step, role) + value)
+                else:
+                    ctx.emit((route, block), (block,) + value)
+            elif width is not None:
+                # Section 5, first paragraph: the length filter as a
+                # secondary routing criterion.  The record is *indexed*
+                # in its own length class and *probes* every lower
+                # class that can hold a join partner, so each reduce
+                # step holds one class in memory.
+                own_class = n // width
+                lowest = sim.length_bounds(n, threshold)[0] // width
+                for cls in range(lowest, own_class):
+                    ctx.emit((route, cls, ROLE_STREAM), (cls, ROLE_STREAM) + value)
+                ctx.emit((route, own_class, ROLE_LOAD), (own_class, ROLE_LOAD) + value)
+            else:
+                ctx.emit((route, n, REL_R), value)
+
+    return map_setup, mapper
+
+
+# ---------------------------------------------------------------------------
+# pairwise verification used by the BK reducers
+# ---------------------------------------------------------------------------
+
+
+def bk_verify(
+    p1: tuple, p2: tuple, config: JoinConfig
+) -> float | None:
+    """Length-filter + merge-verify two projections.
+
+    Each projection is ``(rel, rid, true_size, tokens)``; overlaps are
+    computed on the (possibly S-filtered) token arrays while the length
+    filter and required overlap use the true set sizes, keeping the
+    reported similarity exact (see Section 4 Stage 1).
+    """
+    sim, threshold = config.sim, config.threshold
+    _rel1, _rid1, n1, toks1 = p1
+    _rel2, _rid2, n2, toks2 = p2
+    lo, hi = sim.length_bounds(n1, threshold)
+    if not lo <= n2 <= hi:
+        return None
+    alpha = sim.overlap_threshold(n1, n2, threshold)
+    common = overlap(toks1, toks2, required=alpha)
+    if common < alpha:
+        return None
+    similarity = sim.similarity_from_overlap(n1, n2, common)
+    return similarity if similarity >= threshold else None
+
+
+def _write_self_pair(ctx: Context, rid1: int, rid2: int, similarity: float) -> None:
+    low, high = (rid1, rid2) if rid1 < rid2 else (rid2, rid1)
+    ctx.write((low, high, similarity))
+    ctx.counters.increment(PAIRS_OUTPUT)
+
+
+# ---------------------------------------------------------------------------
+# self-join reducers
+# ---------------------------------------------------------------------------
+
+
+def make_bk_self_reducer(config: JoinConfig):
+    """Basic Kernel: nested-loop verification of the whole group."""
+
+    def reducer(route: int, values: Iterator, ctx: Context) -> None:
+        projections: list[tuple] = []
+        charged = 0
+        for value in values:
+            charged += ctx.reserve_memory_for(value, "BK candidate list")
+            projections.append(value)
+        for i, p1 in enumerate(projections):
+            for p2 in projections[i + 1 :]:
+                ctx.counters.increment(CANDIDATE_PAIRS)
+                similarity = bk_verify(p1, p2, config)
+                if similarity is not None:
+                    _write_self_pair(ctx, p1[1], p2[1], similarity)
+        ctx.release_memory(charged)
+
+    return reducer
+
+
+def make_pk_self_reducer(config: JoinConfig):
+    """PPJoin+ Kernel over the length-sorted value stream."""
+
+    def reducer(route: int, values: Iterator, ctx: Context) -> None:
+        index = PPJoinIndex(config.sim, config.threshold, mode="self", evict=True)
+        charged = 0
+        for _rel, rid, _n, ranks in values:
+            for other_rid, similarity in index.probe(rid, ranks):
+                _write_self_pair(ctx, rid, other_rid, similarity)
+            index.add(rid, ranks)
+            delta = index.live_bytes - charged
+            if delta >= 0:
+                ctx.reserve_memory(delta, "PK index")
+            else:
+                ctx.release_memory(-delta)
+            charged = index.live_bytes
+        ctx.release_memory(charged)
+
+    return reducer
+
+
+# ---------------------------------------------------------------------------
+# self-join reducers with Section 5 block processing (BK only)
+# ---------------------------------------------------------------------------
+
+
+def make_bk_self_map_blocks_reducer(config: JoinConfig):
+    """Map-based block processing: the mapper interleaved load/stream
+    copies; only the currently loaded block is held in memory."""
+
+    def reducer(route: int, values: Iterator, ctx: Context) -> None:
+        loaded: list[tuple] = []
+        charged = 0
+        current_step = -1
+        for step, role, rel, rid, n, ranks in values:
+            if step != current_step:
+                ctx.release_memory(charged)
+                charged = 0
+                loaded = []
+                current_step = step
+            projection = (rel, rid, n, ranks)
+            for other in loaded:
+                ctx.counters.increment(CANDIDATE_PAIRS)
+                similarity = bk_verify(other, projection, config)
+                if similarity is not None:
+                    _write_self_pair(ctx, other[1], rid, similarity)
+            if role == ROLE_LOAD:
+                charged += ctx.reserve_memory_for(projection, "BK loaded block")
+                loaded.append(projection)
+        ctx.release_memory(charged)
+
+    return reducer
+
+
+def make_bk_self_reduce_blocks_reducer(config: JoinConfig):
+    """Reduce-based block processing: spill later blocks to local disk
+    and re-read them for the remaining steps (Figure 7(b))."""
+
+    def reducer(route: int, values: Iterator, ctx: Context) -> None:
+        loaded: list[tuple] = []
+        charged = 0
+        loaded_block = None
+        spilled: dict[int, list[tuple]] = {}
+        for block, rel, rid, n, ranks in values:
+            projection = (rel, rid, n, ranks)
+            if loaded_block is None:
+                loaded_block = block
+            if block == loaded_block:
+                for other in loaded:
+                    ctx.counters.increment(CANDIDATE_PAIRS)
+                    similarity = bk_verify(other, projection, config)
+                    if similarity is not None:
+                        _write_self_pair(ctx, other[1], rid, similarity)
+                charged += ctx.reserve_memory_for(projection, "BK loaded block")
+                loaded.append(projection)
+            else:
+                for other in loaded:
+                    ctx.counters.increment(CANDIDATE_PAIRS)
+                    similarity = bk_verify(other, projection, config)
+                    if similarity is not None:
+                        _write_self_pair(ctx, other[1], rid, similarity)
+                spilled.setdefault(block, []).append(projection)
+                ctx.counters.increment(SPILL_WRITTEN, 8 * len(ranks) + 32)
+        ctx.release_memory(charged)
+
+        remaining = sorted(spilled)
+        for idx, block in enumerate(remaining):
+            loaded = []
+            charged = 0
+            for projection in spilled[block]:
+                ctx.counters.increment(SPILL_READ, 8 * len(projection[3]) + 32)
+                for other in loaded:
+                    ctx.counters.increment(CANDIDATE_PAIRS)
+                    similarity = bk_verify(other, projection, config)
+                    if similarity is not None:
+                        _write_self_pair(ctx, other[1], projection[1], similarity)
+                charged += ctx.reserve_memory_for(projection, "BK loaded block")
+                loaded.append(projection)
+            for later in remaining[idx + 1 :]:
+                for projection in spilled[later]:
+                    ctx.counters.increment(SPILL_READ, 8 * len(projection[3]) + 32)
+                    for other in loaded:
+                        ctx.counters.increment(CANDIDATE_PAIRS)
+                        similarity = bk_verify(other, projection, config)
+                        if similarity is not None:
+                            _write_self_pair(ctx, other[1], projection[1], similarity)
+            ctx.release_memory(charged)
+
+    return reducer
+
+
+# ---------------------------------------------------------------------------
+# job assembly
+# ---------------------------------------------------------------------------
+
+
+def stage2_self_job(
+    config: JoinConfig,
+    records_file: str,
+    token_order_file: str,
+    output: str,
+    num_reducers: int,
+) -> MapReduceJob:
+    """Build the single Stage-2 job for a self-join."""
+    blocks = config.blocks
+    if blocks is not None and config.kernel != "bk":
+        raise ValueError(
+            "Section 5 block processing applies to the BK kernel "
+            "(the paper sub-partitions when no further filters help); "
+            "use kernel='bk' or blocks=None"
+        )
+    if config.length_class_width is not None and config.kernel != "bk":
+        raise ValueError(
+            "length-class secondary routing is a BK enhancement "
+            "(the PK kernel already exploits the length filter via its "
+            "composite keys); use kernel='bk' or length_class_width=None"
+        )
+    map_setup, mapper = make_self_mapper(config, blocks, token_order_file)
+    if blocks is None and config.length_class_width is None:
+        reducer = (
+            make_pk_self_reducer(config)
+            if config.kernel == "pk"
+            else make_bk_self_reducer(config)
+        )
+    elif blocks is not None and blocks.strategy != MAP_BASED:
+        reducer = make_bk_self_reduce_blocks_reducer(config)
+    else:
+        # Map-based Section-5 blocks and length-class routing share one
+        # reduce shape: values arrive as (step/class, role, projection),
+        # load-role records are held (and self-joined), stream-role
+        # records verify against the loaded set only.
+        reducer = make_bk_self_map_blocks_reducer(config)
+
+    return MapReduceJob(
+        name=f"stage2-{config.kernel}-self",
+        inputs=[records_file],
+        output=output,
+        mapper=mapper,
+        reducer=reducer,
+        num_reducers=num_reducers,
+        partition=lambda key: key[0],
+        sort_key=lambda key: key,
+        group_key=lambda key: key[0],
+        broadcast=[token_order_file],
+        map_setup=map_setup,
+    )

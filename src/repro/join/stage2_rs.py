@@ -1,0 +1,303 @@
+"""Stage 2 — RID-pair generation, R-S join case (Section 4).
+
+Differences from the self-join case, all realized through key
+manipulation:
+
+* records are tagged with their relation (R = 0, S = 1); the custom
+  partitioner still hashes only the route, and the relation tag makes
+  R sort before S inside each group;
+* the token ordering was built on R only, so S tokens absent from it
+  are dropped at projection time (they cannot produce candidates);
+  each S projection carries its *original* token count so verification
+  stays exact;
+* for the PK kernel, keys carry a **length class** — the actual length
+  for S records, the length-filter *lower bound* for R records — so
+  every R projection that could join an S record is streamed to the
+  reducer before that record (Figure 6), enabling index eviction;
+* Section 5 block processing sub-partitions only the R side; the S
+  stream is replicated per R block (map-based) or spilled once and
+  re-read per block (reduce-based).
+
+Output records are ``(r_rid, s_rid, similarity)``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.core.ppjoin import PPJoinIndex
+from repro.join.blocks import (
+    MAP_BASED,
+    ROLE_LOAD,
+    SPILL_READ,
+    SPILL_WRITTEN,
+    BlockPolicy,
+)
+from repro.join.config import JoinConfig
+from repro.join.stage2 import (
+    CANDIDATE_PAIRS,
+    PAIRS_OUTPUT,
+    REL_R,
+    REL_S,
+    bk_verify,
+    load_token_order,
+    make_router,
+    project_record,
+)
+from repro.mapreduce.job import Context, MapReduceJob
+
+
+def _length_class(rel: int, true_size: int, config: JoinConfig) -> int:
+    """Composite-key length class (Section 4, Figure 6).
+
+    S records use their actual length; R records use the lower bound of
+    the lengths they can join, so that sorting by (class, relation)
+    streams every R record before any S record it might pair with:
+    for a true pair, ``len(R) <= upper_bound(len(S))`` iff
+    ``lower_bound(len(R)) <= len(S)``.
+    """
+    if rel == REL_S:
+        return true_size
+    lo, _hi = config.sim.length_bounds(true_size, config.threshold)
+    return lo
+
+
+def make_rs_mapper(
+    config: JoinConfig,
+    blocks: BlockPolicy | None,
+    token_order_file: str,
+    r_file: str,
+    s_file: str,
+):
+    """R-S Stage-2 mapper: tags by input file, drops S-only tokens."""
+    sim, threshold = config.sim, config.threshold
+    state: dict = {}
+
+    def map_setup(ctx: Context) -> None:
+        order = load_token_order(ctx, token_order_file)
+        state["order"] = order
+        state["routes"] = make_router(config, order)
+
+    def mapper(line: str, ctx: Context) -> None:
+        if ctx.input_file == r_file:
+            rel, unknown = REL_R, "error"
+        elif ctx.input_file == s_file:
+            rel, unknown = REL_S, "drop"
+        else:  # pragma: no cover - job wiring guarantees the inputs
+            raise ValueError(f"unexpected input file {ctx.input_file!r}")
+        rid, ranks, true_size = project_record(line, config, state["order"], unknown)
+        n = len(ranks)
+        if n == 0:
+            return
+        prefix = ranks[: sim.prefix_length(n, threshold)]
+        value = (rel, rid, true_size, ranks)
+        cls = _length_class(rel, true_size, config)
+        for route in state["routes"](prefix):
+            if blocks is None:
+                # The trailing actual length keeps same-class R records
+                # sorted by size: length classes are not injective
+                # (e.g. Jaccard tau=0.8 maps lengths 4 and 5 both to
+                # class 4), and the PK index requires non-decreasing
+                # insertion sizes for eviction.
+                ctx.emit((route, cls, rel, n), value)
+            elif blocks.strategy == MAP_BASED:
+                if rel == REL_R:
+                    block = blocks.block_of(rid)
+                    ctx.emit((route, block, ROLE_LOAD, rel), (block, ROLE_LOAD) + value)
+                else:
+                    for step, role in blocks.rs_stream_schedule():
+                        ctx.emit((route, step, role, rel), (step, role) + value)
+            else:
+                block = blocks.block_of(rid) if rel == REL_R else 0
+                ctx.emit((route, rel, block), (block,) + value)
+
+    return map_setup, mapper
+
+
+def _write_rs_pair(
+    ctx: Context, r_proj: tuple, s_proj: tuple, similarity: float
+) -> None:
+    ctx.write((r_proj[1], s_proj[1], similarity))
+    ctx.counters.increment(PAIRS_OUTPUT)
+
+
+# ---------------------------------------------------------------------------
+# reducers
+# ---------------------------------------------------------------------------
+
+
+def make_bk_rs_reducer(config: JoinConfig):
+    """Basic Kernel, R-S: store the R projections (they sort first),
+    stream S against them."""
+
+    def reducer(route: int, values: Iterator, ctx: Context) -> None:
+        stored_r: list[tuple] = []
+        charged = 0
+        for value in values:
+            if value[0] == REL_R:
+                charged += ctx.reserve_memory_for(value, "BK stored R partition")
+                stored_r.append(value)
+                continue
+            for r_proj in stored_r:
+                ctx.counters.increment(CANDIDATE_PAIRS)
+                similarity = bk_verify(r_proj, value, config)
+                if similarity is not None:
+                    _write_rs_pair(ctx, r_proj, value, similarity)
+        ctx.release_memory(charged)
+
+    return reducer
+
+
+def make_pk_rs_reducer(config: JoinConfig):
+    """PPJoin+ Kernel, R-S: index R, probe S, with the length-class
+    stream enabling eviction of too-short R entries."""
+
+    def reducer(route: int, values: Iterator, ctx: Context) -> None:
+        index = PPJoinIndex(config.sim, config.threshold, mode="rs", evict=True)
+        charged = 0
+        for rel, rid, true_size, ranks in values:
+            if rel == REL_R:
+                index.add(rid, ranks)
+            else:
+                for r_rid, similarity in index.probe(rid, ranks, true_size=true_size):
+                    ctx.write((r_rid, rid, similarity))
+                    ctx.counters.increment(PAIRS_OUTPUT)
+            delta = index.live_bytes - charged
+            if delta >= 0:
+                ctx.reserve_memory(delta, "PK index (R partition)")
+            else:
+                ctx.release_memory(-delta)
+            charged = index.live_bytes
+        ctx.release_memory(charged)
+
+    return reducer
+
+
+def make_bk_rs_map_blocks_reducer(config: JoinConfig):
+    """Map-based block processing, R-S: R blocks are loaded one per
+    step; the S stream is replicated against every step."""
+
+    def reducer(route: int, values: Iterator, ctx: Context) -> None:
+        loaded: list[tuple] = []
+        charged = 0
+        current_step = -1
+        for step, role, rel, rid, true_size, ranks in values:
+            if step != current_step:
+                ctx.release_memory(charged)
+                charged = 0
+                loaded = []
+                current_step = step
+            projection = (rel, rid, true_size, ranks)
+            if role == ROLE_LOAD:
+                charged += ctx.reserve_memory_for(projection, "BK loaded R block")
+                loaded.append(projection)
+                continue
+            for r_proj in loaded:
+                ctx.counters.increment(CANDIDATE_PAIRS)
+                similarity = bk_verify(r_proj, projection, config)
+                if similarity is not None:
+                    _write_rs_pair(ctx, r_proj, projection, similarity)
+        ctx.release_memory(charged)
+
+    return reducer
+
+
+def make_bk_rs_reduce_blocks_reducer(config: JoinConfig):
+    """Reduce-based block processing, R-S: load the first R block,
+    spill the other R blocks and the whole S stream to local disk,
+    then re-read the S stream once per remaining R block."""
+
+    def reducer(route: int, values: Iterator, ctx: Context) -> None:
+        loaded: list[tuple] = []
+        charged = 0
+        loaded_block = None
+        spilled_r: dict[int, list[tuple]] = {}
+        spilled_s: list[tuple] = []
+        for block, rel, rid, true_size, ranks in values:
+            projection = (rel, rid, true_size, ranks)
+            if rel == REL_R:
+                if loaded_block is None:
+                    loaded_block = block
+                if block == loaded_block:
+                    charged += ctx.reserve_memory_for(projection, "BK loaded R block")
+                    loaded.append(projection)
+                else:
+                    spilled_r.setdefault(block, []).append(projection)
+                    ctx.counters.increment(SPILL_WRITTEN, 8 * len(ranks) + 32)
+                continue
+            for r_proj in loaded:
+                ctx.counters.increment(CANDIDATE_PAIRS)
+                similarity = bk_verify(r_proj, projection, config)
+                if similarity is not None:
+                    _write_rs_pair(ctx, r_proj, projection, similarity)
+            if spilled_r:
+                spilled_s.append(projection)
+                ctx.counters.increment(SPILL_WRITTEN, 8 * len(ranks) + 32)
+        ctx.release_memory(charged)
+
+        for block in sorted(spilled_r):
+            loaded = []
+            charged = 0
+            for projection in spilled_r[block]:
+                ctx.counters.increment(SPILL_READ, 8 * len(projection[3]) + 32)
+                charged += ctx.reserve_memory_for(projection, "BK loaded R block")
+                loaded.append(projection)
+            for s_proj in spilled_s:
+                ctx.counters.increment(SPILL_READ, 8 * len(s_proj[3]) + 32)
+                for r_proj in loaded:
+                    ctx.counters.increment(CANDIDATE_PAIRS)
+                    similarity = bk_verify(r_proj, s_proj, config)
+                    if similarity is not None:
+                        _write_rs_pair(ctx, r_proj, s_proj, similarity)
+            ctx.release_memory(charged)
+
+    return reducer
+
+
+# ---------------------------------------------------------------------------
+# job assembly
+# ---------------------------------------------------------------------------
+
+
+def stage2_rs_job(
+    config: JoinConfig,
+    r_file: str,
+    s_file: str,
+    token_order_file: str,
+    output: str,
+    num_reducers: int,
+) -> MapReduceJob:
+    """Build the single Stage-2 job for an R-S join."""
+    blocks = config.blocks
+    if blocks is not None and config.kernel != "bk":
+        raise ValueError(
+            "Section 5 block processing applies to the BK kernel; "
+            "use kernel='bk' or blocks=None"
+        )
+    map_setup, mapper = make_rs_mapper(
+        config, blocks, token_order_file, r_file, s_file
+    )
+    if blocks is None:
+        reducer = (
+            make_pk_rs_reducer(config)
+            if config.kernel == "pk"
+            else make_bk_rs_reducer(config)
+        )
+    elif blocks.strategy == MAP_BASED:
+        reducer = make_bk_rs_map_blocks_reducer(config)
+    else:
+        reducer = make_bk_rs_reduce_blocks_reducer(config)
+
+    return MapReduceJob(
+        name=f"stage2-{config.kernel}-rs",
+        inputs=[r_file, s_file],
+        output=output,
+        mapper=mapper,
+        reducer=reducer,
+        num_reducers=num_reducers,
+        partition=lambda key: key[0],
+        sort_key=lambda key: key,
+        group_key=lambda key: key[0],
+        broadcast=[token_order_file],
+        map_setup=map_setup,
+    )

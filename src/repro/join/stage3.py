@@ -1,0 +1,229 @@
+"""Stage 3 — record join (Section 3.3 / Section 4 Stage 3).
+
+Builds actual pairs of joined records from the Stage-2 RID-pair list
+and the original record file(s).  Duplicate RID pairs produced by
+Stage 2 are eliminated here, per the paper.
+
+* **BRJ** (Basic Record Join) — two phases.  Phase one routes every
+  record and every RID pair to the RID's reducer, which fills in the
+  record for each half of each pair; a composite ``(rid, tag)`` key
+  sorted record-first lets the reducer hold only the record and a
+  dedup set.  Phase two groups the two half-filled pairs and outputs
+  the complete record pair.
+* **OPRJ** (One-Phase Record Join) — the RID-pair list is broadcast
+  (distributed cache) and indexed by every map task; mappers emit the
+  same half-filled pairs directly from the record inputs (a map-side
+  join, cf. Pig's fragment-replicate join), and a single reduce phase
+  assembles them.  Loading the list costs every map task the same
+  constant time — the paper's explanation for OPRJ's limited speedup —
+  and its memory footprint grows with the dataset, which is what makes
+  OPRJ run out of memory at scale (Figure 14); both effects are
+  reproduced via the runtime's broadcast accounting.
+
+Self-joins and R-S joins share the implementation: record halves are
+addressed by ``(relation, rid)`` with relation 0 for self-joins and
+R = 0 / S = 1 for R-S joins, so overlapping RID spaces cannot collide.
+Output records are ``(record_line_1, record_line_2, similarity)`` with
+the R (or lower-RID) record first.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.join.records import rid_of
+from repro.mapreduce.job import Context, MapReduceJob
+
+#: value tags inside phase-1 keys: the record sorts before its pairs.
+_TAG_RECORD = 0
+_TAG_PAIR = 1
+
+DUPLICATE_PAIRS_DROPPED = "stage3.duplicate_pairs_dropped"
+RECORD_PAIRS_OUTPUT = "stage3.record_pairs_output"
+
+
+def _pair_targets(pair: tuple, is_rs: bool) -> list[tuple[tuple[int, int], int]]:
+    """The two ``((relation, rid), side)`` addresses of a RID pair."""
+    rid1, rid2, _sim = pair
+    rel2 = 1 if is_rs else 0
+    return [((0, rid1), 0), ((rel2, rid2), 1)]
+
+
+def _half_side(group_key: tuple[int, int], pair: tuple, is_rs: bool) -> int:
+    """Which half of *pair* the reducer for *group_key* fills in."""
+    if is_rs:
+        return group_key[0]
+    return 0 if group_key[1] == pair[0] else 1
+
+
+# ---------------------------------------------------------------------------
+# BRJ
+# ---------------------------------------------------------------------------
+
+
+def _make_brj_fill_mapper(record_files: dict[str, int], pairs_file: str, is_rs: bool):
+    """Phase-1 mapper: route records and pairs to their RID reducers.
+
+    ``record_files`` maps input file name to its relation tag.
+    """
+
+    def mapper(record, ctx: Context) -> None:
+        if ctx.input_file == pairs_file:
+            for address, _side in _pair_targets(record, is_rs):
+                ctx.emit((address, _TAG_PAIR), record)
+        else:
+            rel = record_files[ctx.input_file]
+            ctx.emit(((rel, rid_of(record)), _TAG_RECORD), record)
+
+    return mapper
+
+
+def _brj_fill_reducer(is_rs: bool):
+    """Phase-1 reducer: attach the record to each of its RID pairs,
+    deduplicating pairs (Stage 2 may emit one pair from several
+    groups)."""
+
+    def reducer(group_key: tuple[int, int], values: Iterator, ctx: Context) -> None:
+        record_line: str | None = None
+        seen: set[tuple[int, int]] = set()
+        charged = 0
+        for value in values:
+            if isinstance(value, str):
+                # the (rid, tag) sort delivers the record first
+                record_line = value
+                charged = ctx.reserve_memory_for(value, "BRJ record half")
+                continue
+            if record_line is None:
+                raise ValueError(
+                    f"RID pair {value!r} references RID {group_key[1]} "
+                    "which has no record in the Stage-3 input"
+                )
+            rid1, rid2, similarity = value
+            if (rid1, rid2) in seen:
+                ctx.counters.increment(DUPLICATE_PAIRS_DROPPED)
+                continue
+            seen.add((rid1, rid2))
+            charged += ctx.reserve_memory_for((rid1, rid2), "BRJ dedup set")
+            side = _half_side(group_key, value, is_rs)
+            ctx.write(((rid1, rid2, similarity), side, record_line))
+        ctx.release_memory(charged)
+
+    return reducer
+
+
+def _half_join_mapper(record, ctx: Context) -> None:
+    """Phase-2 (identity) mapper: key half-filled pairs by their RID pair."""
+    pair_key, side, record_line = record
+    ctx.emit(pair_key, (side, record_line))
+
+
+def _half_join_reducer(pair_key: tuple, values: Iterator, ctx: Context) -> None:
+    """Phase-2 reducer: combine the two halves into a full record pair."""
+    halves = dict(values)
+    if len(halves) != 2:  # pragma: no cover - indicates a dangling RID
+        raise ValueError(
+            f"RID pair {pair_key!r} received {len(halves)} halves; "
+            "does every RID in the pair list exist in the record input?"
+        )
+    _rid1, _rid2, similarity = pair_key
+    ctx.write((halves[0], halves[1], similarity))
+    ctx.counters.increment(RECORD_PAIRS_OUTPUT)
+
+
+def brj_jobs(
+    record_files: dict[str, int],
+    pairs_file: str,
+    output: str,
+    num_reducers: int,
+    is_rs: bool,
+) -> list[MapReduceJob]:
+    """The two BRJ jobs: fill halves, then join halves."""
+    halves_file = output + ".halves"
+    fill_job = MapReduceJob(
+        name="brj-fill",
+        inputs=[*record_files, pairs_file],
+        output=halves_file,
+        mapper=_make_brj_fill_mapper(record_files, pairs_file, is_rs),
+        reducer=_brj_fill_reducer(is_rs),
+        num_reducers=num_reducers,
+        partition=lambda key: key[0],
+        sort_key=lambda key: key,
+        group_key=lambda key: key[0],
+    )
+    join_job = MapReduceJob(
+        name="brj-join",
+        inputs=[halves_file],
+        output=output,
+        mapper=_half_join_mapper,
+        reducer=_half_join_reducer,
+        num_reducers=num_reducers,
+    )
+    return [fill_job, join_job]
+
+
+# ---------------------------------------------------------------------------
+# OPRJ
+# ---------------------------------------------------------------------------
+
+
+def oprj_jobs(
+    record_files: dict[str, int],
+    pairs_file: str,
+    output: str,
+    num_reducers: int,
+    is_rs: bool,
+) -> list[MapReduceJob]:
+    """The single OPRJ job: broadcast the RID pairs, join map-side."""
+    state: dict = {}
+
+    def map_setup(ctx: Context) -> None:
+        # Build rid -> pairs index from the broadcast list.  The raw
+        # list bytes are charged by the runtime; the index is charged
+        # here — this is the load whose cost is constant in the cluster
+        # size and whose footprint grows with the data (Section 6.1.1
+        # Stage 3, Figure 14).
+        by_rid: dict[tuple[int, int], list[tuple]] = {}
+        seen: set[tuple[int, int]] = set()
+        for pair in ctx.broadcast[pairs_file]:
+            rid1, rid2, _sim = pair
+            if (rid1, rid2) in seen:
+                continue
+            seen.add((rid1, rid2))
+            for address, _side in _pair_targets(pair, is_rs):
+                by_rid.setdefault(address, []).append(pair)
+            ctx.reserve_memory(48, "OPRJ broadcast RID-pair index")
+        state["by_rid"] = by_rid
+
+    def mapper(record, ctx: Context) -> None:
+        rel = record_files[ctx.input_file]
+        address = (rel, rid_of(record))
+        for pair in state["by_rid"].get(address, ()):
+            side = _half_side(address, pair, is_rs)
+            ctx.emit(pair, (side, record))
+
+    return [
+        MapReduceJob(
+            name="oprj",
+            inputs=list(record_files),
+            output=output,
+            mapper=mapper,
+            reducer=_half_join_reducer,
+            num_reducers=num_reducers,
+            broadcast=[pairs_file],
+            map_setup=map_setup,
+        )
+    ]
+
+
+def stage3_jobs(
+    config,
+    record_files: dict[str, int],
+    pairs_file: str,
+    output: str,
+    num_reducers: int,
+    is_rs: bool,
+) -> list[MapReduceJob]:
+    """Build the Stage 3 jobs selected by ``config.stage3``."""
+    if config.stage3 == "brj":
+        return brj_jobs(record_files, pairs_file, output, num_reducers, is_rs)
+    return oprj_jobs(record_files, pairs_file, output, num_reducers, is_rs)

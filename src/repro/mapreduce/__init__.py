@@ -1,0 +1,45 @@
+"""A faithful MapReduce runtime with a simulated shared-nothing cluster.
+
+This subpackage replaces the paper's Hadoop 0.20 testbed.  It keeps
+Hadoop's *semantics* — map, combine, hash partition, sort, grouping
+comparator, multi-input tagging, distributed cache (broadcast), task
+setup/teardown, counters — and models its *costs*: tasks are scheduled
+onto ``nodes × slots``, per-phase makespans combine measured CPU work
+with calibrated startup/shuffle/broadcast overheads, and per-task
+memory is metered against a budget.
+
+See DESIGN.md §2 for why this substitution preserves the paper's
+speedup/scaleup behaviour.
+"""
+
+from repro.mapreduce.types import (
+    InsufficientMemoryError,
+    JobStats,
+    PhaseStats,
+    approx_bytes,
+)
+from repro.mapreduce.counters import Counters
+from repro.mapreduce.hashing import stable_hash
+from repro.mapreduce.dfs import InMemoryDFS
+from repro.mapreduce.diskdfs import LocalDiskDFS
+from repro.mapreduce.job import Context, MapReduceJob
+from repro.mapreduce.cluster import ClusterConfig, SimulatedCluster
+from repro.mapreduce.parallel import ForkParallelCluster
+from repro.mapreduce.pipeline import run_pipeline
+
+__all__ = [
+    "InsufficientMemoryError",
+    "JobStats",
+    "PhaseStats",
+    "approx_bytes",
+    "Counters",
+    "stable_hash",
+    "InMemoryDFS",
+    "LocalDiskDFS",
+    "Context",
+    "MapReduceJob",
+    "ClusterConfig",
+    "SimulatedCluster",
+    "ForkParallelCluster",
+    "run_pipeline",
+]

@@ -1,0 +1,416 @@
+"""Simulated shared-nothing cluster: execution engine + cost model.
+
+:class:`SimulatedCluster` executes a :class:`MapReduceJob` with full
+MapReduce semantics (one map task per DFS block, per-task combiners,
+hash partitioning on the job's partition key, per-partition sort with
+the job's sort key, grouping-comparator reduce calls with lazy value
+iterators) while *measuring* the CPU work of every task.
+
+Wall-clock is then *simulated*: tasks are packed onto
+``num_nodes × slots`` using list scheduling, and the job time is
+
+    startup + map_makespan + shuffle + reduce_makespan
+
+with shuffle time proportional to shuffled bytes over aggregate
+bisection bandwidth.  This keeps every cost driver the paper discusses
+— single-reducer bottlenecks (BTO's sort phase, OPTO's lone reducer),
+per-task constant overheads (OPRJ's broadcast load), reducer skew
+(BRJ's RID-pair hot keys) — while running on one machine.
+
+Task execution itself lives in the module-level functions
+:func:`execute_map_task` / :func:`execute_reduce_task`, which are pure
+with respect to the cluster (they take everything they need and return
+results); :class:`repro.mapreduce.parallel.ForkParallelCluster` reuses
+them across worker processes for real multi-core execution.
+
+The paper's Hadoop configuration maps onto :class:`ClusterConfig`:
+10 nodes, 4 map + 4 reduce slots per node, 128 MB blocks (scaled
+down), speculative execution disabled (we never re-run tasks).
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+from dataclasses import dataclass
+from itertools import groupby
+from typing import Iterator
+
+from repro.mapreduce.counters import (
+    COMBINE_INPUT_RECORDS,
+    COMBINE_OUTPUT_RECORDS,
+    MAP_INPUT_RECORDS,
+    MAP_OUTPUT_BYTES,
+    MAP_OUTPUT_RECORDS,
+    REDUCE_INPUT_GROUPS,
+    REDUCE_INPUT_RECORDS,
+    REDUCE_OUTPUT_RECORDS,
+    SHUFFLE_BYTES,
+    Counters,
+)
+from repro.mapreduce.dfs import InMemoryDFS
+from repro.mapreduce.hashing import stable_hash
+from repro.mapreduce.job import Context, MapReduceJob
+from repro.mapreduce.types import PhaseStats, TaskStats, approx_bytes
+
+
+@dataclass
+class ClusterConfig:
+    """Cluster topology and cost-model constants.
+
+    Defaults mirror the paper's testbed shape (Section 6): N nodes,
+    four map and four reduce slots each.  The time constants are
+    calibrated for *shape* comparisons, not absolute seconds
+    (see DESIGN.md §5b).
+    """
+
+    num_nodes: int = 10
+    map_slots_per_node: int = 4
+    reduce_slots_per_node: int = 4
+    #: fixed cost to launch a job (master coordination, task dispatch)
+    job_startup_s: float = 8.0
+    #: fixed cost per task (process reuse, split opening)
+    task_startup_s: float = 1.0
+    #: aggregate shuffle bandwidth per node
+    network_mb_per_s: float = 100.0
+    #: local disk bandwidth per node (reduce output write)
+    disk_mb_per_s: float = 200.0
+    #: multiplier applied to measured Python CPU seconds.  Calibrated so
+    #: that laptop-scale runs reproduce the paper's time *proportions*:
+    #: the testbed processes ~1000x more records than our workloads and
+    #: Hadoop executes per-record work much faster than CPython, so a
+    #: measured CPU second here stands for ~2000 cluster CPU seconds.
+    cpu_scale: float = 2000.0
+    #: multiplier applied to byte counts (shuffle, output writes) — the
+    #: byte-volume analogue of ``cpu_scale``.
+    data_scale: float = 1000.0
+    #: simulated per-task memory budget; None disables metering
+    memory_per_task_mb: float | None = None
+
+    @property
+    def map_slots(self) -> int:
+        return self.num_nodes * self.map_slots_per_node
+
+    @property
+    def reduce_slots(self) -> int:
+        return self.num_nodes * self.reduce_slots_per_node
+
+    @property
+    def memory_per_task_bytes(self) -> int | None:
+        if self.memory_per_task_mb is None:
+            return None
+        return int(self.memory_per_task_mb * 1024 * 1024)
+
+    def with_nodes(self, num_nodes: int) -> "ClusterConfig":
+        """Copy of this config with a different node count (speedup and
+        scaleup sweeps)."""
+        return ClusterConfig(
+            num_nodes=num_nodes,
+            map_slots_per_node=self.map_slots_per_node,
+            reduce_slots_per_node=self.reduce_slots_per_node,
+            job_startup_s=self.job_startup_s,
+            task_startup_s=self.task_startup_s,
+            network_mb_per_s=self.network_mb_per_s,
+            disk_mb_per_s=self.disk_mb_per_s,
+            cpu_scale=self.cpu_scale,
+            data_scale=self.data_scale,
+            memory_per_task_mb=self.memory_per_task_mb,
+        )
+
+
+def list_schedule(durations: list[float], num_slots: int) -> float:
+    """Makespan of greedy FIFO list scheduling onto *num_slots* slots."""
+    if not durations:
+        return 0.0
+    num_slots = max(1, num_slots)
+    slots = [0.0] * min(num_slots, len(durations))
+    heapq.heapify(slots)
+    for duration in durations:
+        finish = heapq.heappop(slots) + duration
+        heapq.heappush(slots, finish)
+    return max(slots)
+
+
+# ---------------------------------------------------------------------------
+# task execution (pure functions; shared with the parallel executor)
+# ---------------------------------------------------------------------------
+
+
+def execute_map_task(
+    job: MapReduceJob,
+    task_id: int,
+    input_name: str,
+    records: list,
+    broadcast_data: dict[str, list],
+    broadcast_bytes: int,
+    broadcast_cpu: float,
+    memory_limit_bytes: int | None,
+    map_slots: int,
+) -> tuple[TaskStats, list[tuple[int, tuple, tuple]], dict[str, int]]:
+    """Run one map task (+ combiner + partitioning).
+
+    Returns ``(stats, partitioned, counters)`` where ``partitioned`` is
+    a list of ``(partition_index, key, value)`` triples in emission
+    order and ``counters`` is the task's counter snapshot.
+    """
+    ctx = Context(
+        "map",
+        Counters(),
+        memory_limit_bytes=memory_limit_bytes,
+        broadcast=broadcast_data,
+    )
+    ctx.task_id = task_id
+    ctx.input_file = input_name
+    t0 = time.perf_counter()
+    if broadcast_bytes:
+        ctx.reserve_memory(broadcast_bytes, "broadcast (distributed cache)")
+    if job.map_setup is not None:
+        job.map_setup(ctx)
+    setup_cpu = time.perf_counter() - t0
+    for record in records:
+        job.mapper(record, ctx)
+    if job.map_teardown is not None:
+        job.map_teardown(ctx)
+    ctx.counters.increment(MAP_INPUT_RECORDS, len(records))
+    ctx.counters.increment(MAP_OUTPUT_RECORDS, len(ctx._emitted))
+
+    pairs = ctx._emitted
+    if job.combiner is not None and pairs:
+        pairs = _combine(job, ctx, pairs, memory_limit_bytes)
+
+    partitioned = []
+    output_bytes = 0
+    for key, value in pairs:
+        p = stable_hash(job.partition(key)) % job.num_reducers
+        partitioned.append((p, key, value))
+        output_bytes += approx_bytes(key) + approx_bytes(value)
+    cpu = time.perf_counter() - t0
+    # JVM reuse: the distributed-cache read and map_setup run once per
+    # slot, not once per task (see SimulatedCluster._load_broadcast).
+    if task_id >= map_slots:
+        cpu -= setup_cpu
+    else:
+        cpu += broadcast_cpu
+
+    ctx.counters.increment(MAP_OUTPUT_BYTES, output_bytes)
+    stats = TaskStats(
+        task_id=task_id,
+        cpu_seconds=cpu,
+        input_records=len(records),
+        output_records=len(pairs),
+        output_bytes=output_bytes,
+        peak_memory_bytes=ctx.peak_memory_bytes,
+    )
+    return stats, partitioned, ctx.counters.as_dict()
+
+
+def _combine(
+    job: MapReduceJob,
+    map_ctx: Context,
+    pairs: list[tuple],
+    memory_limit_bytes: int | None,
+) -> list[tuple]:
+    """Run the local combiner over one map task's output."""
+    assert job.combiner is not None
+    grouped: dict = {}
+    for key, value in pairs:
+        grouped.setdefault(key, []).append(value)
+    combine_ctx = Context(
+        "combine", map_ctx.counters, memory_limit_bytes=memory_limit_bytes
+    )
+    combine_ctx.task_id = map_ctx.task_id
+    for key, values in grouped.items():
+        job.combiner(key, values, combine_ctx)
+    map_ctx.counters.increment(COMBINE_INPUT_RECORDS, len(pairs))
+    map_ctx.counters.increment(COMBINE_OUTPUT_RECORDS, len(combine_ctx._emitted))
+    return combine_ctx._emitted
+
+
+def execute_reduce_task(
+    job: MapReduceJob,
+    partition_index: int,
+    bucket: list[tuple],
+    memory_limit_bytes: int | None,
+) -> tuple[TaskStats, list, dict[str, int]]:
+    """Run one reduce task over its partition's ``(key, value)`` list.
+
+    Returns ``(stats, written_records, counters)``.
+    """
+    ctx = Context("reduce", Counters(), memory_limit_bytes=memory_limit_bytes)
+    ctx.task_id = partition_index
+    t0 = time.perf_counter()
+    bucket.sort(key=lambda pair: job.sort_key(pair[0]))
+    if job.reduce_setup is not None:
+        job.reduce_setup(ctx)
+    groups = 0
+    for group_key, group in groupby(bucket, key=lambda pair: job.group_key(pair[0])):
+        groups += 1
+        ctx.current_key = group_key
+        values = _value_iterator(ctx, group)
+        job.reducer(group_key, values, ctx)
+        for _ in values:  # drain whatever the reducer did not consume
+            pass
+    if job.reduce_teardown is not None:
+        job.reduce_teardown(ctx)
+    cpu = time.perf_counter() - t0
+
+    ctx.counters.increment(REDUCE_INPUT_GROUPS, groups)
+    ctx.counters.increment(REDUCE_INPUT_RECORDS, len(bucket))
+    ctx.counters.increment(REDUCE_OUTPUT_RECORDS, len(ctx._written))
+    out_bytes = sum(approx_bytes(r) for r in ctx._written)
+    stats = TaskStats(
+        task_id=partition_index,
+        cpu_seconds=cpu,
+        input_records=len(bucket),
+        output_records=len(ctx._written),
+        output_bytes=out_bytes,
+        peak_memory_bytes=ctx.peak_memory_bytes,
+    )
+    return stats, ctx._written, ctx.counters.as_dict()
+
+
+def _value_iterator(ctx: Context, group: Iterator[tuple]) -> Iterator:
+    """Lazy values of one group; updates ``ctx.current_full_key``."""
+
+    def generate() -> Iterator:
+        for key, value in group:
+            ctx.current_full_key = key
+            yield value
+
+    return generate()
+
+
+# ---------------------------------------------------------------------------
+# the cluster
+# ---------------------------------------------------------------------------
+
+
+class SimulatedCluster:
+    """Executes MapReduce jobs against a DFS under a cost model."""
+
+    def __init__(self, config: ClusterConfig | None = None, dfs: InMemoryDFS | None = None) -> None:
+        self.config = config or ClusterConfig()
+        self.dfs = dfs or InMemoryDFS(num_nodes=self.config.num_nodes)
+
+    # -- public API ---------------------------------------------------------
+
+    def run_job(self, job: MapReduceJob) -> PhaseStats:
+        """Run one job; writes ``job.output`` to the DFS and returns stats."""
+        cfg = self.config
+        stats = PhaseStats(job_name=job.name)
+        stats.startup_s = cfg.job_startup_s
+        job_counters = Counters()
+
+        broadcast_data, broadcast_bytes, broadcast_cpu = self._load_broadcast(job)
+
+        map_inputs: list[tuple[int, str, list]] = []
+        task_id = 0
+        for input_name in job.inputs:
+            for block in self.dfs.file(input_name).blocks:
+                map_inputs.append((task_id, input_name, block.records))
+                task_id += 1
+
+        partitions: list[list[tuple]] = [[] for _ in range(job.num_reducers)]
+        for task_stats, partitioned, counters in self._execute_map_tasks(
+            job, map_inputs, broadcast_data, broadcast_bytes, broadcast_cpu
+        ):
+            stats.map_tasks.append(task_stats)
+            for p, key, value in partitioned:
+                partitions[p].append((key, value))
+            job_counters.merge_dict(counters)
+
+        stats.shuffle_bytes = sum(
+            approx_bytes(pair) for bucket in partitions for pair in bucket
+        )
+        job_counters.increment(SHUFFLE_BYTES, stats.shuffle_bytes)
+
+        reduce_inputs = [
+            (p, bucket) for p, bucket in enumerate(partitions) if bucket
+        ]
+        output_records: list = []
+        for task_stats, written, counters in self._execute_reduce_tasks(
+            job, reduce_inputs
+        ):
+            stats.reduce_tasks.append(task_stats)
+            output_records.extend(written)
+            job_counters.merge_dict(counters)
+
+        self.dfs.write(job.output, output_records)
+        stats.counters = job_counters.as_dict()
+        self._simulate_times(stats)
+        return stats
+
+    # -- execution hooks (overridden by the parallel executor) -----------
+
+    def _execute_map_tasks(
+        self,
+        job: MapReduceJob,
+        map_inputs: list[tuple[int, str, list]],
+        broadcast_data: dict[str, list],
+        broadcast_bytes: int,
+        broadcast_cpu: float,
+    ):
+        limit = self.config.memory_per_task_bytes
+        slots = self.config.map_slots
+        for task_id, input_name, records in map_inputs:
+            yield execute_map_task(
+                job, task_id, input_name, records,
+                broadcast_data, broadcast_bytes, broadcast_cpu, limit, slots,
+            )
+
+    def _execute_reduce_tasks(
+        self, job: MapReduceJob, reduce_inputs: list[tuple[int, list]]
+    ):
+        limit = self.config.memory_per_task_bytes
+        for partition_index, bucket in reduce_inputs:
+            yield execute_reduce_task(job, partition_index, bucket, limit)
+
+    # -- broadcast (distributed cache) ------------------------------------
+
+    def _load_broadcast(
+        self, job: MapReduceJob
+    ) -> tuple[dict[str, list], int, float]:
+        """Read broadcast files once.
+
+        Memory for the loaded payload is charged to *every* map task
+        (each task holds it).  Load *time* is charged once per map
+        slot — the Hadoop JVM-reuse pattern where a static field caches
+        the distributed-cache payload across the tasks of one executor.
+        The per-slot charge is what keeps OPRJ's broadcast cost constant
+        in the cluster size (its speedup limiter, Section 6.1.1) and
+        growing with the data (its scaleup limiter, Section 6.1.2).
+        """
+        broadcast_data: dict[str, list] = {}
+        broadcast_bytes = 0
+        t0 = time.perf_counter()
+        for name in job.broadcast:
+            records = self.dfs.read_all(name)
+            broadcast_data[name] = records
+            broadcast_bytes += sum(approx_bytes(r) for r in records)
+        broadcast_cpu = time.perf_counter() - t0
+        return broadcast_data, broadcast_bytes, broadcast_cpu
+
+    # -- cost model ----------------------------------------------------------
+
+    def _simulate_times(self, stats: PhaseStats) -> None:
+        cfg = self.config
+        map_durations = [
+            cfg.task_startup_s + t.cpu_seconds * cfg.cpu_scale for t in stats.map_tasks
+        ]
+        reduce_durations = [
+            cfg.task_startup_s
+            + t.cpu_seconds * cfg.cpu_scale
+            + t.output_bytes * cfg.data_scale / (cfg.disk_mb_per_s * 1e6)
+            for t in stats.reduce_tasks
+        ]
+        stats.map_makespan_s = list_schedule(map_durations, cfg.map_slots)
+        stats.reduce_makespan_s = list_schedule(reduce_durations, cfg.reduce_slots)
+        stats.shuffle_s = stats.shuffle_bytes * cfg.data_scale / (
+            cfg.network_mb_per_s * 1e6 * cfg.num_nodes
+        )
+        stats.simulated_total_s = (
+            stats.startup_s
+            + stats.map_makespan_s
+            + stats.shuffle_s
+            + stats.reduce_makespan_s
+        )

@@ -1,0 +1,50 @@
+"""Hadoop-style job counters."""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterator
+
+# Framework counter names (the user namespace is free-form).
+MAP_INPUT_RECORDS = "framework.map_input_records"
+MAP_OUTPUT_RECORDS = "framework.map_output_records"
+MAP_OUTPUT_BYTES = "framework.map_output_bytes"
+COMBINE_INPUT_RECORDS = "framework.combine_input_records"
+COMBINE_OUTPUT_RECORDS = "framework.combine_output_records"
+SHUFFLE_BYTES = "framework.shuffle_bytes"
+REDUCE_INPUT_GROUPS = "framework.reduce_input_groups"
+REDUCE_INPUT_RECORDS = "framework.reduce_input_records"
+REDUCE_OUTPUT_RECORDS = "framework.reduce_output_records"
+
+
+class Counters:
+    """A merge-able multiset of named counters.
+
+    Tasks increment their own instance; the runtime merges task
+    counters into the job's :class:`~repro.mapreduce.types.PhaseStats`.
+    """
+
+    def __init__(self) -> None:
+        self._counts: Counter[str] = Counter()
+
+    def increment(self, name: str, amount: int = 1) -> None:
+        self._counts[name] += amount
+
+    def get(self, name: str) -> int:
+        return self._counts.get(name, 0)
+
+    def merge(self, other: "Counters") -> None:
+        self._counts.update(other._counts)
+
+    def merge_dict(self, counts: dict[str, int]) -> None:
+        """Merge a plain counter snapshot (e.g. from a worker process)."""
+        self._counts.update(counts)
+
+    def as_dict(self) -> dict[str, int]:
+        return dict(self._counts)
+
+    def __iter__(self) -> Iterator[tuple[str, int]]:
+        return iter(sorted(self._counts.items()))
+
+    def __repr__(self) -> str:
+        return f"Counters({dict(self._counts)!r})"

@@ -1,0 +1,144 @@
+"""Block-structured in-memory distributed file system.
+
+Files are sequences of records (arbitrary Python values, typically
+strings or tuples) split into fixed-byte-budget blocks; each block is
+assigned to a node round-robin, mirroring the balanced placement the
+paper arranges before every experiment (Section 6: an identity job
+with one reducer per disk plus round-robin disk choice).
+
+One map task is created per block, so the block size controls map
+parallelism exactly as in Hadoop (the paper sets 128 MB; our default
+is proportionally smaller for laptop-scale data).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.mapreduce.types import approx_bytes
+
+#: Default block byte budget (records per map task scale with this).
+DEFAULT_BLOCK_BYTES = 256 * 1024
+
+
+@dataclass
+class Block:
+    """One DFS block: records plus the node holding its (only) replica."""
+
+    index: int
+    node: int
+    records: list = field(default_factory=list)
+
+    @property
+    def num_records(self) -> int:
+        return len(self.records)
+
+    @property
+    def num_bytes(self) -> int:
+        return sum(approx_bytes(record) for record in self.records)
+
+
+@dataclass
+class DFSFile:
+    """A named, immutable-once-written sequence of blocks."""
+
+    name: str
+    blocks: list[Block] = field(default_factory=list)
+
+    @property
+    def num_records(self) -> int:
+        return sum(block.num_records for block in self.blocks)
+
+    @property
+    def num_bytes(self) -> int:
+        return sum(block.num_bytes for block in self.blocks)
+
+    def records(self) -> Iterator:
+        for block in self.blocks:
+            yield from block.records
+
+
+class InMemoryDFS:
+    """The cluster's distributed file system.
+
+    ``num_nodes`` only affects block placement; the same DFS instance
+    can be re-balanced onto a different node count with
+    :meth:`rebalance` when an experiment changes the cluster size.
+    """
+
+    def __init__(
+        self, num_nodes: int = 10, block_bytes: int = DEFAULT_BLOCK_BYTES
+    ) -> None:
+        if num_nodes < 1:
+            raise ValueError(f"num_nodes must be >= 1, got {num_nodes}")
+        if block_bytes < 1:
+            raise ValueError(f"block_bytes must be >= 1, got {block_bytes}")
+        self.num_nodes = num_nodes
+        self.block_bytes = block_bytes
+        self._files: dict[str, DFSFile] = {}
+        self._next_node = 0
+
+    # -- file operations -------------------------------------------------
+
+    def write(self, name: str, records: Iterable) -> DFSFile:
+        """Create file *name* from *records*, splitting into blocks and
+        placing them round-robin across nodes.  Overwrites silently
+        (job outputs replace prior attempts, as in HDFS + job retry)."""
+        dfs_file = DFSFile(name)
+        block_records: list = []
+        block_budget = 0
+        for record in records:
+            block_records.append(record)
+            block_budget += approx_bytes(record)
+            if block_budget >= self.block_bytes:
+                self._seal_block(dfs_file, block_records)
+                block_records = []
+                block_budget = 0
+        if block_records or not dfs_file.blocks:
+            self._seal_block(dfs_file, block_records)
+        self._files[name] = dfs_file
+        return dfs_file
+
+    def _seal_block(self, dfs_file: DFSFile, records: list) -> None:
+        block = Block(index=len(dfs_file.blocks), node=self._next_node, records=records)
+        dfs_file.blocks.append(block)
+        self._next_node = (self._next_node + 1) % self.num_nodes
+
+    def read(self, name: str) -> Iterator:
+        """Iterate the records of file *name*."""
+        return self.file(name).records()
+
+    def read_all(self, name: str) -> list:
+        """Materialize the records of file *name*."""
+        return list(self.read(name))
+
+    def file(self, name: str) -> DFSFile:
+        try:
+            return self._files[name]
+        except KeyError:
+            raise FileNotFoundError(f"no such DFS file: {name!r}") from None
+
+    def exists(self, name: str) -> bool:
+        return name in self._files
+
+    def delete(self, name: str) -> None:
+        self._files.pop(name, None)
+
+    def listdir(self) -> list[str]:
+        return sorted(self._files)
+
+    # -- placement ---------------------------------------------------------
+
+    def rebalance(self, num_nodes: int) -> None:
+        """Re-place every block round-robin over *num_nodes* nodes —
+        the paper's pre-experiment balancing step."""
+        if num_nodes < 1:
+            raise ValueError(f"num_nodes must be >= 1, got {num_nodes}")
+        self.num_nodes = num_nodes
+        node = 0
+        for name in self.listdir():
+            for block in self._files[name].blocks:
+                block.node = node
+                node = (node + 1) % num_nodes
+        self._next_node = node

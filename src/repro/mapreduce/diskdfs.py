@@ -1,0 +1,218 @@
+"""Disk-backed DFS: the same block-structured file system persisted to
+a local directory.
+
+Use this instead of :class:`~repro.mapreduce.dfs.InMemoryDFS` when the
+working set (input copies, shuffle-adjacent intermediate files, joined
+output) should not live in RAM, or when intermediate stage outputs
+should survive the process (resume a pipeline after inspecting the
+RID pairs, for example).  Blocks are pickled lists of records, loaded
+lazily one block at a time — exactly the granularity map tasks consume
+them at, so peak memory stays one block per in-flight task.
+
+Layout on disk::
+
+    root/
+      <file>.meta.json          # block index: counts, bytes, node placement
+      <file>.block0000.pkl
+      <file>.block0001.pkl
+      ...
+
+File names may contain ``/`` and ``.`` (stage outputs look like
+``records.selfjoin.ridpairs``); they are encoded to flat, safe disk
+names.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+from pathlib import Path
+from typing import Iterator
+
+from repro.mapreduce.dfs import DEFAULT_BLOCK_BYTES
+from repro.mapreduce.types import approx_bytes
+
+
+def _encode_name(name: str) -> str:
+    """Filesystem-safe encoding of a DFS file name (reversible)."""
+    return name.replace("%", "%25").replace("/", "%2F")
+
+
+class DiskBlock:
+    """One lazily-loaded block of a disk-backed file."""
+
+    def __init__(self, path: Path, index: int, node: int, num_records: int, num_bytes: int) -> None:
+        self._path = path
+        self.index = index
+        self.node = node
+        self._num_records = num_records
+        self._num_bytes = num_bytes
+
+    @property
+    def records(self) -> list:
+        with open(self._path, "rb") as handle:
+            return pickle.load(handle)
+
+    @property
+    def num_records(self) -> int:
+        return self._num_records
+
+    @property
+    def num_bytes(self) -> int:
+        return self._num_bytes
+
+
+class DiskFile:
+    """A disk-backed DFS file (duck-typed like
+    :class:`~repro.mapreduce.dfs.DFSFile`)."""
+
+    def __init__(self, name: str, blocks: list[DiskBlock]) -> None:
+        self.name = name
+        self.blocks = blocks
+
+    @property
+    def num_records(self) -> int:
+        return sum(block.num_records for block in self.blocks)
+
+    @property
+    def num_bytes(self) -> int:
+        return sum(block.num_bytes for block in self.blocks)
+
+    def records(self) -> Iterator:
+        for block in self.blocks:
+            yield from block.records
+
+
+class LocalDiskDFS:
+    """Block-structured DFS persisted under ``root``.
+
+    API-compatible with :class:`~repro.mapreduce.dfs.InMemoryDFS`;
+    pass it to :class:`~repro.mapreduce.cluster.SimulatedCluster` (or
+    the parallel executor) unchanged.
+    """
+
+    def __init__(
+        self,
+        root: str | Path,
+        num_nodes: int = 10,
+        block_bytes: int = DEFAULT_BLOCK_BYTES,
+    ) -> None:
+        if num_nodes < 1:
+            raise ValueError(f"num_nodes must be >= 1, got {num_nodes}")
+        if block_bytes < 1:
+            raise ValueError(f"block_bytes must be >= 1, got {block_bytes}")
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.num_nodes = num_nodes
+        self.block_bytes = block_bytes
+        self._next_node = 0
+
+    # -- paths --------------------------------------------------------------
+
+    def _meta_path(self, name: str) -> Path:
+        return self.root / f"{_encode_name(name)}.meta.json"
+
+    def _block_path(self, name: str, index: int) -> Path:
+        return self.root / f"{_encode_name(name)}.block{index:04d}.pkl"
+
+    # -- file operations -------------------------------------------------
+
+    def write(self, name: str, records) -> DiskFile:
+        """Create (or overwrite) file *name* from *records*."""
+        self.delete(name)
+        meta_blocks: list[dict] = []
+        buffer: list = []
+        buffered_bytes = 0
+
+        def seal() -> None:
+            nonlocal buffer, buffered_bytes
+            index = len(meta_blocks)
+            path = self._block_path(name, index)
+            with open(path, "wb") as handle:
+                pickle.dump(buffer, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            meta_blocks.append(
+                {
+                    "index": index,
+                    "node": self._next_node,
+                    "num_records": len(buffer),
+                    "num_bytes": buffered_bytes,
+                }
+            )
+            self._next_node = (self._next_node + 1) % self.num_nodes
+            buffer = []
+            buffered_bytes = 0
+
+        for record in records:
+            buffer.append(record)
+            buffered_bytes += approx_bytes(record)
+            if buffered_bytes >= self.block_bytes:
+                seal()
+        if buffer or not meta_blocks:
+            seal()
+
+        with open(self._meta_path(name), "w", encoding="utf-8") as handle:
+            json.dump({"name": name, "blocks": meta_blocks}, handle)
+        return self.file(name)
+
+    def file(self, name: str) -> DiskFile:
+        meta_path = self._meta_path(name)
+        if not meta_path.exists():
+            raise FileNotFoundError(f"no such DFS file: {name!r}")
+        with open(meta_path, encoding="utf-8") as handle:
+            meta = json.load(handle)
+        blocks = [
+            DiskBlock(
+                self._block_path(name, entry["index"]),
+                entry["index"],
+                entry["node"],
+                entry["num_records"],
+                entry["num_bytes"],
+            )
+            for entry in meta["blocks"]
+        ]
+        return DiskFile(name, blocks)
+
+    def read(self, name: str) -> Iterator:
+        return self.file(name).records()
+
+    def read_all(self, name: str) -> list:
+        return list(self.read(name))
+
+    def exists(self, name: str) -> bool:
+        return self._meta_path(name).exists()
+
+    def delete(self, name: str) -> None:
+        meta_path = self._meta_path(name)
+        if not meta_path.exists():
+            return
+        with open(meta_path, encoding="utf-8") as handle:
+            meta = json.load(handle)
+        for entry in meta["blocks"]:
+            self._block_path(name, entry["index"]).unlink(missing_ok=True)
+        meta_path.unlink()
+
+    def listdir(self) -> list[str]:
+        names = []
+        for meta_path in self.root.glob("*.meta.json"):
+            with open(meta_path, encoding="utf-8") as handle:
+                names.append(json.load(handle)["name"])
+        return sorted(names)
+
+    # -- placement ----------------------------------------------------------
+
+    def rebalance(self, num_nodes: int) -> None:
+        """Re-place every block round-robin over *num_nodes* nodes."""
+        if num_nodes < 1:
+            raise ValueError(f"num_nodes must be >= 1, got {num_nodes}")
+        self.num_nodes = num_nodes
+        node = 0
+        for name in self.listdir():
+            meta_path = self._meta_path(name)
+            with open(meta_path, encoding="utf-8") as handle:
+                meta = json.load(handle)
+            for entry in meta["blocks"]:
+                entry["node"] = node
+                node = (node + 1) % num_nodes
+            with open(meta_path, "w", encoding="utf-8") as handle:
+                json.dump(meta, handle)
+        self._next_node = node

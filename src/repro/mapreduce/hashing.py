@@ -1,0 +1,40 @@
+"""Process-stable hashing for partitioning.
+
+Python's built-in ``hash`` for strings is salted per process
+(``PYTHONHASHSEED``), which would make partition assignment — and
+therefore per-reducer workloads and any skew-sensitive measurement —
+non-reproducible.  All partitioners use :func:`stable_hash` instead.
+"""
+
+from __future__ import annotations
+
+from zlib import crc32
+
+
+def stable_hash(key: object) -> int:
+    """Deterministic non-negative hash, stable across processes/runs."""
+    if isinstance(key, int):
+        # Splittable 64-bit mix (Murmur-style finalizer) so that
+        # consecutive ints spread over partitions.
+        h = key & 0xFFFFFFFFFFFFFFFF
+        h ^= h >> 33
+        h = (h * 0xFF51AFD7ED558CCD) & 0xFFFFFFFFFFFFFFFF
+        h ^= h >> 33
+        h = (h * 0xC4CEB9FE1A85EC53) & 0xFFFFFFFFFFFFFFFF
+        h ^= h >> 33
+        return h
+    if isinstance(key, str):
+        return crc32(key.encode("utf-8"))
+    if isinstance(key, bytes):
+        return crc32(key)
+    if isinstance(key, bool) or key is None:
+        return int(bool(key))
+    if isinstance(key, float):
+        return crc32(repr(key).encode("ascii"))
+    if isinstance(key, tuple):
+        h = 0x345678
+        for item in key:
+            h = (h * 1000003) ^ stable_hash(item)
+            h &= 0xFFFFFFFFFFFFFFFF
+        return h
+    raise TypeError(f"unhashable partition key type: {type(key).__name__}")

@@ -1,0 +1,148 @@
+"""Job specification and task context.
+
+A :class:`MapReduceJob` is a declarative description of one MapReduce
+phase, mirroring the knobs the paper relies on:
+
+* ``mapper(record, ctx)`` emits ``(key, value)`` pairs via
+  :meth:`Context.emit`;
+* ``combiner(key, values, ctx)`` optionally pre-aggregates per map
+  task (BTO/OPTO token counting);
+* ``partition(key)`` selects the *part of the key* used for hash
+  partitioning — the paper's custom partitioner that routes on the
+  token group but not on the length or relation tag (Sections 3.2.2
+  and 4);
+* ``sort_key(key)`` orders pairs inside a partition (composite keys:
+  length classes, relation tags);
+* ``group_key(key)`` is the grouping comparator: consecutive sorted
+  pairs with equal group keys form one ``reducer(key, values, ctx)``
+  call, with values delivered lazily in sort order (the length-sorted
+  streams PPJoin+ needs);
+* ``inputs`` may name several DFS files; ``ctx.input_file`` tells a
+  mapper which one the current record came from (the R-S relation
+  tagging trick of Section 4);
+* ``broadcast`` names DFS files loaded into every map task before any
+  input is consumed (Hadoop's distributed cache; OPRJ's RID-pair
+  list).  Broadcast payload size is charged against task memory.
+
+Setup/teardown hooks correspond to Hadoop's configure/close:
+``map_setup(ctx)``, ``map_teardown(ctx)``, ``reduce_setup(ctx)``,
+``reduce_teardown(ctx)``.  OPTO's reducer sorts its accumulated token
+counts in ``reduce_teardown``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Sequence
+
+from repro.mapreduce.counters import Counters
+from repro.mapreduce.types import InsufficientMemoryError, approx_bytes
+
+
+def _identity(key: Any) -> Any:
+    return key
+
+
+class Context:
+    """Per-task context handed to mappers, combiners and reducers.
+
+    Provides emission, counters, broadcast data access and simulated
+    memory metering.  One instance lives for one task.
+    """
+
+    def __init__(
+        self,
+        role: str,
+        counters: Counters,
+        memory_limit_bytes: int | None = None,
+        broadcast: dict[str, list] | None = None,
+    ) -> None:
+        self.role = role
+        self.counters = counters
+        self.memory_limit_bytes = memory_limit_bytes
+        self.broadcast = broadcast or {}
+        self.input_file: str | None = None
+        self.current_key: Any = None
+        self.task_id: int = -1
+        self._emitted: list[tuple[Any, Any]] = []
+        self._written: list[Any] = []
+        self._reserved_bytes = 0
+        self.peak_memory_bytes = 0
+
+    # -- emission ---------------------------------------------------------
+
+    def emit(self, key: Any, value: Any) -> None:
+        """Emit an intermediate ``(key, value)`` pair (map/combine side)."""
+        self._emitted.append((key, value))
+
+    def write(self, record: Any) -> None:
+        """Write a final output record (reduce side)."""
+        self._written.append(record)
+
+    # -- memory metering ----------------------------------------------------
+
+    def reserve_memory(self, num_bytes: int, what: str = "task state") -> None:
+        """Charge *num_bytes* of simulated task memory.
+
+        Raises :class:`InsufficientMemoryError` when the cumulative
+        reservation exceeds the per-task budget.  Algorithms call this
+        when they materialize state (an in-memory candidate list, a
+        broadcast join table); releasing is per-block via
+        :meth:`release_memory`.
+        """
+        self._reserved_bytes += num_bytes
+        if self._reserved_bytes > self.peak_memory_bytes:
+            self.peak_memory_bytes = self._reserved_bytes
+        if (
+            self.memory_limit_bytes is not None
+            and self._reserved_bytes > self.memory_limit_bytes
+        ):
+            raise InsufficientMemoryError(
+                what, self._reserved_bytes, self.memory_limit_bytes
+            )
+
+    def release_memory(self, num_bytes: int) -> None:
+        """Return *num_bytes* of simulated task memory."""
+        self._reserved_bytes = max(0, self._reserved_bytes - num_bytes)
+
+    def reserve_memory_for(self, obj: Any, what: str = "task state") -> int:
+        """Charge the approximate size of *obj*; returns the bytes charged
+        so the caller can release them later."""
+        num_bytes = approx_bytes(obj)
+        self.reserve_memory(num_bytes, what)
+        return num_bytes
+
+
+Mapper = Callable[[Any, Context], None]
+Reducer = Callable[[Any, Iterator[Any], Context], None]
+Combiner = Callable[[Any, list, Context], None]
+Hook = Callable[[Context], None]
+
+
+@dataclass
+class MapReduceJob:
+    """Declarative description of one MapReduce phase."""
+
+    name: str
+    inputs: Sequence[str]
+    output: str
+    mapper: Mapper
+    reducer: Reducer
+    num_reducers: int = 1
+    combiner: Combiner | None = None
+    partition: Callable[[Any], Any] = _identity
+    sort_key: Callable[[Any], Any] = _identity
+    group_key: Callable[[Any], Any] = _identity
+    broadcast: Sequence[str] = field(default_factory=tuple)
+    map_setup: Hook | None = None
+    map_teardown: Hook | None = None
+    reduce_setup: Hook | None = None
+    reduce_teardown: Hook | None = None
+
+    def __post_init__(self) -> None:
+        if self.num_reducers < 1:
+            raise ValueError(
+                f"job {self.name!r}: num_reducers must be >= 1, got {self.num_reducers}"
+            )
+        if not self.inputs:
+            raise ValueError(f"job {self.name!r}: at least one input required")

@@ -1,0 +1,124 @@
+"""Shared datatypes for the MapReduce runtime."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+class InsufficientMemoryError(MemoryError):
+    """A task exceeded its simulated per-task memory budget.
+
+    Raised by :meth:`repro.mapreduce.job.Context.reserve_memory`;
+    reproduces the paper's OPRJ out-of-memory failures (Sections 6.2,
+    6.2.2) without exhausting real RAM.
+    """
+
+    def __init__(self, what: str, needed_bytes: int, limit_bytes: int) -> None:
+        super().__init__(
+            f"{what}: needs {needed_bytes} bytes, task budget is {limit_bytes}"
+        )
+        self.what = what
+        self.needed_bytes = needed_bytes
+        self.limit_bytes = limit_bytes
+
+    def __reduce__(self):
+        # default exception pickling would re-call __init__ with the
+        # formatted message only; rebuild from the real fields so the
+        # error survives the trip back from a worker process
+        return (type(self), (self.what, self.needed_bytes, self.limit_bytes))
+
+
+def approx_bytes(obj: object) -> int:
+    """Rough serialized size of a record, for byte accounting.
+
+    Deliberately cheap and deterministic (not ``sys.getsizeof``, which
+    varies across builds): strings count their length, numbers 8 bytes,
+    containers sum their elements plus 8 bytes of framing each.
+    """
+    if isinstance(obj, str):
+        return len(obj)
+    if isinstance(obj, bytes):
+        return len(obj)
+    if isinstance(obj, (int, float, bool)) or obj is None:
+        return 8
+    if isinstance(obj, (tuple, list, set, frozenset)):
+        return 8 + sum(approx_bytes(item) for item in obj)
+    if isinstance(obj, dict):
+        return 8 + sum(
+            approx_bytes(k) + approx_bytes(v) for k, v in obj.items()
+        )
+    # dataclass-ish fallback
+    attrs = getattr(obj, "__dict__", None)
+    if attrs is not None:
+        return 8 + sum(approx_bytes(v) for v in attrs.values())
+    slots = getattr(obj, "__slots__", None)
+    if slots is not None:
+        return 8 + sum(approx_bytes(getattr(obj, name)) for name in slots)
+    return 64
+
+
+@dataclass
+class TaskStats:
+    """Measured work of one map or reduce task."""
+
+    task_id: int
+    cpu_seconds: float = 0.0
+    input_records: int = 0
+    output_records: int = 0
+    output_bytes: int = 0
+    peak_memory_bytes: int = 0
+
+
+@dataclass
+class PhaseStats:
+    """One MapReduce job execution: measured work plus simulated times.
+
+    ``*_makespan_s`` and ``simulated_total_s`` are produced by the
+    cluster's scheduler/cost model and are what the benchmarks report;
+    the raw per-task measurements stay available for analysis.
+    """
+
+    job_name: str
+    map_tasks: list[TaskStats] = field(default_factory=list)
+    reduce_tasks: list[TaskStats] = field(default_factory=list)
+    shuffle_bytes: int = 0
+    map_makespan_s: float = 0.0
+    shuffle_s: float = 0.0
+    reduce_makespan_s: float = 0.0
+    startup_s: float = 0.0
+    simulated_total_s: float = 0.0
+    counters: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def map_output_records(self) -> int:
+        return sum(t.output_records for t in self.map_tasks)
+
+    @property
+    def reduce_output_records(self) -> int:
+        return sum(t.output_records for t in self.reduce_tasks)
+
+
+@dataclass
+class JobStats:
+    """Aggregate over the phases (jobs) of one logical stage/pipeline."""
+
+    phases: list[PhaseStats] = field(default_factory=list)
+
+    @property
+    def simulated_total_s(self) -> float:
+        return sum(p.simulated_total_s for p in self.phases)
+
+    @property
+    def shuffle_bytes(self) -> int:
+        return sum(p.shuffle_bytes for p in self.phases)
+
+    def counters(self) -> dict[str, int]:
+        """Merged counters across phases."""
+        merged: dict[str, int] = {}
+        for phase in self.phases:
+            for name, value in phase.counters.items():
+                merged[name] = merged.get(name, 0) + value
+        return merged
+
+    def extend(self, other: "JobStats") -> None:
+        self.phases.extend(other.phases)

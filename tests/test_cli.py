@@ -1,0 +1,115 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.data.loaders import read_records, write_records
+from repro.join.records import make_line
+
+
+@pytest.fixture
+def catalog(tmp_path):
+    path = tmp_path / "catalog.tsv"
+    write_records(
+        path,
+        [
+            make_line(1, ["alpha beta gamma delta", "smith"]),
+            make_line(2, ["alpha beta gamma delta", "smith"]),
+            make_line(3, ["something entirely different", "jones"]),
+        ],
+    )
+    return path
+
+
+class TestSelfJoin:
+    def test_basic(self, catalog, tmp_path, capsys):
+        out = tmp_path / "pairs.tsv"
+        assert main(["selfjoin", str(catalog), "-o", str(out)]) == 0
+        lines = read_records(out)
+        assert len(lines) == 1
+        similarity, rid1, rid2 = lines[0].split("\t")
+        assert (rid1, rid2) == ("1", "2")
+        assert float(similarity) == 1.0
+
+    def test_full_records(self, catalog, tmp_path):
+        out = tmp_path / "pairs.tsv"
+        main(["selfjoin", str(catalog), "-o", str(out), "--full-records"])
+        lines = read_records(out)
+        assert "alpha beta gamma delta" in lines[0]
+
+    def test_threshold_and_kernel_flags(self, catalog, tmp_path):
+        out = tmp_path / "pairs.tsv"
+        main(["selfjoin", str(catalog), "-o", str(out),
+              "--threshold", "0.5", "--kernel", "bk", "--stage3", "oprj"])
+        assert len(read_records(out)) >= 1
+
+    def test_join_fields(self, tmp_path):
+        path = tmp_path / "cat.tsv"
+        write_records(path, [
+            make_line(1, ["different titles", "same author words here"]),
+            make_line(2, ["entirely other", "same author words here"]),
+        ])
+        out = tmp_path / "pairs.tsv"
+        main(["selfjoin", str(path), "-o", str(out), "--join-fields", "2"])
+        assert len(read_records(out)) == 1
+
+    def test_blocks_flag(self, catalog, tmp_path):
+        out = tmp_path / "pairs.tsv"
+        main(["selfjoin", str(catalog), "-o", str(out),
+              "--kernel", "bk", "--blocks", "3"])
+        assert len(read_records(out)) == 1
+
+    def test_stats_flag(self, catalog, tmp_path, capsys):
+        out = tmp_path / "pairs.tsv"
+        main(["selfjoin", str(catalog), "-o", str(out), "--stats"])
+        err = capsys.readouterr().err
+        assert "stage1" in err and "stage2" in err
+
+
+class TestExecutionFlags:
+    def test_parallel_flag(self, catalog, tmp_path):
+        out = tmp_path / "pairs.tsv"
+        main(["selfjoin", str(catalog), "-o", str(out), "--parallel", "2"])
+        assert len(read_records(out)) == 1
+
+    def test_dfs_dir_flag(self, catalog, tmp_path):
+        out = tmp_path / "pairs.tsv"
+        dfs_dir = tmp_path / "dfs"
+        main(["selfjoin", str(catalog), "-o", str(out), "--dfs-dir", str(dfs_dir)])
+        assert len(read_records(out)) == 1
+        assert any(dfs_dir.iterdir())  # blocks persisted on disk
+
+
+class TestRSJoin:
+    def test_basic(self, catalog, tmp_path):
+        s_path = tmp_path / "s.tsv"
+        write_records(s_path, [make_line(9, ["alpha beta gamma delta", "smith"])])
+        out = tmp_path / "linked.tsv"
+        assert main(["rsjoin", str(catalog), str(s_path), "-o", str(out)]) == 0
+        lines = read_records(out)
+        rids = {tuple(l.split("\t")[1:]) for l in lines}
+        assert rids == {("1", "9"), ("2", "9")}
+
+
+class TestGenerate:
+    def test_dblp(self, tmp_path):
+        out = tmp_path / "dblp.tsv"
+        assert main(["generate", "dblp", "25", "-o", str(out)]) == 0
+        assert len(read_records(out)) == 25
+
+    def test_increase(self, tmp_path):
+        out = tmp_path / "dblp.tsv"
+        main(["generate", "dblp", "10", "-o", str(out), "--increase", "3"])
+        assert len(read_records(out)) == 30
+
+    def test_citeseerx_shared(self, tmp_path):
+        dblp = tmp_path / "dblp.tsv"
+        main(["generate", "dblp", "20", "-o", str(dblp)])
+        cx = tmp_path / "cx.tsv"
+        main(["generate", "citeseerx", "20", "-o", str(cx),
+              "--shared-with", str(dblp)])
+        assert len(read_records(cx)) == 20
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

@@ -1,0 +1,118 @@
+"""Tests for the disk-backed DFS, including full pipeline runs on it."""
+
+import pytest
+
+from repro.join.config import JoinConfig
+from repro.join.driver import ssjoin_self
+from repro.mapreduce.cluster import ClusterConfig, SimulatedCluster
+from repro.mapreduce.dfs import InMemoryDFS
+from repro.mapreduce.diskdfs import LocalDiskDFS
+
+from tests.conftest import SCHEMA_1, random_records
+
+
+@pytest.fixture
+def dfs(tmp_path):
+    return LocalDiskDFS(tmp_path / "dfs", num_nodes=3, block_bytes=64)
+
+
+class TestBasicOperations:
+    def test_write_read_roundtrip(self, dfs):
+        dfs.write("f", ["aaaa", "bbbb", "cccc"])
+        assert dfs.read_all("f") == ["aaaa", "bbbb", "cccc"]
+
+    def test_tuples_roundtrip(self, dfs):
+        records = [(1, 2, 0.5), (3, 4, 0.9)]
+        dfs.write("pairs", records)
+        assert dfs.read_all("pairs") == records
+
+    def test_blocks_split_by_bytes(self, dfs):
+        # 64-byte budget, 40-byte records: two records fill a block
+        dfs.write("f", ["x" * 40] * 4)
+        assert len(dfs.file("f").blocks) == 2
+
+    def test_round_robin_placement(self, dfs):
+        dfs.write("f", ["x" * 64] * 6)
+        nodes = [b.node for b in dfs.file("f").blocks]
+        assert nodes == [0, 1, 2, 0, 1, 2]
+
+    def test_missing_file(self, dfs):
+        with pytest.raises(FileNotFoundError):
+            dfs.read_all("nope")
+
+    def test_overwrite_shrinks(self, dfs):
+        dfs.write("f", ["x" * 64] * 10)
+        dfs.write("f", ["just one"])
+        assert dfs.read_all("f") == ["just one"]
+        assert len(dfs.file("f").blocks) == 1
+
+    def test_delete_and_exists(self, dfs):
+        dfs.write("f", ["a"])
+        assert dfs.exists("f")
+        dfs.delete("f")
+        assert not dfs.exists("f")
+        assert dfs.listdir() == []
+
+    def test_names_with_dots_and_slashes(self, dfs):
+        dfs.write("records.selfjoin/ridpairs", [(1, 2)])
+        assert dfs.read_all("records.selfjoin/ridpairs") == [(1, 2)]
+        assert "records.selfjoin/ridpairs" in dfs.listdir()
+
+    def test_empty_file(self, dfs):
+        dfs.write("empty", [])
+        assert dfs.read_all("empty") == []
+        assert dfs.file("empty").num_records == 0
+
+    def test_persistence_across_instances(self, tmp_path):
+        root = tmp_path / "dfs"
+        LocalDiskDFS(root, num_nodes=2).write("f", ["persisted"])
+        reopened = LocalDiskDFS(root, num_nodes=2)
+        assert reopened.read_all("f") == ["persisted"]
+
+    def test_rebalance(self, dfs):
+        dfs.write("f", ["x" * 64] * 6)
+        dfs.rebalance(2)
+        nodes = [b.node for b in dfs.file("f").blocks]
+        assert set(nodes) == {0, 1}
+
+    def test_validation(self, tmp_path):
+        with pytest.raises(ValueError):
+            LocalDiskDFS(tmp_path, num_nodes=0)
+        with pytest.raises(ValueError):
+            LocalDiskDFS(tmp_path, block_bytes=0)
+
+
+class TestPipelineOnDisk:
+    def test_full_join_matches_in_memory(self, rng, tmp_path):
+        records = random_records(rng, 60)
+        config_kwargs = dict(
+            num_nodes=3, job_startup_s=0, task_startup_s=0, cpu_scale=1.0, data_scale=1.0
+        )
+
+        memory_cluster = SimulatedCluster(
+            ClusterConfig(**config_kwargs), InMemoryDFS(num_nodes=3, block_bytes=512)
+        )
+        memory_cluster.dfs.write("records", records)
+        disk_cluster = SimulatedCluster(
+            ClusterConfig(**config_kwargs),
+            LocalDiskDFS(tmp_path / "dfs", num_nodes=3, block_bytes=512),
+        )
+        disk_cluster.dfs.write("records", records)
+
+        config = JoinConfig(threshold=0.5, schema=SCHEMA_1)
+        mem_report = ssjoin_self(memory_cluster, "records", config)
+        disk_report = ssjoin_self(disk_cluster, "records", config)
+        assert memory_cluster.dfs.read_all(mem_report.output_file) == (
+            disk_cluster.dfs.read_all(disk_report.output_file)
+        )
+
+    def test_intermediate_outputs_persisted(self, rng, tmp_path):
+        records = random_records(rng, 40)
+        dfs = LocalDiskDFS(tmp_path / "dfs", num_nodes=2, block_bytes=512)
+        cluster = SimulatedCluster(ClusterConfig(num_nodes=2), dfs)
+        cluster.dfs.write("records", records)
+        ssjoin_self(cluster, "records", JoinConfig(threshold=0.5, schema=SCHEMA_1))
+        # another process could now resume from the RID pairs:
+        reopened = LocalDiskDFS(tmp_path / "dfs", num_nodes=2)
+        assert reopened.exists("records.selfjoin.ridpairs")
+        assert reopened.exists("records.selfjoin.joined")

@@ -1,0 +1,141 @@
+"""Tests for the edit-distance extension (paper footnote 1)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.editdist import (
+    EditDistanceQGrams,
+    edit_distance_self_join,
+    levenshtein,
+)
+
+short_strings = st.text(alphabet="abcd", max_size=12)
+
+
+def reference_levenshtein(a: str, b: str) -> int:
+    """Textbook O(nm) dynamic program."""
+    previous = list(range(len(b) + 1))
+    for i, ca in enumerate(a, 1):
+        current = [i]
+        for j, cb in enumerate(b, 1):
+            current.append(
+                min(previous[j] + 1, current[-1] + 1, previous[j - 1] + (ca != cb))
+            )
+        previous = current
+    return previous[-1]
+
+
+class TestLevenshtein:
+    @pytest.mark.parametrize(
+        "a,b,expected",
+        [
+            ("", "", 0),
+            ("a", "", 1),
+            ("", "abc", 3),
+            ("kitten", "sitting", 3),
+            ("flaw", "lawn", 2),
+            ("abc", "abc", 0),
+            ("abc", "axc", 1),
+        ],
+    )
+    def test_known_values(self, a, b, expected):
+        assert levenshtein(a, b) == expected
+
+    @given(short_strings, short_strings)
+    def test_matches_reference(self, a, b):
+        assert levenshtein(a, b) == reference_levenshtein(a, b)
+
+    @given(short_strings, short_strings, st.integers(min_value=0, max_value=6))
+    def test_banded_agrees_within_budget(self, a, b, d):
+        true = reference_levenshtein(a, b)
+        banded = levenshtein(a, b, max_distance=d)
+        if true <= d:
+            assert banded == true
+        else:
+            assert banded > d
+
+    @given(short_strings, short_strings)
+    def test_symmetry(self, a, b):
+        assert levenshtein(a, b) == levenshtein(b, a)
+
+    @given(short_strings, short_strings, short_strings)
+    @settings(max_examples=60)
+    def test_triangle_inequality(self, a, b, c):
+        assert levenshtein(a, c) <= levenshtein(a, b) + levenshtein(b, c)
+
+
+class TestCountFilterBounds:
+    def test_invalid_q(self):
+        with pytest.raises(ValueError):
+            EditDistanceQGrams(q=0)
+
+    def test_prefix_length_formula(self):
+        bounds = EditDistanceQGrams(q=3)
+        assert bounds.prefix_length(20, 2) == 7  # q*d + 1
+
+    @given(short_strings, short_strings, st.integers(min_value=0, max_value=3))
+    @settings(max_examples=150)
+    def test_count_filter_sound(self, a, b, d):
+        """Strings within distance d must share >= max(|Gx|,|Gy|) - q*d
+        grams — the core count-filter lemma."""
+        from repro.core.tokenizers import QGramTokenizer
+
+        if reference_levenshtein(a, b) > d:
+            return
+        q = 2
+        tok = QGramTokenizer(q=q, clean=False)
+        gx, gy = set(tok.tokenize(a)), set(tok.tokenize(b))
+        if not gx or not gy:
+            return
+        bounds = EditDistanceQGrams(q=q)
+        assert len(gx & gy) >= bounds.overlap_threshold(len(gx), len(gy), d) or (
+            bounds.overlap_threshold(len(gx), len(gy), d) == 1 and len(gx & gy) >= 0
+        )
+
+
+class TestEditDistanceSelfJoin:
+    def brute_force(self, strings, d):
+        out = []
+        for i in range(len(strings)):
+            for j in range(i + 1, len(strings)):
+                distance = reference_levenshtein(strings[i], strings[j])
+                if distance <= d:
+                    out.append((i, j, distance))
+        return out
+
+    def test_simple(self):
+        strings = ["hello", "hallo", "world", "word"]
+        assert edit_distance_self_join(strings, 1) == [(0, 1, 1), (2, 3, 1)]
+
+    def test_zero_distance_finds_duplicates(self):
+        strings = ["abc", "abc", "abd"]
+        assert edit_distance_self_join(strings, 0) == [(0, 1, 0)]
+
+    def test_invalid_distance(self):
+        with pytest.raises(ValueError):
+            edit_distance_self_join(["a"], -1)
+
+    @pytest.mark.parametrize("d", [0, 1, 2])
+    @pytest.mark.parametrize("q", [2, 3])
+    def test_matches_brute_force_random(self, d, q):
+        rng = random.Random(d * 10 + q)
+        base = ["".join(rng.choice("abcde") for _ in range(rng.randint(3, 10)))
+                for _ in range(25)]
+        # add perturbed copies
+        strings = list(base)
+        for s in base[:10]:
+            mutated = list(s)
+            mutated[rng.randrange(len(mutated))] = rng.choice("abcde")
+            strings.append("".join(mutated))
+        assert edit_distance_self_join(strings, d, q=q) == self.brute_force(strings, d)
+
+    def test_empty_strings(self):
+        strings = ["", "a", "ab", ""]
+        assert edit_distance_self_join(strings, 1) == self.brute_force(strings, 1)
+
+    @given(st.lists(short_strings, max_size=15), st.integers(min_value=0, max_value=2))
+    @settings(max_examples=40, deadline=None)
+    def test_property_matches_brute_force(self, strings, d):
+        assert edit_distance_self_join(strings, d) == self.brute_force(strings, d)

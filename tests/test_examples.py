@@ -1,0 +1,39 @@
+"""Smoke tests for the example scripts (run in-process, small sizes)."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def run_example(monkeypatch, capsys, name: str, *argv: str) -> str:
+    monkeypatch.setattr(sys, "argv", [name, *argv])
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+def test_quickstart(monkeypatch, capsys):
+    out = run_example(monkeypatch, capsys, "quickstart.py")
+    assert "similar pairs found: 2" in out
+    assert "stage1" in out
+
+
+def test_dedup_publications(monkeypatch, capsys):
+    out = run_example(monkeypatch, capsys, "dedup_publications.py", "400")
+    assert "duplicate clusters:" in out
+    assert "pipeline statistics" in out
+
+
+def test_enrich_citations(monkeypatch, capsys):
+    out = run_example(monkeypatch, capsys, "enrich_citations.py", "400")
+    assert "linked publications:" in out
+
+
+@pytest.mark.slow
+def test_memory_constrained(monkeypatch, capsys):
+    out = run_example(monkeypatch, capsys, "memory_constrained.py")
+    assert "OOM" in out
+    assert "reduce-based block processing: completed" in out

@@ -1,0 +1,123 @@
+"""Tests for the PPJoin+ filter family.
+
+The suffix filter's single obligation is soundness: whenever the true
+Hamming distance is within budget, the lower bound must be too.  That
+property is exercised exhaustively with hypothesis (it caught a real
+window-clamping bug during development).
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.filters import (
+    positional_filter_passes,
+    suffix_filter_passes,
+    suffix_hamming_lower_bound,
+)
+
+sorted_sets = st.sets(st.integers(min_value=0, max_value=40), max_size=16).map(sorted)
+
+
+def true_hamming(x, y) -> int:
+    sx, sy = set(x), set(y)
+    return len(sx ^ sy)
+
+
+class TestPositionalFilter:
+    def test_passes_when_enough_remaining(self):
+        # nx=ny=5, match at positions 0,0, nothing counted yet, alpha=4
+        assert positional_filter_passes(5, 5, 0, 0, 0, 4)
+
+    def test_fails_when_tail_too_short(self):
+        # match at last positions, alpha=2, no prior overlap: max total 1
+        assert not positional_filter_passes(5, 5, 4, 4, 0, 2)
+
+    def test_prior_overlap_counts(self):
+        assert positional_filter_passes(5, 5, 4, 4, 1, 2)
+
+    def test_asymmetric_lengths(self):
+        # remaining on y side limits: min(9-0-1, 3-2-1)=0, bound=1
+        assert not positional_filter_passes(10, 3, 0, 2, 0, 2)
+
+    def test_exact_boundary(self):
+        # upper bound == alpha passes
+        assert positional_filter_passes(4, 4, 1, 1, 0, 3)
+
+    def test_soundness_exhaustive_small(self):
+        """Brute-force: if true overlap >= alpha, the filter must pass
+        at every shared-token position."""
+        import itertools
+
+        universe = range(6)
+        for xs in itertools.combinations(universe, 3):
+            for ys in itertools.combinations(universe, 3):
+                common = sorted(set(xs) & set(ys))
+                for alpha in (1, 2, 3):
+                    if len(common) < alpha:
+                        continue
+                    # at the FIRST shared token, overlap so far is 0
+                    w = common[0]
+                    i, j = xs.index(w), ys.index(w)
+                    assert positional_filter_passes(3, 3, i, j, 0, alpha)
+
+
+class TestSuffixHammingLowerBound:
+    def test_identical(self):
+        assert suffix_hamming_lower_bound([1, 2, 3], [1, 2, 3], 10) == 0
+
+    def test_disjoint_within_budget(self):
+        x, y = [1, 2], [3, 4]
+        bound = suffix_hamming_lower_bound(x, y, 10)
+        assert bound <= true_hamming(x, y)
+
+    def test_empty_sides(self):
+        assert suffix_hamming_lower_bound([], [1, 2], 5) == 2
+        assert suffix_hamming_lower_bound([1], [], 5) == 1
+
+    def test_regression_unclamped_window(self):
+        """Regression: p=0 with lo=-1 is inside the lemma window; the
+        original clamped implementation wrongly rejected this case."""
+        x, y = (23,), (21,)
+        assert suffix_hamming_lower_bound(x, y, 2) <= 2
+
+    @given(sorted_sets, sorted_sets, st.integers(min_value=0, max_value=30))
+    @settings(max_examples=400)
+    def test_soundness(self, x, y, hmax):
+        """If H(x,y) <= hmax then the bound is <= hmax."""
+        h = true_hamming(x, y)
+        bound = suffix_hamming_lower_bound(x, y, hmax)
+        if h <= hmax:
+            assert bound <= hmax
+
+    @given(sorted_sets, sorted_sets, st.integers(min_value=0, max_value=30),
+           st.integers(min_value=1, max_value=5))
+    @settings(max_examples=200)
+    def test_soundness_any_depth(self, x, y, hmax, depth):
+        h = true_hamming(x, y)
+        bound = suffix_hamming_lower_bound(x, y, hmax, max_depth=depth)
+        if h <= hmax:
+            assert bound <= hmax
+
+
+class TestSuffixFilterPasses:
+    def test_trivially_satisfied(self):
+        assert suffix_filter_passes([1], [2], alpha=1, overlap_so_far=1)
+
+    def test_rejects_impossible(self):
+        # needs 3 more common tokens but suffixes are tiny and disjoint
+        assert not suffix_filter_passes([1], [2], alpha=4, overlap_so_far=1)
+
+    def test_accepts_reachable(self):
+        assert suffix_filter_passes([2, 3, 4], [2, 3, 4], alpha=4, overlap_so_far=1)
+
+    def test_negative_budget(self):
+        assert not suffix_filter_passes([], [], alpha=3, overlap_so_far=1)
+
+    @given(sorted_sets, sorted_sets,
+           st.integers(min_value=1, max_value=8),
+           st.integers(min_value=1, max_value=3))
+    @settings(max_examples=300)
+    def test_never_false_negative(self, xs, ys, alpha, seen):
+        """If the suffixes really contain alpha-seen common tokens, the
+        filter must pass."""
+        if len(set(xs) & set(ys)) >= alpha - seen:
+            assert suffix_filter_passes(xs, ys, alpha, overlap_so_far=seen)

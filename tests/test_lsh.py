@@ -1,0 +1,109 @@
+"""Tests for the MinHash LSH approximate join."""
+
+import random
+
+import pytest
+
+from repro.core.lsh import MinHasher, candidate_probability, minhash_lsh_self_join
+from repro.core.naive import naive_self_join
+from repro.core.prefixes import Projection
+from repro.core.similarity import Jaccard
+
+
+def projections(sets, base=0):
+    return [Projection(base + i, tuple(sorted(s))) for i, s in enumerate(sets)]
+
+
+class TestMinHasher:
+    def test_deterministic(self):
+        hasher = MinHasher(16, seed=7)
+        assert hasher.signature((1, 2, 3)) == hasher.signature((1, 2, 3))
+
+    def test_seed_changes_signature(self):
+        assert MinHasher(16, seed=1).signature((1, 2)) != MinHasher(16, seed=2).signature((1, 2))
+
+    def test_identical_sets_identical_signatures(self):
+        hasher = MinHasher(32)
+        assert hasher.signature((5, 9, 11)) == hasher.signature((5, 9, 11))
+
+    def test_empty_set_rejected(self):
+        with pytest.raises(ValueError):
+            MinHasher(8).signature(())
+
+    def test_invalid_num_hashes(self):
+        with pytest.raises(ValueError):
+            MinHasher(0)
+
+    def test_estimate_tracks_jaccard(self):
+        """Statistical: over many hash functions, the agreement rate
+        approximates the true Jaccard."""
+        hasher = MinHasher(512, seed=3)
+        x = tuple(range(0, 40))
+        y = tuple(range(20, 60))  # jaccard = 20/60
+        estimate = hasher.estimate_similarity(hasher.signature(x), hasher.signature(y))
+        assert abs(estimate - 20 / 60) < 0.08
+
+    def test_estimate_length_mismatch(self):
+        hasher = MinHasher(4)
+        with pytest.raises(ValueError):
+            hasher.estimate_similarity((1,), (1, 2))
+
+
+class TestCandidateProbability:
+    def test_monotone_in_similarity(self):
+        probs = [candidate_probability(s, 32, 4) for s in (0.2, 0.5, 0.8, 0.95)]
+        assert probs == sorted(probs)
+
+    def test_high_recall_at_threshold(self):
+        # the default join parameters target tau = 0.8
+        assert candidate_probability(0.8, 32, 4) > 0.99
+
+    def test_low_probability_for_dissimilar(self):
+        assert candidate_probability(0.2, 32, 4) < 0.06
+
+
+class TestLSHJoin:
+    def test_no_false_positives(self):
+        rng = random.Random(4)
+        sets = [set(rng.sample(range(40), rng.randint(2, 12))) for _ in range(80)]
+        projs = projections(sets)
+        exact = {p[:2] for p in naive_self_join(projs, Jaccard(), 0.7)}
+        approx = minhash_lsh_self_join(projs, Jaccard(), 0.7)
+        assert {p[:2] for p in approx} <= exact
+        # and similarities are the exact values
+        exact_sims = {p[:2]: p[2] for p in naive_self_join(projs, Jaccard(), 0.7)}
+        for rid1, rid2, similarity in approx:
+            assert similarity == pytest.approx(exact_sims[(rid1, rid2)])
+
+    def test_high_recall_on_duplicates(self):
+        rng = random.Random(9)
+        sets = []
+        for _ in range(50):
+            base = set(rng.sample(range(60), 12))
+            sets.append(base)
+            near = set(base)
+            near.discard(next(iter(near)))
+            sets.append(near)  # jaccard ~ 11/12
+        projs = projections(sets)
+        exact = {p[:2] for p in naive_self_join(projs, Jaccard(), 0.8)}
+        approx = {p[:2] for p in minhash_lsh_self_join(projs, Jaccard(), 0.8)}
+        assert exact, "test data must produce exact matches"
+        recall = len(approx & exact) / len(exact)
+        assert recall >= 0.95
+
+    def test_deterministic(self):
+        rng = random.Random(2)
+        sets = [set(rng.sample(range(30), rng.randint(2, 10))) for _ in range(40)]
+        projs = projections(sets)
+        first = minhash_lsh_self_join(projs, Jaccard(), 0.6, seed=5)
+        second = minhash_lsh_self_join(projs, Jaccard(), 0.6, seed=5)
+        assert first == second
+
+    def test_bands_must_divide(self):
+        with pytest.raises(ValueError, match="divide"):
+            minhash_lsh_self_join([], Jaccard(), 0.8, num_hashes=10, bands=3)
+
+    def test_empty_projections_skipped(self):
+        projs = [Projection(1, ()), Projection(2, (1, 2)), Projection(3, (1, 2))]
+        result = minhash_lsh_self_join(projs, Jaccard(), 0.8)
+        assert result == [(2, 3, 1.0)]

@@ -1,0 +1,189 @@
+"""Tests for MapReduce building blocks: types, counters, hashing, DFS."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.mapreduce.counters import Counters
+from repro.mapreduce.dfs import InMemoryDFS
+from repro.mapreduce.hashing import stable_hash
+from repro.mapreduce.types import (
+    InsufficientMemoryError,
+    JobStats,
+    PhaseStats,
+    TaskStats,
+    approx_bytes,
+)
+
+
+class TestApproxBytes:
+    def test_string(self):
+        assert approx_bytes("hello") == 5
+
+    def test_numbers(self):
+        assert approx_bytes(42) == 8
+        assert approx_bytes(3.14) == 8
+        assert approx_bytes(None) == 8
+
+    def test_containers(self):
+        assert approx_bytes(("ab", 1)) == 8 + 2 + 8
+        assert approx_bytes(["a", "b"]) == 8 + 2
+
+    def test_dict(self):
+        assert approx_bytes({"k": "vv"}) == 8 + 1 + 2
+
+    def test_nested(self):
+        assert approx_bytes((("ab",),)) == 8 + 8 + 2
+
+    def test_deterministic(self):
+        obj = ("x", (1, 2.5), ["abc"])
+        assert approx_bytes(obj) == approx_bytes(obj)
+
+
+class TestInsufficientMemoryError:
+    def test_message_and_fields(self):
+        err = InsufficientMemoryError("broadcast", 100, 10)
+        assert err.what == "broadcast"
+        assert err.needed_bytes == 100
+        assert "broadcast" in str(err)
+
+    def test_is_memory_error(self):
+        assert issubclass(InsufficientMemoryError, MemoryError)
+
+
+class TestStats:
+    def test_phase_aggregates(self):
+        phase = PhaseStats("j")
+        phase.map_tasks.append(TaskStats(0, output_records=3))
+        phase.reduce_tasks.append(TaskStats(0, output_records=2))
+        assert phase.map_output_records == 3
+        assert phase.reduce_output_records == 2
+
+    def test_job_stats_totals(self):
+        stats = JobStats()
+        p1 = PhaseStats("a", counters={"x": 1})
+        p1.simulated_total_s = 2.0
+        p2 = PhaseStats("b", counters={"x": 2, "y": 5})
+        p2.simulated_total_s = 3.0
+        stats.phases = [p1, p2]
+        assert stats.simulated_total_s == 5.0
+        assert stats.counters() == {"x": 3, "y": 5}
+
+    def test_extend(self):
+        a, b = JobStats(), JobStats()
+        b.phases.append(PhaseStats("p"))
+        a.extend(b)
+        assert len(a.phases) == 1
+
+
+class TestCounters:
+    def test_increment_and_get(self):
+        c = Counters()
+        c.increment("a")
+        c.increment("a", 4)
+        assert c.get("a") == 5
+        assert c.get("missing") == 0
+
+    def test_merge(self):
+        a, b = Counters(), Counters()
+        a.increment("x", 1)
+        b.increment("x", 2)
+        b.increment("y", 3)
+        a.merge(b)
+        assert a.as_dict() == {"x": 3, "y": 3}
+
+    def test_iter_sorted(self):
+        c = Counters()
+        c.increment("b")
+        c.increment("a")
+        assert [name for name, _ in c] == ["a", "b"]
+
+
+class TestStableHash:
+    def test_int_spread(self):
+        buckets = {stable_hash(i) % 8 for i in range(100)}
+        assert len(buckets) == 8
+
+    def test_string_stable_value(self):
+        # crc32("token") is fixed forever — guards against hash salting
+        assert stable_hash("token") == stable_hash("token")
+        assert stable_hash("token") != stable_hash("tokeN")
+
+    def test_tuple(self):
+        assert stable_hash((1, "a")) == stable_hash((1, "a"))
+        assert stable_hash((1, "a")) != stable_hash(("a", 1))
+
+    def test_none_and_bool(self):
+        assert stable_hash(None) == 0
+        # bool is an int subtype, so True hashes like 1 — consistently
+        assert stable_hash(True) == stable_hash(1)
+
+    def test_float(self):
+        assert stable_hash(2.5) == stable_hash(2.5)
+
+    def test_unhashable(self):
+        with pytest.raises(TypeError):
+            stable_hash(["list"])
+
+    @given(st.integers())
+    def test_non_negative(self, value):
+        assert stable_hash(value) >= 0
+
+
+class TestInMemoryDFS:
+    def test_write_read_roundtrip(self):
+        dfs = InMemoryDFS(num_nodes=3, block_bytes=8)
+        dfs.write("f", ["aaaa", "bbbb", "cccc"])
+        assert dfs.read_all("f") == ["aaaa", "bbbb", "cccc"]
+
+    def test_blocks_split_by_bytes(self):
+        dfs = InMemoryDFS(num_nodes=2, block_bytes=8)
+        dfs.write("f", ["aaaa"] * 6)  # 4 bytes each, 2 per block
+        assert len(dfs.file("f").blocks) == 3
+
+    def test_round_robin_placement(self):
+        dfs = InMemoryDFS(num_nodes=2, block_bytes=4)
+        dfs.write("f", ["aaaa"] * 4)
+        nodes = [b.node for b in dfs.file("f").blocks]
+        assert nodes == [0, 1, 0, 1]
+
+    def test_empty_file_has_one_block(self):
+        dfs = InMemoryDFS()
+        dfs.write("empty", [])
+        assert dfs.file("empty").num_records == 0
+        assert len(dfs.file("empty").blocks) == 1
+
+    def test_missing_file(self):
+        with pytest.raises(FileNotFoundError):
+            InMemoryDFS().read_all("nope")
+
+    def test_overwrite(self):
+        dfs = InMemoryDFS()
+        dfs.write("f", ["old"])
+        dfs.write("f", ["new"])
+        assert dfs.read_all("f") == ["new"]
+
+    def test_delete_and_listdir(self):
+        dfs = InMemoryDFS()
+        dfs.write("a", ["1"])
+        dfs.write("b", ["2"])
+        dfs.delete("a")
+        assert dfs.listdir() == ["b"]
+        assert not dfs.exists("a")
+
+    def test_rebalance(self):
+        dfs = InMemoryDFS(num_nodes=2, block_bytes=4)
+        dfs.write("f", ["aaaa"] * 6)
+        dfs.rebalance(3)
+        nodes = [b.node for b in dfs.file("f").blocks]
+        assert set(nodes) == {0, 1, 2}
+
+    def test_num_bytes(self):
+        dfs = InMemoryDFS()
+        dfs.write("f", ["abc", "de"])
+        assert dfs.file("f").num_bytes == 5
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            InMemoryDFS(num_nodes=0)
+        with pytest.raises(ValueError):
+            InMemoryDFS(block_bytes=0)

@@ -1,0 +1,62 @@
+"""Tests for the naive oracle and the All-Pairs baseline."""
+
+import random
+
+from repro.core.allpairs import allpairs_rs_join, allpairs_self_join
+from repro.core.naive import naive_rs_join, naive_self_join
+from repro.core.prefixes import Projection
+from repro.core.similarity import Jaccard
+
+
+def projs(sets, base=0):
+    return [Projection(base + i, tuple(sorted(s))) for i, s in enumerate(sets)]
+
+
+class TestNaive:
+    def test_self_join_simple(self):
+        p = projs([{1, 2, 3}, {1, 2, 3}, {9}])
+        result = naive_self_join(p, Jaccard(), 0.8)
+        assert result == [(0, 1, 1.0)]
+
+    def test_self_join_excludes_self_pairs(self):
+        p = projs([{1}, {2}])
+        assert naive_self_join(p, Jaccard(), 0.1) == []
+
+    def test_self_join_canonical_order(self):
+        p = [Projection(9, (1, 2)), Projection(3, (1, 2))]
+        assert naive_self_join(p, Jaccard(), 0.9) == [(3, 9, 1.0)]
+
+    def test_rs_join_simple(self):
+        r = projs([{1, 2}])
+        s = projs([{1, 2}, {3}], base=100)
+        assert naive_rs_join(r, s, Jaccard(), 0.9) == [(0, 100, 1.0)]
+
+    def test_rs_join_keeps_direction(self):
+        r = projs([{1, 2}], base=50)
+        s = projs([{1, 2}], base=5)
+        assert naive_rs_join(r, s, Jaccard(), 0.9) == [(50, 5, 1.0)]
+
+    def test_empty_inputs(self):
+        assert naive_self_join([], Jaccard(), 0.5) == []
+        assert naive_rs_join([], projs([{1}]), Jaccard(), 0.5) == []
+
+
+class TestAllPairs:
+    def test_matches_naive_self(self):
+        rng = random.Random(77)
+        sets = [set(rng.sample(range(20), rng.randint(1, 8))) for _ in range(60)]
+        p = projs(sets)
+        assert [r[:2] for r in allpairs_self_join(p, Jaccard(), 0.6)] == [
+            r[:2] for r in naive_self_join(p, Jaccard(), 0.6)
+        ]
+
+    def test_matches_naive_rs(self):
+        rng = random.Random(78)
+        r = projs([set(rng.sample(range(15), rng.randint(1, 6))) for _ in range(30)])
+        s = projs(
+            [set(rng.sample(range(15), rng.randint(1, 6))) for _ in range(30)],
+            base=500,
+        )
+        assert [x[:2] for x in allpairs_rs_join(r, s, Jaccard(), 0.5)] == [
+            x[:2] for x in naive_rs_join(r, s, Jaccard(), 0.5)
+        ]

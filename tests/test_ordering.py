@@ -1,0 +1,96 @@
+"""Tests for the global token ordering (Stage 1's artifact)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.ordering import TokenOrder, count_token_frequencies
+from repro.core.tokenizers import WordTokenizer
+
+
+class TestCountTokenFrequencies:
+    def test_counts(self):
+        counts = count_token_frequencies(["a b", "b c b"], WordTokenizer())
+        assert counts["a"] == 1
+        assert counts["b"] == 2  # second "b" in one record widens to b#2
+        assert counts["b#2"] == 1
+        assert counts["c"] == 1
+
+    def test_empty(self):
+        assert count_token_frequencies([], WordTokenizer()) == {}
+
+
+class TestTokenOrder:
+    def test_ascending_frequency(self):
+        order = TokenOrder.from_frequencies({"common": 10, "rare": 1, "mid": 5})
+        assert list(order) == ["rare", "mid", "common"]
+
+    def test_tie_broken_lexicographically(self):
+        order = TokenOrder.from_frequencies({"b": 2, "a": 2, "c": 1})
+        assert list(order) == ["c", "a", "b"]
+
+    def test_rank(self):
+        order = TokenOrder(["x", "y"])
+        assert order.rank("x") == 0
+        assert order.rank("y") == 1
+
+    def test_unknown_ranks_last(self):
+        order = TokenOrder(["x", "y"])
+        assert order.rank("zzz") == 2
+
+    def test_duplicate_token_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            TokenOrder(["a", "a"])
+
+    def test_contains_and_len(self):
+        order = TokenOrder(["a", "b"])
+        assert "a" in order and "zz" not in order
+        assert len(order) == 2
+
+    def test_sort_tokens(self):
+        order = TokenOrder(["back", "call", "will", "i"])
+        assert order.sort_tokens(["i", "will", "call", "back"]) == [
+            "back", "call", "will", "i",
+        ]
+
+    def test_sort_tokens_drop_unknown(self):
+        order = TokenOrder(["a", "b"])
+        assert order.sort_tokens(["b", "zz", "a"], drop_unknown=True) == ["a", "b"]
+
+    def test_from_values(self):
+        order = TokenOrder.from_values(["a b b", "b"], WordTokenizer())
+        assert order.rank("b") > order.rank("a")
+
+    def test_roundtrip_lines(self):
+        order = TokenOrder(["t1", "t2", "t3"])
+        assert list(TokenOrder.from_lines(order.to_lines())) == ["t1", "t2", "t3"]
+
+
+class TestEncode:
+    def test_encode_sorts_by_rank(self):
+        order = TokenOrder(["rare", "mid", "common"])
+        assert order.encode(["common", "rare"]) == (0, 2)
+
+    def test_encode_unknown_error(self):
+        order = TokenOrder(["a"])
+        with pytest.raises(KeyError):
+            order.encode(["a", "zz"])
+
+    def test_encode_unknown_drop(self):
+        order = TokenOrder(["a", "b"])
+        assert order.encode(["b", "zz", "a"], unknown="drop") == (0, 1)
+
+    def test_encode_invalid_mode(self):
+        with pytest.raises(ValueError):
+            TokenOrder(["a"]).encode(["a"], unknown="ignore")
+
+    def test_decode_roundtrip(self):
+        order = TokenOrder(["a", "b", "c"])
+        ranks = order.encode(["c", "a"])
+        assert order.decode(ranks) == ["a", "c"]
+
+    @given(st.lists(st.sampled_from("abcdefgh"), unique=True))
+    def test_encode_monotone(self, tokens):
+        order = TokenOrder("abcdefgh")
+        encoded = order.encode(tokens)
+        assert list(encoded) == sorted(encoded)
+        assert len(encoded) == len(tokens)

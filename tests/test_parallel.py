@@ -1,0 +1,144 @@
+"""Tests for the fork-based parallel executor: byte-identical results
+to the sequential cluster, across the whole pipeline."""
+
+import multiprocessing
+
+import pytest
+
+from repro.join.config import JoinConfig
+from repro.join.driver import ssjoin_rs, ssjoin_self
+from repro.mapreduce.cluster import ClusterConfig, SimulatedCluster
+from repro.mapreduce.dfs import InMemoryDFS
+from repro.mapreduce.job import MapReduceJob
+from repro.mapreduce.parallel import ForkParallelCluster
+from repro.mapreduce.types import InsufficientMemoryError
+
+from tests.conftest import SCHEMA_1, random_records
+
+pytestmark = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="fork start method unavailable",
+)
+
+
+def make_pair(num_nodes=4, workers=2, **cfg):
+    defaults = dict(
+        num_nodes=num_nodes, job_startup_s=0, task_startup_s=0,
+        cpu_scale=1.0, data_scale=1.0,
+    )
+    defaults.update(cfg)
+    sequential = SimulatedCluster(
+        ClusterConfig(**defaults), InMemoryDFS(num_nodes=num_nodes, block_bytes=512)
+    )
+    parallel = ForkParallelCluster(
+        ClusterConfig(**defaults),
+        InMemoryDFS(num_nodes=num_nodes, block_bytes=512),
+        workers=workers,
+        min_tasks_for_pool=1,
+    )
+    return sequential, parallel
+
+
+def word_count_job():
+    def mapper(record, ctx):
+        for token in record.split():
+            ctx.emit(token, 1)
+
+    def combiner(key, values, ctx):
+        ctx.emit(key, sum(values))
+
+    def reducer(key, values, ctx):
+        ctx.write((key, sum(values)))
+
+    return MapReduceJob(
+        name="wc", inputs=["docs"], output="counts",
+        mapper=mapper, reducer=reducer, combiner=combiner, num_reducers=4,
+    )
+
+
+class TestParallelEquivalence:
+    def test_word_count_identical(self):
+        sequential, parallel = make_pair()
+        docs = [f"w{i % 17} w{i % 5} w{i % 3}" for i in range(300)]
+        sequential.dfs.write("docs", docs)
+        parallel.dfs.write("docs", docs)
+        seq_stats = sequential.run_job(word_count_job())
+        par_stats = parallel.run_job(word_count_job())
+        assert sequential.dfs.read_all("counts") == parallel.dfs.read_all("counts")
+        # counters identical too (except timing-dependent none exist)
+        assert seq_stats.counters == par_stats.counters
+
+    def test_full_selfjoin_identical(self, rng):
+        records = random_records(rng, 80)
+        sequential, parallel = make_pair()
+        sequential.dfs.write("records", records)
+        parallel.dfs.write("records", records)
+        config = JoinConfig(threshold=0.5, schema=SCHEMA_1)
+        seq_report = ssjoin_self(sequential, "records", config)
+        par_report = ssjoin_self(parallel, "records", config)
+        assert sequential.dfs.read_all(seq_report.output_file) == parallel.dfs.read_all(
+            par_report.output_file
+        )
+
+    def test_full_rsjoin_identical(self, rng):
+        r = random_records(rng, 40)
+        s = random_records(rng, 40, rid_base=1000)
+        sequential, parallel = make_pair()
+        for cluster in (sequential, parallel):
+            cluster.dfs.write("r", r)
+            cluster.dfs.write("s", s)
+        config = JoinConfig(threshold=0.5, schema=SCHEMA_1)
+        seq_report = ssjoin_rs(sequential, "r", "s", config)
+        par_report = ssjoin_rs(parallel, "r", "s", config)
+        assert sequential.dfs.read_all(seq_report.output_file) == parallel.dfs.read_all(
+            par_report.output_file
+        )
+
+    def test_broadcast_job_identical(self, rng):
+        """OPRJ exercises broadcast handoff to workers."""
+        records = random_records(rng, 60)
+        sequential, parallel = make_pair()
+        sequential.dfs.write("records", records)
+        parallel.dfs.write("records", records)
+        config = JoinConfig(threshold=0.5, schema=SCHEMA_1, stage3="oprj")
+        seq_report = ssjoin_self(sequential, "records", config)
+        par_report = ssjoin_self(parallel, "records", config)
+        assert sequential.dfs.read_all(seq_report.output_file) == parallel.dfs.read_all(
+            par_report.output_file
+        )
+
+
+class TestParallelBehaviour:
+    def test_small_jobs_run_inline(self):
+        parallel = ForkParallelCluster(
+            ClusterConfig(num_nodes=1, job_startup_s=0, task_startup_s=0),
+            InMemoryDFS(num_nodes=1, block_bytes=10**6),
+            workers=2,
+            min_tasks_for_pool=10,
+        )
+        parallel.dfs.write("docs", ["a b", "b c"])
+        parallel.run_job(word_count_job())
+        assert sorted(parallel.dfs.read_all("counts")) == [("a", 1), ("b", 2), ("c", 1)]
+
+    def test_memory_error_propagates_from_worker(self, rng):
+        records = random_records(rng, 80, dup_rate=0.6)
+        _sequential, parallel = make_pair(memory_per_task_mb=0.0001)
+        parallel.dfs.write("records", records)
+        with pytest.raises(InsufficientMemoryError) as exc_info:
+            ssjoin_self(parallel, "records", JoinConfig(threshold=0.5, schema=SCHEMA_1))
+        assert exc_info.value.limit_bytes > 0  # fields survived pickling
+
+    def test_stats_structure(self, rng):
+        records = random_records(rng, 60)
+        _sequential, parallel = make_pair()
+        parallel.dfs.write("records", records)
+        report = ssjoin_self(
+            parallel, "records", JoinConfig(threshold=0.5, schema=SCHEMA_1)
+        )
+        assert report.total_simulated_s > 0
+        assert all(
+            task.cpu_seconds >= 0
+            for stats in report.stages.values()
+            for phase in stats.phases
+            for task in phase.map_tasks + phase.reduce_tasks
+        )

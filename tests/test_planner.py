@@ -1,0 +1,31 @@
+"""Tests for the configuration recommender."""
+
+from repro.join.config import JoinConfig
+from repro.join.planner import estimate_oprj_index_bytes, recommend_config
+
+
+class TestRecommendConfig:
+    def test_default_is_paper_recommendation(self):
+        assert recommend_config().combo_name == "BTO-PK-BRJ"
+
+    def test_unknown_pairs_stays_robust(self):
+        assert recommend_config(memory_per_task_mb=256).combo_name == "BTO-PK-BRJ"
+
+    def test_small_pair_list_suggests_oprj(self):
+        config = recommend_config(expected_pairs=1000, memory_per_task_mb=256)
+        assert config.combo_name == "BTO-PK-OPRJ"
+
+    def test_huge_pair_list_stays_brj(self):
+        config = recommend_config(expected_pairs=50_000_000, memory_per_task_mb=256)
+        assert config.combo_name == "BTO-PK-BRJ"
+
+    def test_base_settings_preserved(self):
+        base = JoinConfig(similarity="cosine", threshold=0.9, stage1="opto", kernel="bk")
+        config = recommend_config(base=base)
+        assert config.sim.name == "cosine"
+        assert config.threshold == 0.9
+        # but the stage algorithms are replaced by the recommendation
+        assert config.combo_name == "BTO-PK-BRJ"
+
+    def test_estimate_monotone(self):
+        assert estimate_oprj_index_bytes(10) < estimate_oprj_index_bytes(100)

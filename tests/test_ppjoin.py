@@ -1,0 +1,186 @@
+"""Tests for the PPJoin+ kernel, including differential testing
+against the naive oracle (the library's strongest correctness check)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.naive import naive_rs_join, naive_self_join
+from repro.core.ppjoin import PPJoinIndex, ppjoin_rs_join, ppjoin_self_join
+from repro.core.prefixes import Projection
+from repro.core.similarity import Cosine, Dice, Jaccard
+
+
+def projections(list_of_sets, base=0):
+    return [
+        Projection(base + i, tuple(sorted(s))) for i, s in enumerate(list_of_sets)
+    ]
+
+
+proj_sets = st.lists(
+    st.sets(st.integers(min_value=0, max_value=25), max_size=12),
+    max_size=25,
+)
+
+
+class TestPPJoinIndexBasics:
+    def test_probe_then_add_finds_pair(self):
+        index = PPJoinIndex(Jaccard(), 0.5)
+        index.add(1, (1, 2, 3))
+        results = index.probe(2, (1, 2, 3))
+        assert results == [(1, 1.0)]
+
+    def test_probe_empty_index(self):
+        index = PPJoinIndex(Jaccard(), 0.5)
+        assert index.probe(1, (1, 2)) == []
+
+    def test_empty_tokens_noop(self):
+        index = PPJoinIndex(Jaccard(), 0.5)
+        index.add(1, ())
+        assert index.probe(2, ()) == []
+        assert index.live_entries == 0
+
+    def test_invalid_mode(self):
+        with pytest.raises(ValueError):
+            PPJoinIndex(Jaccard(), 0.5, mode="both")
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            PPJoinIndex(Jaccard(), -0.5)
+
+    def test_unsorted_add_rejected_with_eviction(self):
+        index = PPJoinIndex(Jaccard(), 0.5, evict=True)
+        index.add(1, (1, 2, 3))
+        with pytest.raises(ValueError, match="non-decreasing"):
+            index.add(2, (1,))
+
+    def test_unsorted_add_allowed_without_eviction(self):
+        index = PPJoinIndex(Jaccard(), 0.5, evict=False)
+        index.add(1, (1, 2, 3))
+        index.add(2, (1,))  # fine
+
+    def test_true_size_smaller_than_tokens_rejected(self):
+        index = PPJoinIndex(Jaccard(), 0.5, mode="rs", evict=False)
+        index.add(1, (1, 2))
+        with pytest.raises(ValueError, match="true_size"):
+            index.probe(2, (1, 2, 3), true_size=2)
+
+
+class TestEvictionAndMemory:
+    def test_eviction_drops_short_entries(self):
+        index = PPJoinIndex(Jaccard(), 0.9)
+        index.add(1, tuple(range(2)))
+        index.add(2, tuple(range(20)))
+        # probing with a long record makes size-2 entries unreachable
+        index.probe(3, tuple(range(100, 120)))
+        assert index.live_entries == 1
+
+    def test_live_bytes_tracks_eviction(self):
+        index = PPJoinIndex(Jaccard(), 0.9)
+        index.add(1, tuple(range(4)))
+        before = index.live_bytes
+        assert before > 0
+        index.probe(2, tuple(range(50, 80)))
+        assert index.live_bytes < before
+
+    def test_peak_live_entries(self):
+        index = PPJoinIndex(Jaccard(), 0.8)
+        for i in range(5):
+            index.add(i, tuple(range(10)))
+        assert index.peak_live_entries == 5
+
+    def test_eviction_never_loses_results(self):
+        """Differential check with sizes crafted to trigger eviction."""
+        rng = random.Random(5)
+        sets = [set(rng.sample(range(30), rng.randint(1, 3))) for _ in range(20)]
+        sets += [set(rng.sample(range(30), rng.randint(10, 14))) for _ in range(20)]
+        projs = projections(sets)
+        assert ppjoin_self_join(projs, Jaccard(), 0.6) == naive_self_join(
+            projs, Jaccard(), 0.6
+        )
+
+
+class TestSelfJoinDifferential:
+    @pytest.mark.parametrize("sim", [Jaccard(), Cosine(), Dice()])
+    @pytest.mark.parametrize("threshold", [0.5, 0.8, 0.95])
+    def test_random_corpus(self, sim, threshold):
+        rng = random.Random(hash((sim.name, threshold)) & 0xFFFF)
+        sets = [
+            set(rng.sample(range(25), rng.randint(0, 10))) for _ in range(80)
+        ]
+        # inject near-duplicates
+        for i in range(0, 80, 4):
+            dup = set(sets[i])
+            if dup and rng.random() < 0.5:
+                dup.pop()
+            sets.append(dup)
+        projs = projections(sets)
+        expected = naive_self_join(projs, sim, threshold)
+        got = ppjoin_self_join(projs, sim, threshold)
+        assert [p[:2] for p in got] == [p[:2] for p in expected]
+        for (_, _, s1), (_, _, s2) in zip(got, expected):
+            assert s1 == pytest.approx(s2)
+
+    @given(proj_sets, st.sampled_from([0.5, 0.7, 0.8, 0.9]))
+    @settings(max_examples=60, deadline=None)
+    def test_property_matches_oracle(self, sets, threshold):
+        projs = projections(sets)
+        sim = Jaccard()
+        assert [p[:2] for p in ppjoin_self_join(projs, sim, threshold)] == [
+            p[:2] for p in naive_self_join(projs, sim, threshold)
+        ]
+
+    def test_filters_off_still_correct(self):
+        rng = random.Random(9)
+        sets = [set(rng.sample(range(20), rng.randint(1, 8))) for _ in range(50)]
+        projs = projections(sets)
+        base = naive_self_join(projs, Jaccard(), 0.6)
+        for pos, suf in [(False, False), (True, False), (False, True)]:
+            got = ppjoin_self_join(
+                projs, Jaccard(), 0.6, use_positional=pos, use_suffix=suf
+            )
+            assert [p[:2] for p in got] == [p[:2] for p in base]
+
+
+class TestRSJoinDifferential:
+    @given(proj_sets, proj_sets, st.sampled_from([0.5, 0.8]))
+    @settings(max_examples=40, deadline=None)
+    def test_property_matches_oracle(self, r_sets, s_sets, threshold):
+        r = projections(r_sets)
+        s = projections(s_sets, base=1000)
+        sim = Jaccard()
+        assert [p[:2] for p in ppjoin_rs_join(r, s, sim, threshold)] == [
+            p[:2] for p in naive_rs_join(r, s, sim, threshold)
+        ]
+
+    def test_true_size_probe(self):
+        """Dropped S-only tokens: similarity must use the original size."""
+        index = PPJoinIndex(Jaccard(), 0.5, mode="rs", evict=False)
+        index.add(1, (1, 2, 3, 4))
+        # S record originally had 5 tokens; one was S-only and dropped
+        results = index.probe(2, (1, 2, 3, 4), true_size=5)
+        assert results == [(1, pytest.approx(4 / 5))]
+
+    def test_true_size_excludes_near_miss(self):
+        index = PPJoinIndex(Jaccard(), 0.9, mode="rs", evict=False)
+        index.add(1, (1, 2, 3, 4))
+        # with true size 6 the best possible jaccard is 4/6 < 0.9
+        assert index.probe(2, (1, 2, 3, 4), true_size=6) == []
+
+
+class TestDeterminism:
+    def test_output_sorted(self):
+        rng = random.Random(2)
+        sets = [set(rng.sample(range(15), rng.randint(1, 6))) for _ in range(40)]
+        projs = projections(sets)
+        result = ppjoin_self_join(projs, Jaccard(), 0.5)
+        assert result == sorted(result)
+
+    def test_repeat_runs_identical(self):
+        rng = random.Random(3)
+        sets = [set(rng.sample(range(15), rng.randint(1, 6))) for _ in range(40)]
+        projs = projections(sets)
+        assert ppjoin_self_join(projs, Jaccard(), 0.5) == ppjoin_self_join(
+            projs, Jaccard(), 0.5
+        )

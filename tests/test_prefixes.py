@@ -1,0 +1,83 @@
+"""Tests for record projections, prefixes and token grouping."""
+
+import pytest
+
+from repro.core.ordering import TokenOrder
+from repro.core.prefixes import (
+    Projection,
+    TokenGrouping,
+    index_prefix,
+    probe_prefix,
+)
+from repro.core.similarity import Jaccard
+
+
+class TestProjection:
+    def test_size(self):
+        assert Projection(1, (3, 5, 9)).size == 3
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            Projection(1, ()).rid = 2
+
+    def test_equality(self):
+        assert Projection(1, (2,)) == Projection(1, (2,))
+
+
+class TestPrefixes:
+    def test_probe_prefix_tau08(self):
+        tokens = tuple(range(10))
+        assert probe_prefix(tokens, Jaccard(), 0.8) == (0, 1, 2)
+
+    def test_index_prefix_never_longer(self):
+        sim = Jaccard()
+        for n in range(1, 40):
+            tokens = tuple(range(n))
+            assert len(index_prefix(tokens, sim, 0.8)) <= len(
+                probe_prefix(tokens, sim, 0.8)
+            )
+
+    def test_empty(self):
+        assert probe_prefix((), Jaccard(), 0.8) == ()
+
+    def test_prefix_takes_lowest_ranks(self):
+        # tokens are rank-sorted, so the prefix is the rarest tokens
+        tokens = (2, 7, 11, 30, 31)
+        assert probe_prefix(tokens, Jaccard(), 0.8) == (2, 7)
+
+
+class TestTokenGrouping:
+    def test_round_robin(self):
+        order = TokenOrder([f"t{i}" for i in range(6)])
+        grouping = TokenGrouping(order, 3)
+        assert [grouping.group_of(f"t{i}") for i in range(6)] == [0, 1, 2, 0, 1, 2]
+
+    def test_group_of_rank(self):
+        grouping = TokenGrouping(TokenOrder(["a", "b", "c"]), 2)
+        assert grouping.group_of_rank(0) == 0
+        assert grouping.group_of_rank(3) == 1
+
+    def test_one_group_per_token(self):
+        order = TokenOrder(["a", "b", "c"])
+        grouping = TokenGrouping.one_group_per_token(order)
+        assert grouping.num_groups == 3
+        assert grouping.group_of_rank(1) == 1  # identity
+
+    def test_groups_of_ranks_distinct_first_seen(self):
+        grouping = TokenGrouping(TokenOrder(list("abcdef")), 2)
+        assert grouping.groups_of_ranks([0, 2, 1, 4]) == [0, 1]
+
+    def test_invalid_group_count(self):
+        with pytest.raises(ValueError):
+            TokenGrouping(TokenOrder(["a"]), 0)
+
+    def test_balances_frequency_sum(self):
+        """Round-robin over the ascending-frequency order balances the
+        sum of frequencies across groups (the paper's stated goal)."""
+        freqs = {f"t{i}": i + 1 for i in range(100)}
+        order = TokenOrder.from_frequencies(freqs)
+        grouping = TokenGrouping(order, 4)
+        sums = [0.0] * 4
+        for token, freq in freqs.items():
+            sums[grouping.group_of(token)] += freq
+        assert max(sums) - min(sums) <= 100  # within one max-frequency step

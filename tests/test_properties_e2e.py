@@ -1,0 +1,101 @@
+"""Property-based end-to-end tests: the full MapReduce pipeline against
+the record-level oracle on hypothesis-generated corpora.
+
+These are the heaviest tests in the suite and the strongest guarantee:
+any divergence between the distributed pipeline (projection, routing,
+kernels, record join) and a quadratic scan over the raw records is a
+bug somewhere in the stack.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.naive import naive_rs_join, naive_self_join
+from repro.join.config import JoinConfig
+from repro.join.driver import set_similarity_rs_join, set_similarity_self_join
+from repro.join.records import make_line, rid_of
+
+from tests.conftest import SCHEMA_1, make_cluster, oracle_projections, pair_keys
+
+words = st.sampled_from([f"t{i}" for i in range(18)])
+titles = st.lists(words, min_size=0, max_size=8).map(" ".join)
+corpora = st.lists(titles, min_size=0, max_size=30)
+
+heavy = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+def to_records(titles_list, base=0):
+    return [
+        make_line(base + i, [title, "payload"]) for i, title in enumerate(titles_list)
+    ]
+
+
+class TestSelfJoinProperties:
+    @given(corpora, st.sampled_from([0.5, 0.8]),
+           st.sampled_from(["bk", "pk"]), st.sampled_from(["brj", "oprj"]))
+    @heavy
+    def test_pipeline_equals_oracle(self, titles_list, threshold, kernel, stage3):
+        records = to_records(titles_list)
+        config = JoinConfig(
+            threshold=threshold, schema=SCHEMA_1, kernel=kernel, stage3=stage3
+        )
+        pairs, _ = set_similarity_self_join(records, config, cluster=make_cluster())
+        got = pair_keys((rid_of(a), rid_of(b), s) for a, b, s in pairs)
+        expected = pair_keys(
+            naive_self_join(oracle_projections(records), config.sim, threshold)
+        )
+        assert got == expected
+
+    @given(corpora)
+    @heavy
+    def test_join_is_symmetric_in_rid_relabeling(self, titles_list):
+        """Reversing RID assignment must produce the same pair set
+        modulo relabeling — catches order-dependence bugs."""
+        config = JoinConfig(threshold=0.5, schema=SCHEMA_1)
+        forward = to_records(titles_list)
+        n = len(titles_list)
+        backward = to_records(list(reversed(titles_list)))
+        p1, _ = set_similarity_self_join(forward, config, cluster=make_cluster())
+        p2, _ = set_similarity_self_join(backward, config, cluster=make_cluster())
+        k1 = pair_keys((rid_of(a), rid_of(b), s) for a, b, s in p1)
+        k2 = pair_keys((rid_of(a), rid_of(b), s) for a, b, s in p2)
+        relabeled = sorted(
+            tuple(sorted((n - 1 - a, n - 1 - b))) for a, b in k2
+        )
+        assert k1 == relabeled
+
+
+class TestRSJoinProperties:
+    @given(corpora, corpora, st.sampled_from(["bk", "pk"]))
+    @heavy
+    def test_pipeline_equals_oracle(self, r_titles, s_titles, kernel):
+        r = to_records(r_titles)
+        s = to_records(s_titles, base=1000)
+        config = JoinConfig(threshold=0.5, schema=SCHEMA_1, kernel=kernel)
+        pairs, _ = set_similarity_rs_join(r, s, config, cluster=make_cluster())
+        got = sorted({(rid_of(a), rid_of(b)) for a, b, _ in pairs})
+        expected = sorted(
+            p[:2]
+            for p in naive_rs_join(
+                oracle_projections(r), oracle_projections(s), config.sim, 0.5
+            )
+        )
+        assert got == expected
+
+    @given(corpora)
+    @heavy
+    def test_rs_with_itself_contains_self_join(self, titles_list):
+        """R ⋈ R (as two relations) must contain every self-join pair in
+        both directions plus the diagonal."""
+        r = to_records(titles_list)
+        s = to_records(titles_list, base=1000)
+        config = JoinConfig(threshold=0.5, schema=SCHEMA_1)
+        self_pairs, _ = set_similarity_self_join(r, config, cluster=make_cluster())
+        rs_pairs, _ = set_similarity_rs_join(r, s, config, cluster=make_cluster())
+        self_keys = {(rid_of(a), rid_of(b)) for a, b, _ in self_pairs}
+        rs_keys = {(rid_of(a), rid_of(b) - 1000) for a, b, _ in rs_pairs}
+        for a, b in self_keys:
+            assert (a, b) in rs_keys and (b, a) in rs_keys

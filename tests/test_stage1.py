@@ -1,0 +1,120 @@
+"""Tests for Stage 1 (token ordering): BTO and OPTO must produce the
+same, correct global order."""
+
+from collections import Counter
+
+import pytest
+
+from repro.core.ordering import TokenOrder
+from repro.core.tokenizers import WordTokenizer
+from repro.join.config import JoinConfig
+from repro.join.records import join_value, make_line
+from repro.join.stage1 import bto_jobs, opto_jobs, stage1_jobs
+from repro.mapreduce.pipeline import run_pipeline
+
+from tests.conftest import SCHEMA_1, make_cluster
+
+
+def run_stage1(records, algorithm, num_reducers=4):
+    cluster = make_cluster()
+    cluster.dfs.write("records", records)
+    config = JoinConfig(stage1=algorithm, schema=SCHEMA_1)
+    jobs = stage1_jobs(config, ["records"], "tokens", num_reducers)
+    stats = run_pipeline(cluster, jobs)
+    return cluster.dfs.read_all("tokens"), stats
+
+
+RECORDS = [
+    make_line(1, ["a b c", "x"]),
+    make_line(2, ["b c", "x"]),
+    make_line(3, ["c", "x"]),
+]
+
+
+def expected_order(records):
+    counts = Counter()
+    tokenizer = WordTokenizer()
+    for line in records:
+        counts.update(tokenizer.tokenize(join_value(line, SCHEMA_1)))
+    return [t for t, _ in sorted(counts.items(), key=lambda kv: (kv[1], kv[0]))]
+
+
+class TestBTO:
+    def test_order_ascending_frequency(self):
+        tokens, _ = run_stage1(RECORDS, "bto")
+        assert tokens == ["a", "b", "c"]
+
+    def test_two_phases(self):
+        _, stats = run_stage1(RECORDS, "bto")
+        assert [p.job_name for p in stats.phases] == ["bto-count", "bto-sort"]
+
+    def test_sort_phase_single_reducer(self):
+        _, stats = run_stage1(RECORDS, "bto")
+        assert len(stats.phases[1].reduce_tasks) == 1
+
+    def test_matches_reference_on_random_data(self, rng):
+        from tests.conftest import random_records
+
+        records = random_records(rng, 60)
+        tokens, _ = run_stage1(records, "bto")
+        assert tokens == expected_order(records)
+
+    def test_count_phase_uses_combiner(self):
+        _, stats = run_stage1(RECORDS, "bto")
+        assert stats.phases[0].counters["framework.combine_input_records"] > 0
+
+    def test_loadable_as_token_order(self):
+        tokens, _ = run_stage1(RECORDS, "bto")
+        order = TokenOrder(tokens)
+        assert order.rank("a") == 0
+
+
+class TestOPTO:
+    def test_order_matches_bto(self, rng):
+        from tests.conftest import random_records
+
+        records = random_records(rng, 60)
+        bto_tokens, _ = run_stage1(records, "bto")
+        opto_tokens, _ = run_stage1(records, "opto")
+        assert opto_tokens == bto_tokens
+
+    def test_single_phase_single_reducer(self):
+        _, stats = run_stage1(RECORDS, "opto")
+        assert len(stats.phases) == 1
+        assert len(stats.phases[0].reduce_tasks) == 1
+
+    def test_duplicate_tokens_counted(self):
+        records = [make_line(1, ["q q q", "x"]), make_line(2, ["z", "x"])]
+        tokens, _ = run_stage1(records, "opto")
+        # q appears once per record-occurrence widened: q, q#2, q#3 each x1, z x1
+        assert sorted(tokens) == ["q", "q#2", "q#3", "z"]
+
+
+class TestJobBuilders:
+    def test_stage1_jobs_dispatch(self):
+        config = JoinConfig(stage1="bto")
+        assert len(stage1_jobs(config, ["r"], "t", 2)) == 2
+        config = JoinConfig(stage1="opto")
+        assert len(stage1_jobs(config, ["r"], "t", 2)) == 1
+
+    def test_bto_intermediate_file_name(self):
+        jobs = bto_jobs(JoinConfig(), ["r"], "t", 2)
+        assert jobs[0].output == "t.counts"
+        assert jobs[1].inputs == ["t.counts"]
+
+    def test_opto_single_job(self):
+        (job,) = opto_jobs(JoinConfig(), ["r"], "t")
+        assert job.num_reducers == 1
+
+
+class TestMultiInput:
+    def test_order_over_one_relation_only(self):
+        """R-S Stage 1 runs on R only — the builder takes explicit inputs."""
+        cluster = make_cluster()
+        cluster.dfs.write("r", [make_line(1, ["alpha beta", "x"])])
+        cluster.dfs.write("s", [make_line(2, ["gamma", "x"])])
+        config = JoinConfig(schema=SCHEMA_1)
+        run_pipeline(cluster, stage1_jobs(config, ["r"], "tokens", 2))
+        tokens = cluster.dfs.read_all("tokens")
+        assert "gamma" not in tokens
+        assert set(tokens) == {"alpha", "beta"}

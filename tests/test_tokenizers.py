@@ -1,0 +1,113 @@
+"""Tests for repro.core.tokenizers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.tokenizers import (
+    QGramTokenizer,
+    WordTokenizer,
+    clean_text,
+)
+
+
+class TestCleanText:
+    def test_lowercases(self):
+        assert clean_text("Hello World") == "hello world"
+
+    def test_strips_punctuation(self):
+        assert clean_text("Smith, John W.") == "smith john w"
+
+    def test_collapses_whitespace(self):
+        assert clean_text("a   b\t c") == "a b c"
+
+    def test_strips_ends(self):
+        assert clean_text("  x  ") == "x"
+
+    def test_keeps_digits(self):
+        assert clean_text("Top-10 results (2009)") == "top 10 results 2009"
+
+    def test_empty(self):
+        assert clean_text("") == ""
+
+    def test_only_punctuation(self):
+        assert clean_text("!!! ???") == ""
+
+
+class TestWordTokenizer:
+    def test_paper_example(self):
+        assert WordTokenizer().tokenize("I will call back") == [
+            "i", "will", "call", "back",
+        ]
+
+    def test_duplicates_widened(self):
+        assert WordTokenizer().tokenize("a b a a") == ["a", "b", "a#2", "a#3"]
+
+    def test_widening_preserves_count(self):
+        tokens = WordTokenizer().tokenize("x x y x y")
+        assert len(tokens) == 5
+        assert len(set(tokens)) == 5
+
+    def test_no_clean_mode(self):
+        assert WordTokenizer(clean=False).tokenize("Hello, World") == ["Hello,", "World"]
+
+    def test_empty_string(self):
+        assert WordTokenizer().tokenize("") == []
+
+    def test_tokenize_set(self):
+        assert WordTokenizer().tokenize_set("a b a") == {"a", "b", "a#2"}
+
+    def test_repr(self):
+        assert "WordTokenizer" in repr(WordTokenizer())
+
+    @given(st.text())
+    def test_always_duplicate_free(self, text):
+        tokens = WordTokenizer().tokenize(text)
+        assert len(tokens) == len(set(tokens))
+
+    @given(st.text(alphabet="ab ", max_size=30))
+    def test_deterministic(self, text):
+        assert WordTokenizer().tokenize(text) == WordTokenizer().tokenize(text)
+
+
+class TestQGramTokenizer:
+    def test_basic_bigrams(self):
+        grams = QGramTokenizer(q=2, clean=False).tokenize("ab")
+        assert grams == ["$a", "ab", "b$"]
+
+    def test_q1_is_characters(self):
+        assert QGramTokenizer(q=1, clean=False).tokenize("abc") == ["a", "b", "c"]
+
+    def test_padding_length(self):
+        grams = QGramTokenizer(q=3, clean=False).tokenize("abcd")
+        # padded length = 4 + 2*2 = 8 -> 6 grams
+        assert len(grams) == 6
+        assert grams[0] == "$$a"
+        assert grams[-1] == "d$$"
+
+    def test_empty(self):
+        assert QGramTokenizer(q=3).tokenize("") == []
+
+    def test_invalid_q(self):
+        with pytest.raises(ValueError):
+            QGramTokenizer(q=0)
+
+    def test_invalid_pad(self):
+        with pytest.raises(ValueError):
+            QGramTokenizer(pad="##")
+
+    def test_duplicate_grams_widened(self):
+        grams = QGramTokenizer(q=2, clean=False).tokenize("aaa")
+        assert len(grams) == len(set(grams))
+
+    def test_cleaning_applies(self):
+        assert QGramTokenizer(q=2).tokenize("A!") == QGramTokenizer(q=2).tokenize("a")
+
+    @given(st.text(alphabet="abc", max_size=20), st.integers(min_value=1, max_value=4))
+    def test_gram_count(self, text, q):
+        grams = QGramTokenizer(q=q, clean=False).tokenize(text)
+        if not text:
+            assert grams == []
+        elif q == 1:
+            assert len(grams) == len(text)
+        else:
+            assert len(grams) == len(text) + q - 1

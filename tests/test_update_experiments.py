@@ -1,0 +1,55 @@
+"""Tests for the EXPERIMENTS.md refresh tool."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+TOOL = Path(__file__).parent.parent / "benchmarks" / "update_experiments.py"
+
+
+@pytest.fixture
+def tool(tmp_path, monkeypatch):
+    spec = importlib.util.spec_from_file_location("update_experiments", TOOL)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    monkeypatch.setattr(module, "ROOT", tmp_path)
+    monkeypatch.setattr(module, "RESULTS", tmp_path / "results")
+    monkeypatch.setattr(
+        module, "SOURCES", {"FIG8": "test_fig8", "TABLE1": "test_table1"}
+    )
+    (tmp_path / "results").mkdir()
+    return module, tmp_path
+
+
+def test_fills_placeholders(tool):
+    module, root = tool
+    (root / "results" / "test_fig8.txt").write_text("fig8 rows\n")
+    (root / "results" / "test_table1.txt").write_text("table1 rows\n")
+    (root / "EXPERIMENTS.md").write_text("intro\n<!--FIG8-->\nmid\n<!--TABLE1-->\n")
+    assert module.main() == 0
+    text = (root / "EXPERIMENTS.md").read_text()
+    assert "fig8 rows" in text and "table1 rows" in text
+    assert "<!--/FIG8-->" in text  # managed block markers inserted
+
+
+def test_idempotent_refresh(tool):
+    module, root = tool
+    (root / "results" / "test_fig8.txt").write_text("old rows\n")
+    (root / "results" / "test_table1.txt").write_text("t1\n")
+    (root / "EXPERIMENTS.md").write_text("<!--FIG8-->\n<!--TABLE1-->\n")
+    module.main()
+    (root / "results" / "test_fig8.txt").write_text("new rows\n")
+    module.main()
+    text = (root / "EXPERIMENTS.md").read_text()
+    assert "new rows" in text
+    assert "old rows" not in text
+    assert text.count("<!--FIG8-->") == 1
+
+
+def test_missing_results_reported(tool, capsys):
+    module, root = tool
+    (root / "EXPERIMENTS.md").write_text("<!--FIG8-->\n<!--TABLE1-->\n")
+    assert module.main() == 1
+    assert "missing result files" in capsys.readouterr().err

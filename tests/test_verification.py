@@ -1,0 +1,79 @@
+"""Tests for merge-based overlap and pair verification."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.similarity import Jaccard
+from repro.core.verification import overlap, verify_pair
+
+sets_strategy = st.sets(st.integers(min_value=0, max_value=30), max_size=15)
+
+
+class TestOverlap:
+    def test_basic(self):
+        assert overlap([1, 2, 3], [2, 3, 4]) == 2
+
+    def test_disjoint(self):
+        assert overlap([1, 2], [3, 4]) == 0
+
+    def test_identical(self):
+        assert overlap([1, 2, 3], [1, 2, 3]) == 3
+
+    def test_empty(self):
+        assert overlap([], [1]) == 0
+        assert overlap([], []) == 0
+
+    def test_early_exit_below_required(self):
+        # required=3 but only 1 common: may stop early, must stay < 3
+        assert overlap([1, 9], [9, 10, 11], required=3) < 3
+
+    def test_exact_when_reachable(self):
+        assert overlap([1, 2, 3, 4], [2, 3, 4, 5], required=3) == 3
+
+    def test_works_on_strings(self):
+        assert overlap(["a", "b"], ["b", "c"]) == 1
+
+    @given(sets_strategy, sets_strategy)
+    def test_matches_set_intersection(self, x, y):
+        assert overlap(sorted(x), sorted(y)) == len(x & y)
+
+    @given(sets_strategy, sets_strategy, st.integers(min_value=1, max_value=10))
+    def test_early_exit_never_false_positive(self, x, y, required):
+        got = overlap(sorted(x), sorted(y), required=required)
+        true = len(x & y)
+        if true >= required:
+            assert got == true  # full count when target reachable
+        else:
+            assert got <= true
+
+
+class TestVerifyPair:
+    def test_accepts_similar(self):
+        assert verify_pair(["a", "b", "c"], ["a", "b", "c"], Jaccard(), 0.8) == 1.0
+
+    def test_rejects_dissimilar(self):
+        assert verify_pair(["a", "b"], ["c", "d"], Jaccard(), 0.5) is None
+
+    def test_exact_value(self):
+        result = verify_pair(list("abcd"), list("abce"), Jaccard(), 0.5)
+        assert result == pytest.approx(3 / 5)
+
+    def test_empty_returns_none(self):
+        assert verify_pair([], ["a"], Jaccard(), 0.5) is None
+
+    def test_presorted_flag(self):
+        x, y = [1, 5, 9], [1, 5, 7]
+        assert verify_pair(x, y, Jaccard(), 0.4, presorted=True) == pytest.approx(0.5)
+
+    def test_unsorted_input_sorted_internally(self):
+        assert verify_pair(["c", "a", "b"], ["b", "c", "a"], Jaccard(), 0.9) == 1.0
+
+    @given(sets_strategy, sets_strategy, st.sampled_from([0.5, 0.7, 0.8, 0.9]))
+    def test_agrees_with_direct_similarity(self, x, y, t):
+        sim = Jaccard()
+        result = verify_pair(sorted(x), sorted(y), sim, t, presorted=True)
+        direct = sim.similarity(x, y)
+        if direct >= t:
+            assert result == pytest.approx(direct)
+        else:
+            assert result is None
