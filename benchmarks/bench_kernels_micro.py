@@ -1,11 +1,24 @@
-"""Kernel micro-benchmark — single-node join algorithms.
+"""Kernel micro-benchmark — single-node join algorithms and encodings.
 
 Not a paper figure; quantifies the filter stack the PK kernel builds
-on: brute force vs All-Pairs (prefix+length) vs PPJoin (positional) vs
-PPJoin+ (suffix), on one node with real wall-clock times.
+on (brute force vs All-Pairs vs PPJoin vs PPJoin+) plus the two token
+encodings the kernels accept: lexicographically sorted string tuples
+(the seed's representation) vs frequency-rank ``array('i')`` (the
+integer fast path, today's default).
+
+``test_bench_kernel_baseline`` additionally runs the end-to-end
+``ssjoin_self`` before/after comparison (seed ``ForkParallelCluster``
+vs the persistent executor) and emits
+``benchmarks/results/BENCH_kernel.json`` so future PRs have a perf
+trajectory to compare against.  It times manually (interleaved rounds,
+best-of), so the JSON is produced even under ``--benchmark-disable``.
 """
 
+import json
+import statistics
+import time
 from functools import lru_cache
+from pathlib import Path
 
 import pytest
 
@@ -17,23 +30,38 @@ from repro.core.ppjoin import ppjoin_self_join
 from repro.core.prefixes import Projection
 from repro.core.similarity import Jaccard
 from repro.core.tokenizers import WordTokenizer
+from repro.join.config import JoinConfig
+from repro.join.driver import ssjoin_self
 from repro.join.records import RecordSchema, join_value, rid_of
+from repro.mapreduce import (
+    ClusterConfig,
+    InMemoryDFS,
+    PersistentParallelCluster,
+    SimulatedCluster,
+)
+from repro.mapreduce.parallel import ForkParallelCluster
 
 NUM_RECORDS = 600  # brute force is O(n^2); keep the oracle affordable
+E2E_FACTOR = 5  # DBLP x5, per the perf acceptance criterion
+E2E_ROUNDS = 3
+RESULTS_JSON = Path(__file__).parent / "results" / "BENCH_kernel.json"
 
 
-def projections(records):
+def projections(records, encoding="rank"):
     schema = RecordSchema()
     tokenizer = WordTokenizer()
     values = [join_value(line, schema) for line in records]
     order = TokenOrder.from_frequencies(count_token_frequencies(values, tokenizer))
+    encode = order.encode_array if encoding == "rank" else order.encode_strings
     return [
-        Projection(rid_of(line), order.encode(tokenizer.tokenize(value)))
+        Projection(rid_of(line), encode(tokenizer.tokenize(value)))
         for line, value in zip(records, values)
     ]
 
 
-PROJS = projections(list(dblp_times(1))[:NUM_RECORDS])
+RECORDS = list(dblp_times(1))[:NUM_RECORDS]
+PROJS = projections(RECORDS)
+SPROJS = projections(RECORDS, encoding="string")
 SIM = Jaccard()
 
 KERNELS = {
@@ -41,6 +69,13 @@ KERNELS = {
     "allpairs": lambda: allpairs_self_join(PROJS, SIM, 0.8),
     "ppjoin": lambda: ppjoin_self_join(PROJS, SIM, 0.8, use_suffix=False),
     "ppjoin+": lambda: ppjoin_self_join(PROJS, SIM, 0.8),
+}
+
+# string-token vs rank-encoded verification: the same PPJoin+ kernel,
+# fed each encoding — identical RID pairs, different compare costs.
+ENCODINGS = {
+    "rank": lambda: ppjoin_self_join(PROJS, SIM, 0.8),
+    "string": lambda: ppjoin_self_join(SPROJS, SIM, 0.8),
 }
 
 
@@ -53,3 +88,97 @@ def reference_pairs() -> frozenset:
 def test_kernel_micro(benchmark, kernel):
     result = benchmark.pedantic(KERNELS[kernel], rounds=3, iterations=1)
     assert {tuple(p[:2]) for p in result} == reference_pairs()
+
+
+@pytest.mark.parametrize("encoding", list(ENCODINGS))
+def test_encoding_micro(benchmark, encoding):
+    result = benchmark.pedantic(ENCODINGS[encoding], rounds=3, iterations=1)
+    assert {tuple(p[:2]) for p in result} == reference_pairs()
+
+
+# ---------------------------------------------------------------------------
+# the committed baseline artifact
+# ---------------------------------------------------------------------------
+
+
+def _best_of(func, rounds=3):
+    times = []
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        func()
+        times.append(time.perf_counter() - t0)
+    return min(times)
+
+
+def _run_e2e(make_cluster, lines):
+    cluster = make_cluster()
+    cluster.dfs.write("in.records", lines)
+    t0 = time.perf_counter()
+    report = ssjoin_self(cluster, "in.records", JoinConfig())
+    wall = time.perf_counter() - t0
+    output = [list(b.records) for b in cluster.dfs.file(report.output_file).blocks]
+    stats = getattr(cluster, "executor", None)
+    pools = stats.stats.pools_created if stats is not None else None
+    if hasattr(cluster, "close"):
+        cluster.close()
+    return wall, output, pools
+
+
+def test_bench_kernel_baseline(record_result):
+    lines = list(dblp_times(E2E_FACTOR))
+
+    # kernel/encoding micro rows (best-of-3 wall clock)
+    micro = {name: _best_of(fn) for name, fn in ENCODINGS.items()}
+
+    # end-to-end before/after: seed per-phase-fork cluster vs the
+    # persistent engine, interleaved rounds so host noise hits both.
+    make = {
+        "fork": lambda: ForkParallelCluster(
+            ClusterConfig(), InMemoryDFS(), workers=2
+        ),
+        "persistent": lambda: PersistentParallelCluster(
+            ClusterConfig(), InMemoryDFS(), workers=2
+        ),
+    }
+    _, reference, _ = _run_e2e(lambda: SimulatedCluster(ClusterConfig(), InMemoryDFS()), lines)
+    walls = {name: [] for name in make}
+    pools_seen = None
+    for _ in range(E2E_ROUNDS):
+        for name, mk in make.items():
+            wall, output, pools = _run_e2e(mk, lines)
+            assert output == reference, f"{name} output diverged from SimulatedCluster"
+            walls[name].append(wall)
+            if name == "persistent":
+                pools_seen = pools
+    before, after = min(walls["fork"]), min(walls["persistent"])
+    improvement = 100.0 * (1.0 - after / before)
+
+    payload = {
+        "generated_by": "benchmarks/bench_kernels_micro.py::test_bench_kernel_baseline",
+        "kernel_micro": {
+            "workload": f"dblp x1[:{NUM_RECORDS}], ppjoin+ self-join, jaccard>=0.8",
+            "string_tokens_s": round(micro["string"], 4),
+            "rank_array_s": round(micro["rank"], 4),
+            "rank_speedup": round(micro["string"] / micro["rank"], 3),
+        },
+        "e2e_ssjoin_self": {
+            "workload": f"dblp x{E2E_FACTOR}, bto-pk-brj, workers=2",
+            "rounds": E2E_ROUNDS,
+            "before_fork_best_s": round(before, 3),
+            "after_persistent_best_s": round(after, 3),
+            "improvement_pct": round(improvement, 1),
+            "fork_all_s": [round(t, 3) for t in walls["fork"]],
+            "persistent_all_s": [round(t, 3) for t in walls["persistent"]],
+            "output_identical_to_simulated": True,
+            "persistent_pools_created": pools_seen,
+        },
+    }
+    RESULTS_JSON.parent.mkdir(exist_ok=True)
+    RESULTS_JSON.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    record_result(
+        "BENCH_kernel baseline\n"
+        f"  encoding micro: string={micro['string']:.4f}s rank={micro['rank']:.4f}s "
+        f"(x{micro['string'] / micro['rank']:.2f})\n"
+        f"  e2e ssjoin_self dblp x{E2E_FACTOR}: fork={before:.3f}s "
+        f"persistent={after:.3f}s improvement={improvement:.1f}%"
+    )

@@ -23,7 +23,11 @@ from repro.bench.harness import (
     stage_breakdown_scaleup,
     groups_sweep,
 )
-from repro.bench.reporting import format_table, format_speedup_series
+from repro.bench.reporting import (
+    format_executor_summary,
+    format_speedup_series,
+    format_table,
+)
 
 __all__ = [
     "BASE_DBLP_RECORDS",
@@ -46,4 +50,5 @@ __all__ = [
     "groups_sweep",
     "format_table",
     "format_speedup_series",
+    "format_executor_summary",
 ]

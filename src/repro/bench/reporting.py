@@ -36,6 +36,33 @@ def rows_to_table(rows: list[dict], columns: Sequence[str], title: str = "") -> 
     return format_table(columns, [[row.get(c) for c in columns] for row in rows], title)
 
 
+def format_executor_summary(summary: dict, title: str = "executor") -> str:
+    """Render a :meth:`JoinReport.executor_summary` dict as one table row.
+
+    All-zero summaries (sequential runs) render too — the row then just
+    shows zero pooled phases.
+    """
+    util = 0.0
+    if summary.get("pool_wall_s"):
+        util = summary["busy_s"] / (summary["pool_wall_s"] or 1.0)
+    headers = [
+        "pools", "pooled", "inline", "tasks", "chunks",
+        "to_workers_kb", "from_workers_kb", "spill_kb", "util",
+    ]
+    row = [
+        summary.get("pools_created", 0),
+        summary.get("pooled_phases", 0),
+        summary.get("inline_phases", 0),
+        summary.get("tasks", 0),
+        summary.get("chunks", 0),
+        summary.get("bytes_to_workers", 0) / 1024.0,
+        summary.get("bytes_from_workers", 0) / 1024.0,
+        summary.get("spill_bytes_written", 0) / 1024.0,
+        util,
+    ]
+    return format_table(headers, [row], title=title)
+
+
 def format_speedup_series(rows: list[dict], baseline_key: int) -> str:
     """Fig. 10-style relative speedup: time(baseline) / time(n) per combo."""
     by_combo: dict[str, dict[int, float]] = {}

@@ -53,7 +53,12 @@ def _add_join_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--stats", action="store_true",
                         help="print per-stage simulated times to stderr")
     parser.add_argument("--parallel", type=int, metavar="WORKERS", default=None,
-                        help="run map/reduce tasks on this many worker processes")
+                        help="run map/reduce tasks on this many worker processes "
+                             "(persistent pool, one fork per join)")
+    parser.add_argument("--token-encoding", default="rank",
+                        choices=["rank", "string"],
+                        help="kernel token representation: frequency-rank "
+                             "array('i') (default) or sorted string tuples")
     parser.add_argument("--dfs-dir", default=None, metavar="PATH",
                         help="back the DFS with this directory instead of RAM")
 
@@ -73,6 +78,7 @@ def _build_config(args: argparse.Namespace) -> JoinConfig:
         num_groups=args.num_groups,
         stage3=args.stage3,
         blocks=blocks,
+        token_encoding=args.token_encoding,
     )
 
 
@@ -85,9 +91,9 @@ def _make_cluster(args: argparse.Namespace) -> SimulatedCluster:
     else:
         dfs = InMemoryDFS(num_nodes=num_nodes)
     if args.parallel is not None:
-        from repro.mapreduce.parallel import ForkParallelCluster
+        from repro.mapreduce.executor import PersistentParallelCluster
 
-        return ForkParallelCluster(
+        return PersistentParallelCluster(
             ClusterConfig(num_nodes=num_nodes), dfs, workers=args.parallel
         )
     return SimulatedCluster(ClusterConfig(num_nodes=num_nodes), dfs)
@@ -108,14 +114,23 @@ def _emit(args: argparse.Namespace, pairs: list, report: JoinReport) -> None:
         for stage, seconds in report.stage_times().items():
             print(f"  {stage}: {seconds:.1f}s (simulated, "
                   f"{args.nodes} nodes)", file=sys.stderr)
+        summary = report.executor_summary()
+        if summary.get("pooled_phases") or summary.get("inline_phases"):
+            from repro.bench.reporting import format_executor_summary
+
+            print(format_executor_summary(summary), file=sys.stderr)
 
 
 def _cmd_selfjoin(args: argparse.Namespace) -> int:
     records = read_records(args.input)
     cluster = _make_cluster(args)
-    cluster.dfs.write("input", records)
-    report = ssjoin_self(cluster, "input", _build_config(args))
-    _emit(args, sorted(cluster.dfs.read_all(report.output_file)), report)
+    try:
+        cluster.dfs.write("input", records)
+        report = ssjoin_self(cluster, "input", _build_config(args))
+        _emit(args, sorted(cluster.dfs.read_all(report.output_file)), report)
+    finally:
+        if hasattr(cluster, "close"):
+            cluster.close()
     return 0
 
 
@@ -123,10 +138,14 @@ def _cmd_rsjoin(args: argparse.Namespace) -> int:
     r_records = read_records(args.r_input)
     s_records = read_records(args.s_input)
     cluster = _make_cluster(args)
-    cluster.dfs.write("r", r_records)
-    cluster.dfs.write("s", s_records)
-    report = ssjoin_rs(cluster, "r", "s", _build_config(args))
-    _emit(args, sorted(cluster.dfs.read_all(report.output_file)), report)
+    try:
+        cluster.dfs.write("r", r_records)
+        cluster.dfs.write("s", s_records)
+        report = ssjoin_rs(cluster, "r", "s", _build_config(args))
+        _emit(args, sorted(cluster.dfs.read_all(report.output_file)), report)
+    finally:
+        if hasattr(cluster, "close"):
+            cluster.close()
     return 0
 
 

@@ -19,6 +19,11 @@ The suffix filter implements Algorithms 3 and 4 of the PPJoin+ paper
 with the usual recursion depth limit (``MAX_DEPTH = 2``).  Its single
 correctness obligation — *never* underestimate feasibility (no false
 negatives) — is covered by property-based tests.
+
+All filters are element-type generic: the token arrays only need to be
+sorted under the total order their elements are compared with, so
+rank-encoded ``array('i')`` / ``tuple[int]`` and lexicographically
+sorted ``tuple[str]`` (see :mod:`repro.core.ordering`) both work.
 """
 
 from __future__ import annotations

@@ -13,6 +13,7 @@ order — and therefore every downstream result — is deterministic.
 
 from __future__ import annotations
 
+from array import array
 from collections import Counter
 from typing import Iterable, Iterator, Mapping
 
@@ -118,6 +119,56 @@ class TokenOrder:
             ranks.append(rank)
         ranks.sort()
         return tuple(ranks)
+
+    def encode_array(
+        self, tokens: Iterable[str], unknown: str = "error"
+    ) -> array:
+        """Like :meth:`encode` but returns a compact ``array('i')``.
+
+        This is the kernel fast path: a C int array halves the per-token
+        memory of a tuple of Python ints and keeps the merge/filter
+        inner loops on machine integers.  Slicing and comparisons behave
+        exactly like the tuple form.
+        """
+        if unknown not in ("error", "drop"):
+            raise ValueError(f"unknown= must be 'error' or 'drop', got {unknown!r}")
+        ranks: list[int] = []
+        get = self._ranks.get
+        for token in tokens:
+            rank = get(token)
+            if rank is None:
+                if unknown == "error":
+                    raise KeyError(f"token not in global order: {token!r}")
+                continue
+            ranks.append(rank)
+        ranks.sort()
+        return array("i", ranks)
+
+    def encode_strings(
+        self, tokens: Iterable[str], unknown: str = "error"
+    ) -> tuple[str, ...]:
+        """Keep tokens as strings, sorted lexicographically.
+
+        The prefix/positional/suffix filters are correct under *any*
+        global total order as long as token arrays are sorted by it and
+        compared with it; for raw strings the natural such order is
+        lexicographic.  Selectivity is worse than the frequency order
+        (prefixes are no longer the rarest tokens) and every comparison
+        is a string compare — this is the opt-out baseline the rank
+        fast path is benchmarked against.  ``unknown`` has the same
+        semantics as in :meth:`encode`.
+        """
+        if unknown not in ("error", "drop"):
+            raise ValueError(f"unknown= must be 'error' or 'drop', got {unknown!r}")
+        kept: list[str] = []
+        for token in tokens:
+            if token not in self._ranks:
+                if unknown == "error":
+                    raise KeyError(f"token not in global order: {token!r}")
+                continue
+            kept.append(token)
+        kept.sort()
+        return tuple(kept)
 
     def decode(self, ranks: Iterable[int]) -> list[str]:
         """Inverse of :meth:`encode` (rank → token)."""

@@ -22,12 +22,20 @@ Verification resumes the token merge after the last prefix match
 (PPJoin's optimized verify) and is differential-tested against the
 naive oracle.
 
-All token arrays are rank-encoded (ascending ints in global frequency
-order); see :meth:`repro.core.ordering.TokenOrder.encode`.
+Token arrays are normally rank-encoded (ascending ints in global
+frequency order, as ``tuple`` or compact ``array('i')``; see
+:meth:`repro.core.ordering.TokenOrder.encode` /
+:meth:`~repro.core.ordering.TokenOrder.encode_array`).  The kernel is
+order-generic: any element type with a total order matching the arrays'
+sort order works, including lexicographically sorted strings
+(:meth:`~repro.core.ordering.TokenOrder.encode_strings`) — the filters
+and the merge only compare elements, so both encodings yield identical
+RID pairs (differential-tested).
 """
 
 from __future__ import annotations
 
+from array import array
 from bisect import bisect_left
 from typing import Iterable, Sequence
 
@@ -128,7 +136,9 @@ class PPJoinIndex:
             return
         entry_id = len(self._rids)
         self._rids.append(rid)
-        self._tokens.append(tuple(tokens))
+        # tuples and array('i') are kept as-is (both immutable-enough and
+        # slice cheaply); only mutable lists are defensively copied
+        self._tokens.append(tokens if isinstance(tokens, (tuple, array)) else tuple(tokens))
         self._sizes.append(n)
         if self.mode == "self":
             plen = self.sim.index_prefix_length(n, self.threshold)

@@ -15,7 +15,7 @@ setting the evaluation found best.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable
+from typing import Iterable, Sequence
 
 from repro.core.ordering import TokenOrder
 from repro.core.similarity import SimilarityFunction
@@ -23,16 +23,22 @@ from repro.core.similarity import SimilarityFunction
 
 @dataclass(frozen=True, slots=True)
 class Projection:
-    """A record projected on its RID and rank-encoded token array.
+    """A record projected on its RID and globally-ordered token array.
 
-    ``tokens`` are global token *ranks* sorted ascending (see
-    :meth:`repro.core.ordering.TokenOrder.encode`), so ascending
+    ``tokens`` are normally global token *ranks* sorted ascending (see
+    :meth:`repro.core.ordering.TokenOrder.encode` /
+    :meth:`~repro.core.ordering.TokenOrder.encode_array`), so ascending
     numeric order is the global frequency order and ``len(tokens)`` is
-    the set size used by all filters.
+    the set size used by all filters.  Any sequence sorted under a
+    consistent total order works — the kernels only slice, measure and
+    compare, so ``tuple[int]``, ``array('i')`` and lexicographically
+    sorted ``tuple[str]`` (see
+    :meth:`~repro.core.ordering.TokenOrder.encode_strings`) are all
+    valid and produce identical RID pairs.
     """
 
     rid: int
-    tokens: tuple[int, ...]
+    tokens: Sequence[int] | Sequence[str]
 
     @property
     def size(self) -> int:
@@ -40,19 +46,19 @@ class Projection:
 
 
 def probe_prefix(
-    tokens: tuple[int, ...],
+    tokens: Sequence,
     sim: SimilarityFunction,
     threshold: float,
-) -> tuple[int, ...]:
-    """The probing prefix of a globally-ordered (rank-encoded) token array."""
+) -> tuple:
+    """The probing prefix of a globally-ordered token array."""
     return tuple(tokens[: sim.prefix_length(len(tokens), threshold)])
 
 
 def index_prefix(
-    tokens: tuple[int, ...],
+    tokens: Sequence,
     sim: SimilarityFunction,
     threshold: float,
-) -> tuple[int, ...]:
+) -> tuple:
     """The (mid-)prefix sufficient for the indexed side of a
     length-ascending self-join."""
     return tuple(tokens[: sim.index_prefix_length(len(tokens), threshold)])
@@ -91,6 +97,18 @@ class TokenGrouping:
         seen: list[int] = []
         for rank in ranks:
             group = rank % self.num_groups
+            if group not in seen:
+                seen.append(group)
+        return seen
+
+    def groups_of_tokens(self, tokens: Iterable[str]) -> list[int]:
+        """Distinct group ids of string *tokens*, in first-seen order —
+        the ``token_encoding="string"`` counterpart of
+        :meth:`groups_of_ranks` (group assignment still follows the
+        token's frequency rank)."""
+        seen: list[int] = []
+        for token in tokens:
+            group = self._order.rank(token) % self.num_groups
             if group not in seen:
                 seen.append(group)
         return seen

@@ -12,7 +12,9 @@ lists by merging them, with two early exits:
 
 Both sides must be sorted under the *same* total order; any consistent
 order works, so verification sorts by token text when called with
-unsorted sets.
+unsorted sets.  The merge is element-type generic: rank-encoded
+``array('i')`` / ``tuple[int]`` (integer compares, the fast path) and
+lexicographically sorted ``tuple[str]`` behave identically.
 """
 
 from __future__ import annotations

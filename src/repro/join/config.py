@@ -34,6 +34,7 @@ STAGE1_ALGORITHMS = ("bto", "opto")
 KERNELS = ("bk", "pk")
 ROUTINGS = ("individual", "grouped")
 STAGE3_ALGORITHMS = ("brj", "oprj")
+TOKEN_ENCODINGS = ("rank", "string")
 
 
 @dataclass
@@ -59,6 +60,14 @@ class JoinConfig:
     #: become (token, length-class) so each reduce call holds only one
     #: class of records in memory.  Value = class width in tokens.
     length_class_width: int | None = None
+    #: wire format of the token arrays flowing through Stage 2:
+    #: ``"rank"`` (default) ships frequency-ranked integers in a compact
+    #: ``array('i')`` so the kernels' merge/filter inner loops run
+    #: integer comparisons; ``"string"`` ships the raw tokens under the
+    #: lexicographic total order — a valid (if less selective) global
+    #: ordering that serves as the opt-out / differential baseline.
+    #: Both produce identical RID pairs.
+    token_encoding: str = "rank"
 
     def __post_init__(self) -> None:
         if isinstance(self.similarity, str):
@@ -73,6 +82,11 @@ class JoinConfig:
             raise ValueError(f"stage3 must be one of {STAGE3_ALGORITHMS}, got {self.stage3!r}")
         if not 0.0 < self.threshold:
             raise ValueError(f"threshold must be positive, got {self.threshold}")
+        if self.token_encoding not in TOKEN_ENCODINGS:
+            raise ValueError(
+                f"token_encoding must be one of {TOKEN_ENCODINGS}, "
+                f"got {self.token_encoding!r}"
+            )
         if self.num_groups is not None and self.num_groups < 1:
             raise ValueError(f"num_groups must be >= 1, got {self.num_groups}")
         if self.length_class_width is not None and self.length_class_width < 1:

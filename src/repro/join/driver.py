@@ -30,7 +30,7 @@ from repro.join.stage3 import stage3_jobs
 from repro.mapreduce.cluster import ClusterConfig, SimulatedCluster
 from repro.mapreduce.dfs import InMemoryDFS
 from repro.mapreduce.pipeline import run_pipeline
-from repro.mapreduce.types import JobStats
+from repro.mapreduce.types import JobStats, merge_executor_stats
 
 
 @dataclass
@@ -64,6 +64,22 @@ class JoinReport:
                 merged[name] = merged.get(name, 0) + value
         return merged
 
+    def executor_summary(self) -> dict:
+        """Merged physical-execution stats across all three stages (see
+        :func:`repro.mapreduce.types.merge_executor_stats`).  All zeros
+        when the run used the plain sequential engine."""
+        summary: dict = {}
+        for stats in self.stages.values():
+            merge_executor_stats(
+                summary,
+                [
+                    ex
+                    for phase in stats.phases
+                    for ex in (phase.map_executor, phase.reduce_executor)
+                ],
+            )
+        return summary
+
     def format_summary(self) -> str:
         """Multi-line human-readable run summary."""
         counters = self.counters()
@@ -90,6 +106,13 @@ def _num_reducers(config: JoinConfig, cluster: SimulatedCluster) -> int:
     return cluster.config.reduce_slots
 
 
+def _prepare(cluster: SimulatedCluster, jobs: list) -> None:
+    """Register a whole join's jobs with a persistent-pool cluster."""
+    prepare = getattr(cluster, "prepare_jobs", None)
+    if prepare is not None:
+        prepare(jobs)
+
+
 def ssjoin_self(
     cluster: SimulatedCluster,
     records_file: str,
@@ -109,20 +132,20 @@ def ssjoin_self(
     pairs_file = f"{prefix}.ridpairs"
     output_file = f"{prefix}.joined"
 
+    # Every stage's jobs are constructible from DFS file names alone, so
+    # build them all before anything runs: clusters with a persistent
+    # worker pool then fork exactly once for the whole join.
+    s1 = stage1_jobs(config, [records_file], token_order_file, reducers)
+    s2 = [stage2_self_job(config, records_file, token_order_file, pairs_file, reducers)]
+    s3 = stage3_jobs(
+        config, {records_file: 0}, pairs_file, output_file, reducers, is_rs=False
+    )
+    _prepare(cluster, s1 + s2 + s3)
+
     report = JoinReport(combo=config.combo_name, output_file=output_file)
-    report.stage1 = run_pipeline(
-        cluster, stage1_jobs(config, [records_file], token_order_file, reducers)
-    )
-    report.stage2 = run_pipeline(
-        cluster,
-        [stage2_self_job(config, records_file, token_order_file, pairs_file, reducers)],
-    )
-    report.stage3 = run_pipeline(
-        cluster,
-        stage3_jobs(
-            config, {records_file: 0}, pairs_file, output_file, reducers, is_rs=False
-        ),
-    )
+    report.stage1 = run_pipeline(cluster, s1)
+    report.stage2 = run_pipeline(cluster, s2)
+    report.stage3 = run_pipeline(cluster, s3)
     return report
 
 
@@ -147,29 +170,22 @@ def ssjoin_rs(
     pairs_file = f"{prefix}.ridpairs"
     output_file = f"{prefix}.joined"
 
+    s1 = stage1_jobs(config, [r_file], token_order_file, reducers)
+    s2 = [stage2_rs_job(config, r_file, s_file, token_order_file, pairs_file, reducers)]
+    s3 = stage3_jobs(
+        config,
+        {r_file: 0, s_file: 1},
+        pairs_file,
+        output_file,
+        reducers,
+        is_rs=True,
+    )
+    _prepare(cluster, s1 + s2 + s3)
+
     report = JoinReport(combo=config.combo_name, output_file=output_file)
-    report.stage1 = run_pipeline(
-        cluster, stage1_jobs(config, [r_file], token_order_file, reducers)
-    )
-    report.stage2 = run_pipeline(
-        cluster,
-        [
-            stage2_rs_job(
-                config, r_file, s_file, token_order_file, pairs_file, reducers
-            )
-        ],
-    )
-    report.stage3 = run_pipeline(
-        cluster,
-        stage3_jobs(
-            config,
-            {r_file: 0, s_file: 1},
-            pairs_file,
-            output_file,
-            reducers,
-            is_rs=True,
-        ),
-    )
+    report.stage1 = run_pipeline(cluster, s1)
+    report.stage2 = run_pipeline(cluster, s2)
+    report.stage3 = run_pipeline(cluster, s3)
     return report
 
 

@@ -38,7 +38,7 @@ and the length filter as a *secondary routing criterion*
 
 from __future__ import annotations
 
-from typing import Iterator
+from typing import Iterator, Sequence
 
 from repro.core.ordering import TokenOrder
 from repro.core.ppjoin import PPJoinIndex
@@ -80,31 +80,44 @@ def load_token_order(ctx: Context, token_order_file: str) -> TokenOrder:
 
 
 def make_router(config: JoinConfig, order: TokenOrder):
-    """Return ``routes(prefix_ranks) -> list[int]`` for the configured
-    routing strategy."""
+    """Return ``routes(prefix) -> list`` for the configured routing
+    strategy.  Prefix elements are ranks (``token_encoding="rank"``) or
+    raw tokens (``"string"``); individual routing uses the element
+    itself as the route, grouped routing maps it to its group id."""
     if config.routing == "individual":
-        def routes(prefix_ranks: tuple[int, ...]) -> list[int]:
-            return list(dict.fromkeys(prefix_ranks))
+        def routes(prefix) -> list:
+            return list(dict.fromkeys(prefix))
         return routes
     num_groups = config.num_groups or max(1, len(order))
     grouping = TokenGrouping(order, num_groups)
-    def routes(prefix_ranks: tuple[int, ...]) -> list[int]:
-        return grouping.groups_of_ranks(prefix_ranks)
+    if config.token_encoding == "string":
+        def routes(prefix) -> list:
+            return grouping.groups_of_tokens(prefix)
+        return routes
+    def routes(prefix) -> list:
+        return grouping.groups_of_ranks(prefix)
     return routes
 
 
 def project_record(
     line: str, config: JoinConfig, order: TokenOrder, unknown: str
-) -> tuple[int, tuple[int, ...], int]:
-    """Parse a record line into (rid, rank-encoded tokens, true size).
+) -> tuple[int, "Sequence", int]:
+    """Parse a record line into (rid, encoded tokens, true size).
 
-    ``true size`` counts tokens *before* dropping unknowns — for R and
+    The token array is globally ordered in the configured wire format:
+    ascending ranks in a compact ``array('i')`` for
+    ``token_encoding="rank"`` (the kernel fast path), lexicographically
+    sorted raw tokens for ``"string"`` (the opt-out baseline).  ``true
+    size`` counts tokens *before* dropping unknowns — for R and
     self-join inputs it equals ``len(tokens)``.
     """
     rid = rid_of(line)
     raw = config.tokenizer.tokenize(join_value(line, config.schema))
-    ranks = order.encode(raw, unknown=unknown)
-    return rid, ranks, len(raw)
+    if config.token_encoding == "string":
+        tokens = order.encode_strings(raw, unknown=unknown)
+    else:
+        tokens = order.encode_array(raw, unknown=unknown)
+    return rid, tokens, len(raw)
 
 
 def make_self_mapper(

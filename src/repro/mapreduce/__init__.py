@@ -13,6 +13,7 @@ speedup/scaleup behaviour.
 """
 
 from repro.mapreduce.types import (
+    ExecutorPhaseStats,
     InsufficientMemoryError,
     JobStats,
     PhaseStats,
@@ -25,11 +26,20 @@ from repro.mapreduce.diskdfs import LocalDiskDFS
 from repro.mapreduce.job import Context, MapReduceJob
 from repro.mapreduce.cluster import ClusterConfig, SimulatedCluster
 from repro.mapreduce.parallel import ForkParallelCluster
+from repro.mapreduce.executor import (
+    ExecutorStats,
+    PersistentExecutor,
+    PersistentParallelCluster,
+)
 from repro.mapreduce.pipeline import run_pipeline
 
 __all__ = [
+    "ExecutorPhaseStats",
+    "ExecutorStats",
     "InsufficientMemoryError",
     "JobStats",
+    "PersistentExecutor",
+    "PersistentParallelCluster",
     "PhaseStats",
     "approx_bytes",
     "Counters",

@@ -32,7 +32,7 @@ from __future__ import annotations
 
 import heapq
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from itertools import groupby
 from typing import Iterator
 
@@ -103,19 +103,10 @@ class ClusterConfig:
 
     def with_nodes(self, num_nodes: int) -> "ClusterConfig":
         """Copy of this config with a different node count (speedup and
-        scaleup sweeps)."""
-        return ClusterConfig(
-            num_nodes=num_nodes,
-            map_slots_per_node=self.map_slots_per_node,
-            reduce_slots_per_node=self.reduce_slots_per_node,
-            job_startup_s=self.job_startup_s,
-            task_startup_s=self.task_startup_s,
-            network_mb_per_s=self.network_mb_per_s,
-            disk_mb_per_s=self.disk_mb_per_s,
-            cpu_scale=self.cpu_scale,
-            data_scale=self.data_scale,
-            memory_per_task_mb=self.memory_per_task_mb,
-        )
+        scaleup sweeps).  Uses :func:`dataclasses.replace` so every
+        field — including ones added after this method was written —
+        survives the copy."""
+        return replace(self, num_nodes=num_nodes)
 
 
 def list_schedule(durations: list[float], num_slots: int) -> float:
@@ -302,13 +293,7 @@ class SimulatedCluster:
         job_counters = Counters()
 
         broadcast_data, broadcast_bytes, broadcast_cpu = self._load_broadcast(job)
-
-        map_inputs: list[tuple[int, str, list]] = []
-        task_id = 0
-        for input_name in job.inputs:
-            for block in self.dfs.file(input_name).blocks:
-                map_inputs.append((task_id, input_name, block.records))
-                task_id += 1
+        map_inputs = self._collect_map_inputs(job)
 
         partitions: list[list[tuple]] = [[] for _ in range(job.num_reducers)]
         for task_stats, partitioned, counters in self._execute_map_tasks(
@@ -339,6 +324,16 @@ class SimulatedCluster:
         stats.counters = job_counters.as_dict()
         self._simulate_times(stats)
         return stats
+
+    def _collect_map_inputs(self, job: MapReduceJob) -> list[tuple[int, str, list]]:
+        """One ``(task_id, input_name, records)`` triple per DFS block."""
+        map_inputs: list[tuple[int, str, list]] = []
+        task_id = 0
+        for input_name in job.inputs:
+            for block in self.dfs.file(input_name).blocks:
+                map_inputs.append((task_id, input_name, block.records))
+                task_id += 1
+        return map_inputs
 
     # -- execution hooks (overridden by the parallel executor) -----------
 

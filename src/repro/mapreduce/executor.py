@@ -1,0 +1,800 @@
+"""Persistent multi-core execution engine.
+
+The legacy :class:`~repro.mapreduce.parallel.ForkParallelCluster` forks
+a brand-new process pool for *every* map and reduce phase, so a
+three-stage BTO-PK-BRJ pipeline (five MapReduce jobs) pays pool
+startup up to ten times, and every intermediate ``(key, value)`` pair
+crosses two pickle boundaries: worker → parent after the map phase and
+parent → worker again for the reduce phase.
+
+This module removes both costs:
+
+* :class:`PersistentExecutor` owns **one long-lived fork pool** that
+  survives across phases and across the chained jobs of a pipeline.
+  Job specifications carry closures (mappers capture the
+  :class:`~repro.join.config.JoinConfig`, reducers capture kernels) and
+  cannot be pickled, so jobs are handed to workers through an explicit
+  **per-pool job registry** passed as the pool initializer argument —
+  with the ``fork`` start method initializer arguments are inherited
+  through process memory, never pickled.  The registry is a plain
+  instance attribute: unlike the module-global handoff it replaces,
+  abandoning a phase mid-iteration or raising out of one cannot leak
+  or corrupt parent-side state.  Registering new jobs after the pool
+  forked marks it stale; the next phase transparently re-forks.
+
+* A **zero-repickle shuffle path**: map workers write their
+  partitioned output to per-task spill files (one pickle, worker →
+  disk) and return only small summaries (stats, counters, per-partition
+  segment offsets and byte counts).  Reduce workers read exactly the
+  segments of their partition straight from the spill files (one
+  unpickle, disk → worker).  The parent never materializes, pickles or
+  re-pickles intermediate data — it only routes segment references.
+
+Scheduling uses chunked ``imap_unordered``: contiguous task chunks are
+dispatched to whichever worker is free, and results are reassembled in
+task order before anything is merged, so partition contents, reduce
+input order and therefore all outputs are **byte-identical** to
+:class:`~repro.mapreduce.cluster.SimulatedCluster` (asserted by the
+determinism test suite).
+
+:class:`PersistentParallelCluster` is the drop-in cluster built on the
+engine.  ``pipeline.run_pipeline`` and the ``join.driver`` entry points
+call :meth:`PersistentParallelCluster.prepare_jobs` with every job of
+an end-to-end join before the first phase runs, so one join forks
+exactly one pool (asserted via :class:`ExecutorStats` in the tests).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+import shutil
+import tempfile
+import time
+import weakref
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.mapreduce.cluster import (
+    ClusterConfig,
+    SimulatedCluster,
+    execute_map_task,
+    execute_reduce_task,
+)
+from repro.mapreduce.counters import SHUFFLE_BYTES, Counters
+from repro.mapreduce.dfs import InMemoryDFS
+from repro.mapreduce.job import MapReduceJob
+from repro.mapreduce.types import (
+    ExecutorPhaseStats,
+    PhaseStats,
+    approx_bytes,
+    merge_executor_stats,
+)
+
+_PICKLE = pickle.HIGHEST_PROTOCOL
+
+
+def _effective_cores() -> int:
+    """Cores actually available to this process (affinity-aware where
+    the platform exposes it)."""
+    getter = getattr(os, "process_cpu_count", None)
+    if getter is not None:
+        return getter() or 1
+    if hasattr(os, "sched_getaffinity"):
+        return len(os.sched_getaffinity(0)) or 1
+    return os.cpu_count() or 1
+
+
+# ---------------------------------------------------------------------------
+# worker side
+# ---------------------------------------------------------------------------
+# These globals exist only inside worker processes; the parent never
+# assigns them.  They are populated by the pool initializer, whose
+# arguments are fork-inherited (not pickled), which is what allows the
+# registry to hold closures.
+
+_W_JOBS: Sequence[MapReduceJob] = ()
+_W_DFS: InMemoryDFS | None = None
+_W_BCAST_CACHE: dict[str, dict] = {}
+
+
+def _worker_init(jobs: Sequence[MapReduceJob], dfs: InMemoryDFS | None) -> None:
+    global _W_JOBS, _W_DFS
+    _W_JOBS = jobs
+    _W_DFS = dfs
+    _W_BCAST_CACHE.clear()
+
+
+def _resolve_records(spec: tuple) -> list:
+    """Materialize one map task's input records.
+
+    ``("data", records)`` carries the records in the task payload;
+    ``("ref", file_name, block_index)`` points into the DFS snapshot the
+    worker inherited at fork time — the zero-copy path for files that
+    already existed when the pool was created (notably the original
+    input file, which every stage's map phase re-reads).
+    """
+    kind, *rest = spec
+    if kind == "data":
+        return rest[0]
+    file_name, block_index = rest
+    assert _W_DFS is not None
+    return _W_DFS.file(file_name).blocks[block_index].records
+
+
+def _broadcast_for(path: str | None) -> dict:
+    """Load (and cache) one phase's broadcast payload from its spill
+    file.  The payload is written once by the parent and unpickled at
+    most once per worker process, instead of once per task."""
+    if not path:
+        return {}
+    cached = _W_BCAST_CACHE.get(path)
+    if cached is None:
+        with open(path, "rb") as handle:
+            cached = pickle.load(handle)
+        _W_BCAST_CACHE.clear()  # at most one phase's payload stays cached
+        _W_BCAST_CACHE[path] = cached
+    return cached
+
+
+def _spill_map_output(
+    phase_dir: str, task_id: int, partitioned: list, num_reducers: int
+) -> tuple[str, dict[int, tuple[int, int]], dict[int, int]]:
+    """Write one map task's partitioned output to a single spill file.
+
+    Returns ``(path, segments, part_bytes)`` where ``segments`` maps
+    partition index to its ``(offset, length)`` in the file and
+    ``part_bytes`` to its :func:`approx_bytes` shuffle volume.
+    """
+    buckets: list[list] = [[] for _ in range(num_reducers)]
+    part_bytes: dict[int, int] = {}
+    for p, key, value in partitioned:
+        buckets[p].append((key, value))
+        part_bytes[p] = part_bytes.get(p, 0) + approx_bytes((key, value))
+    os.makedirs(phase_dir, exist_ok=True)
+    path = os.path.join(phase_dir, f"m{task_id}.spill")
+    segments: dict[int, tuple[int, int]] = {}
+    offset = 0
+    with open(path, "wb") as handle:
+        for p, bucket in enumerate(buckets):
+            if not bucket:
+                continue
+            blob = pickle.dumps(bucket, _PICKLE)
+            handle.write(blob)
+            segments[p] = (offset, len(blob))
+            offset += len(blob)
+    return path, segments, part_bytes
+
+
+def _read_segments(refs: list[tuple[str, int, int]]) -> list:
+    """Concatenate spill segments (given in map-task order) into one
+    reduce bucket."""
+    bucket: list = []
+    for path, offset, length in refs:
+        with open(path, "rb") as handle:
+            handle.seek(offset)
+            blob = handle.read(length)
+        bucket.extend(pickle.loads(blob))
+    return bucket
+
+
+def _run_map_chunk(args: tuple) -> tuple:
+    chunk_index, jid, common, tasks = args
+    (
+        phase_dir,
+        bcast_path,
+        broadcast_bytes,
+        broadcast_cpu,
+        memory_limit,
+        map_slots,
+        num_reducers,
+    ) = common
+    job = _W_JOBS[jid]
+    broadcast = _broadcast_for(bcast_path)
+    results = []
+    for task_id, input_name, spec in tasks:
+        records = _resolve_records(spec)
+        stats, partitioned, counters = execute_map_task(
+            job,
+            task_id,
+            input_name,
+            records,
+            broadcast,
+            broadcast_bytes,
+            broadcast_cpu,
+            memory_limit,
+            map_slots,
+        )
+        path, segments, part_bytes = _spill_map_output(
+            phase_dir, task_id, partitioned, num_reducers
+        )
+        results.append((stats, counters, path, segments, part_bytes))
+    return chunk_index, results
+
+
+def _run_reduce_chunk(args: tuple) -> tuple:
+    chunk_index, jid, memory_limit, tasks = args
+    job = _W_JOBS[jid]
+    results = []
+    for partition_index, refs in tasks:
+        bucket = _read_segments(refs)
+        results.append(
+            execute_reduce_task(job, partition_index, bucket, memory_limit)
+        )
+    return chunk_index, results
+
+
+# ---------------------------------------------------------------------------
+# parent side
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ExecutorStats:
+    """Lifetime statistics of one :class:`PersistentExecutor`."""
+
+    pools_created: int = 0
+    pool_generation: int = 0
+    jobs_registered: int = 0
+    phases_executed: int = 0
+    tasks_dispatched: int = 0
+    chunks_dispatched: int = 0
+    bytes_to_workers: int = 0
+    bytes_from_workers: int = 0
+    spill_bytes_written: int = 0
+    spill_bytes_read: int = 0
+
+
+class MapShuffle:
+    """Parent-side handle to one map phase's spilled shuffle output.
+
+    Holds only segment references and byte counts — never the
+    intermediate data itself.
+    """
+
+    def __init__(self, num_reducers: int, phase_dir: str, bcast_path: str | None) -> None:
+        self.num_reducers = num_reducers
+        self._phase_dir = phase_dir
+        self._bcast_path = bcast_path
+        #: (path, segments) per map task, in task order
+        self._tasks: list[tuple[str, dict[int, tuple[int, int]]]] = []
+        self._part_bytes: dict[int, int] = {}
+        #: total approx shuffle volume (= SimulatedCluster's shuffle_bytes)
+        self.total_bytes = 0
+        #: real bytes written to spill files
+        self.spilled_bytes = 0
+
+    def add_task(
+        self,
+        path: str,
+        segments: dict[int, tuple[int, int]],
+        part_bytes: dict[int, int],
+    ) -> None:
+        self._tasks.append((path, segments))
+        for p, num_bytes in part_bytes.items():
+            self._part_bytes[p] = self._part_bytes.get(p, 0) + num_bytes
+            self.total_bytes += num_bytes
+        self.spilled_bytes += sum(length for _off, length in segments.values())
+
+    def nonempty_partitions(self) -> list[int]:
+        """Partitions with at least one pair, in index order — the same
+        reduce task set and order as the sequential engine."""
+        return sorted(self._part_bytes)
+
+    def refs_for(self, partition: int) -> list[tuple[str, int, int]]:
+        """Spill segment references of one partition, in map-task order."""
+        refs = []
+        for path, segments in self._tasks:
+            segment = segments.get(partition)
+            if segment is not None:
+                refs.append((path, segment[0], segment[1]))
+        return refs
+
+    def segment_bytes(self, partition: int) -> int:
+        return sum(length for _path, _off, length in self.refs_for(partition))
+
+    def load(self, partition: int) -> list:
+        """Read one partition's bucket in the parent (inline-reduce path)."""
+        return _read_segments(self.refs_for(partition))
+
+    def cleanup(self) -> None:
+        shutil.rmtree(self._phase_dir, ignore_errors=True)
+        if self._bcast_path:
+            try:
+                os.remove(self._bcast_path)
+            except OSError:
+                pass
+
+
+def _final_cleanup(holder: dict) -> None:
+    pool = holder.get("pool")
+    if pool is not None:
+        pool.terminate()
+    spill = holder.get("spill")
+    if spill:
+        shutil.rmtree(spill, ignore_errors=True)
+
+
+class PersistentExecutor:
+    """A long-lived fork pool plus the job registry its workers inherit.
+
+    Life cycle: :meth:`register_jobs` is called with every job of an
+    end-to-end pipeline *before* the first phase executes; the pool
+    forks lazily on the first pooled phase and is reused by every later
+    phase of every registered job.  Registering a genuinely new job
+    after the fork marks the pool stale and the next phase re-forks —
+    correctness is never at risk, only the reuse win.
+    """
+
+    def __init__(
+        self,
+        workers: int | None = None,
+        chunks_per_worker: int = 2,
+        dfs: InMemoryDFS | None = None,
+    ) -> None:
+        if "fork" not in multiprocessing.get_all_start_methods():
+            raise RuntimeError(
+                "PersistentExecutor requires the 'fork' start method; "
+                "use SimulatedCluster on this platform"
+            )
+        if chunks_per_worker < 1:
+            raise ValueError(
+                f"chunks_per_worker must be >= 1, got {chunks_per_worker}"
+            )
+        self.workers = workers or os.cpu_count() or 2
+        self.chunks_per_worker = chunks_per_worker
+        self.stats = ExecutorStats()
+        self._jobs: list[MapReduceJob] = []
+        self._job_ids: dict[int, int] = {}
+        self._dfs = dfs
+        # DFS state captured at fork time: block-record-list identity ->
+        # (file, block index) so map inputs already present in the
+        # workers' inherited snapshot cross as tiny references instead
+        # of pickled record lists.  _snapshot_files pins the referenced
+        # lists so their ids cannot be recycled.
+        self._block_refs: dict[int, tuple[str, int]] = {}
+        self._snapshot_files: list = []
+        self._pool = None
+        self._stale = False
+        self._spill_root: str | None = None
+        self._phase_seq = 0
+        self._holder: dict = {}
+        self._finalizer = weakref.finalize(self, _final_cleanup, self._holder)
+
+    # -- registry ---------------------------------------------------------
+
+    def register_jobs(self, jobs: Iterable[MapReduceJob]) -> None:
+        """Add *jobs* to the registry (idempotent per job object).
+
+        Must be called before the pool forks for the jobs to ride the
+        fork; late registrations still work but force a pool re-fork.
+        """
+        added = False
+        for job in jobs:
+            if id(job) not in self._job_ids:
+                self._job_ids[id(job)] = len(self._jobs)
+                self._jobs.append(job)
+                added = True
+        if added:
+            self.stats.jobs_registered = len(self._jobs)
+            if self._pool is not None:
+                self._stale = True
+
+    def _job_id(self, job: MapReduceJob) -> int:
+        if id(job) not in self._job_ids:
+            self.register_jobs([job])
+        return self._job_ids[id(job)]
+
+    def map_ref_fraction(self, map_inputs: list[tuple[int, str, list]]) -> float:
+        """Fraction of *map_inputs* the workers can read from their
+        fork-inherited DFS snapshot (shipped as references, not data).
+
+        When the pool does not exist yet (or is stale) the next phase
+        re-forks and snapshots the current DFS, so every block of an
+        existing file will be reference-reachable — the fraction is 1.
+        """
+        if self._dfs is None:
+            return 0.0
+        if self._pool is None or self._stale:
+            return 1.0
+        if not map_inputs:
+            return 1.0
+        hits = 0
+        for _task_id, input_name, records in map_inputs:
+            ref = self._block_refs.get(id(records))
+            if ref is not None and ref[0] == input_name:
+                hits += 1
+        return hits / len(map_inputs)
+
+    # -- pool -------------------------------------------------------------
+
+    def _ensure_pool(self) -> bool:
+        """Fork the pool if absent or stale; returns True on a fork."""
+        if self._pool is not None and self._stale:
+            self._teardown_pool()
+        if self._pool is not None:
+            return False
+        if self._spill_root is None:
+            # prefer a RAM-backed directory for the shuffle spills;
+            # they are transient and re-read within the same phase pair
+            base = "/dev/shm"
+            spill_dir = base if os.path.isdir(base) and os.access(base, os.W_OK) else None
+            self._spill_root = tempfile.mkdtemp(prefix="repro-shuffle-", dir=spill_dir)
+            self._holder["spill"] = self._spill_root
+        self._block_refs = {}
+        self._snapshot_files = []
+        if self._dfs is not None:
+            for name in self._dfs.listdir():
+                dfs_file = self._dfs.file(name)
+                self._snapshot_files.append(dfs_file)
+                for index, block in enumerate(dfs_file.blocks):
+                    self._block_refs[id(block.records)] = (name, index)
+        ctx = multiprocessing.get_context("fork")
+        self._pool = ctx.Pool(
+            self.workers,
+            initializer=_worker_init,
+            initargs=(tuple(self._jobs), self._dfs),
+        )
+        self._holder["pool"] = self._pool
+        self._stale = False
+        self.stats.pools_created += 1
+        self.stats.pool_generation += 1
+        return True
+
+    def _teardown_pool(self) -> None:
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+            self._holder["pool"] = None
+
+    def close(self) -> None:
+        """Terminate the pool and remove all spill files (idempotent)."""
+        self._teardown_pool()
+        if self._spill_root is not None:
+            shutil.rmtree(self._spill_root, ignore_errors=True)
+            self._spill_root = None
+            self._holder["spill"] = None
+
+    # -- phases -----------------------------------------------------------
+
+    def _chunk(self, tasks: list) -> list[list]:
+        """Split *tasks* into contiguous chunks (order-preserving)."""
+        target = max(1, self.workers * self.chunks_per_worker)
+        size = max(1, -(-len(tasks) // target))
+        return [tasks[i : i + size] for i in range(0, len(tasks), size)]
+
+    def _dispatch(self, func, payloads: list) -> list:
+        """Run chunk payloads on the pool, reassembling results in
+        deterministic chunk order regardless of completion order."""
+        collected: list = [None] * len(payloads)
+        for chunk_index, results in self._pool.imap_unordered(func, payloads):
+            collected[chunk_index] = results
+        return [result for results in collected for result in results]
+
+    def run_map_phase(
+        self,
+        job: MapReduceJob,
+        map_inputs: list[tuple[int, str, list]],
+        broadcast_data: dict[str, list],
+        broadcast_bytes: int,
+        broadcast_cpu: float,
+        memory_limit: int | None,
+        map_slots: int,
+        num_reducers: int,
+    ) -> tuple[list, MapShuffle, ExecutorPhaseStats]:
+        """Execute one map phase on the pool with spilled shuffle output.
+
+        Returns ``(task_results, shuffle, phase_stats)`` where
+        ``task_results`` is ``[(TaskStats, counters), ...]`` in task
+        order and ``shuffle`` references the spilled partitions.
+        """
+        jid = self._job_id(job)
+        ex = ExecutorPhaseStats(
+            mode="pool", workers=self.workers, tasks=len(map_inputs)
+        )
+        t0 = time.perf_counter()
+        ex.pool_created = self._ensure_pool()
+        ex.pool_generation = self.stats.pool_generation
+        self._phase_seq += 1
+        assert self._spill_root is not None
+        phase_dir = os.path.join(self._spill_root, f"p{self._phase_seq}")
+
+        bcast_path = None
+        if broadcast_data:
+            bcast_path = os.path.join(
+                self._spill_root, f"p{self._phase_seq}.bcast"
+            )
+            blob = pickle.dumps(broadcast_data, _PICKLE)
+            with open(bcast_path, "wb") as handle:
+                handle.write(blob)
+            ex.bytes_to_workers += len(blob)
+
+        common = (
+            phase_dir,
+            bcast_path,
+            broadcast_bytes,
+            broadcast_cpu,
+            memory_limit,
+            map_slots,
+            num_reducers,
+        )
+        tasks = []
+        for task_id, input_name, records in map_inputs:
+            ref = self._block_refs.get(id(records))
+            if ref is not None and ref[0] == input_name:
+                # the block is part of the workers' fork-inherited DFS
+                # snapshot — ship a reference, not the records
+                tasks.append((task_id, input_name, ("ref", ref[0], ref[1])))
+                ex.bytes_to_workers += 24
+            else:
+                tasks.append((task_id, input_name, ("data", records)))
+                ex.bytes_to_workers += 8 + sum(approx_bytes(r) for r in records)
+        chunks = self._chunk(tasks)
+        payloads = [(i, jid, common, chunk) for i, chunk in enumerate(chunks)]
+        ex.chunks = len(payloads)
+
+        shuffle = MapShuffle(num_reducers, phase_dir, bcast_path)
+        task_results = []
+        for stats, counters, path, segments, part_bytes in self._dispatch(
+            _run_map_chunk, payloads
+        ):
+            shuffle.add_task(path, segments, part_bytes)
+            ex.busy_s += stats.cpu_seconds
+            ex.bytes_from_workers += approx_bytes(counters) + 96
+            task_results.append((stats, counters))
+        ex.spill_bytes_written = shuffle.spilled_bytes
+        ex.wall_s = time.perf_counter() - t0
+        self._account(ex)
+        return task_results, shuffle, ex
+
+    def run_reduce_phase(
+        self,
+        job: MapReduceJob,
+        reduce_tasks: list[tuple[int, list[tuple[str, int, int]]]],
+        memory_limit: int | None,
+    ) -> tuple[list, ExecutorPhaseStats]:
+        """Execute one reduce phase on the pool.
+
+        ``reduce_tasks`` is ``[(partition_index, segment_refs), ...]``:
+        each reduce worker reads its partition's bucket straight from
+        the map spill files — the zero-repickle path; the parent only
+        routes ``(path, offset, length)`` references.  Returns
+        ``([(TaskStats, written, counters), ...], phase_stats)`` in
+        partition order.
+        """
+        jid = self._job_id(job)
+        ex = ExecutorPhaseStats(
+            mode="pool", workers=self.workers, tasks=len(reduce_tasks)
+        )
+        t0 = time.perf_counter()
+        ex.pool_created = self._ensure_pool()
+        ex.pool_generation = self.stats.pool_generation
+
+        for _p, refs in reduce_tasks:
+            ex.spill_bytes_read += sum(length for _pp, _o, length in refs)
+            ex.bytes_to_workers += 24 * len(refs)
+        chunks = self._chunk(reduce_tasks)
+        payloads = [
+            (i, jid, memory_limit, chunk) for i, chunk in enumerate(chunks)
+        ]
+        ex.chunks = len(payloads)
+
+        task_results = []
+        for stats, written, counters in self._dispatch(
+            _run_reduce_chunk, payloads
+        ):
+            ex.busy_s += stats.cpu_seconds
+            ex.bytes_from_workers += (
+                approx_bytes(counters) + stats.output_bytes + 96
+            )
+            task_results.append((stats, written, counters))
+        ex.wall_s = time.perf_counter() - t0
+        self._account(ex)
+        return task_results, ex
+
+    def _account(self, ex: ExecutorPhaseStats) -> None:
+        s = self.stats
+        s.phases_executed += 1
+        s.tasks_dispatched += ex.tasks
+        s.chunks_dispatched += ex.chunks
+        s.bytes_to_workers += ex.bytes_to_workers
+        s.bytes_from_workers += ex.bytes_from_workers
+        s.spill_bytes_written += ex.spill_bytes_written
+        s.spill_bytes_read += ex.spill_bytes_read
+
+
+# ---------------------------------------------------------------------------
+# the cluster
+# ---------------------------------------------------------------------------
+
+
+class PersistentParallelCluster(SimulatedCluster):
+    """A :class:`SimulatedCluster` running on a persistent worker pool.
+
+    Semantics, stats and outputs are byte-identical to the sequential
+    engine; only the physical execution differs.  ``workers`` defaults
+    to the machine's CPU count; phases with fewer tasks than
+    ``min_tasks_for_pool`` run inline, where forking never pays.
+
+    Pooling is also gated on the *effective core count*: when the host
+    exposes a single core, worker processes merely time-slice it, so
+    dispatching can only add pickling and context-switch overhead —
+    every phase then runs inline and the engine degrades gracefully to
+    (almost) sequential cost.  ``assume_cores`` overrides detection;
+    tests and micro-benchmarks pass a value > 1 to exercise the pooled
+    spill path deterministically regardless of host shape.
+
+    Use as a context manager (or call :meth:`close`) to release the
+    pool and spill files eagerly; a finalizer covers the rest.
+    """
+
+    def __init__(
+        self,
+        config: ClusterConfig | None = None,
+        dfs: InMemoryDFS | None = None,
+        workers: int | None = None,
+        min_tasks_for_pool: int = 4,
+        chunks_per_worker: int = 2,
+        assume_cores: int | None = None,
+    ) -> None:
+        super().__init__(config, dfs)
+        self.executor = PersistentExecutor(
+            workers=workers, chunks_per_worker=chunks_per_worker, dfs=self.dfs
+        )
+        self.workers = self.executor.workers
+        self.min_tasks_for_pool = min_tasks_for_pool
+        self.effective_cores = assume_cores or _effective_cores()
+
+    # -- life cycle -------------------------------------------------------
+
+    def prepare_jobs(self, jobs: Iterable[MapReduceJob]) -> None:
+        """Register the jobs of an upcoming pipeline so one pool serves
+        them all.  Called by ``run_pipeline`` and the join drivers."""
+        self.executor.register_jobs(jobs)
+
+    def close(self) -> None:
+        self.executor.close()
+
+    def __enter__(self) -> "PersistentParallelCluster":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- execution --------------------------------------------------------
+
+    def _use_map_pool(self, map_inputs: list) -> bool:
+        """Pool the map phase when it has enough tasks *and* its inputs
+        are mostly readable from the workers' fork-inherited DFS
+        snapshot — when most blocks would have to be pickled into the
+        task payloads instead, shipping costs more than the cores earn
+        (the seed executor's failure mode this engine exists to fix)."""
+        return (
+            self.workers > 1
+            and self.effective_cores > 1
+            and len(map_inputs) >= self.min_tasks_for_pool
+            and self.executor.map_ref_fraction(map_inputs) >= 0.5
+        )
+
+    def _use_reduce_pool(self, shuffle: "MapShuffle | None", num_tasks: int) -> bool:
+        """Pool the reduce phase only behind a pooled map: the buckets
+        then stream worker→disk→worker without the parent re-pickling a
+        single pair.  After an inline map the buckets live in parent
+        memory and shipping them out is pure overhead."""
+        return (
+            shuffle is not None
+            and self.workers > 1
+            and num_tasks >= self.min_tasks_for_pool
+        )
+
+    def run_job(self, job: MapReduceJob) -> PhaseStats:
+        cfg = self.config
+        stats = PhaseStats(job_name=job.name)
+        stats.startup_s = cfg.job_startup_s
+        job_counters = Counters()
+        limit = cfg.memory_per_task_bytes
+
+        broadcast_data, broadcast_bytes, broadcast_cpu = self._load_broadcast(job)
+        map_inputs = self._collect_map_inputs(job)
+
+        shuffle: MapShuffle | None = None
+        partitions: list[list[tuple]] | None = None
+        try:
+            # ---- map phase -------------------------------------------
+            if self._use_map_pool(map_inputs):
+                task_results, shuffle, stats.map_executor = (
+                    self.executor.run_map_phase(
+                        job,
+                        map_inputs,
+                        broadcast_data,
+                        broadcast_bytes,
+                        broadcast_cpu,
+                        limit,
+                        cfg.map_slots,
+                        job.num_reducers,
+                    )
+                )
+                for task_stats, counters in task_results:
+                    stats.map_tasks.append(task_stats)
+                    job_counters.merge_dict(counters)
+                stats.shuffle_bytes = shuffle.total_bytes
+            else:
+                partitions = [[] for _ in range(job.num_reducers)]
+                for task_stats, partitioned, counters in super()._execute_map_tasks(
+                    job, map_inputs, broadcast_data, broadcast_bytes, broadcast_cpu
+                ):
+                    stats.map_tasks.append(task_stats)
+                    for p, key, value in partitioned:
+                        partitions[p].append((key, value))
+                    job_counters.merge_dict(counters)
+                stats.map_executor = ExecutorPhaseStats(
+                    mode="inline", tasks=len(map_inputs)
+                )
+                stats.shuffle_bytes = sum(
+                    approx_bytes(pair)
+                    for bucket in partitions
+                    for pair in bucket
+                )
+            job_counters.increment(SHUFFLE_BYTES, stats.shuffle_bytes)
+
+            # ---- reduce phase ----------------------------------------
+            if shuffle is not None:
+                nonempty = shuffle.nonempty_partitions()
+            else:
+                assert partitions is not None
+                nonempty = [p for p, bucket in enumerate(partitions) if bucket]
+
+            output_records: list = []
+            if self._use_reduce_pool(shuffle, len(nonempty)):
+                assert shuffle is not None
+                reduce_tasks = [(p, shuffle.refs_for(p)) for p in nonempty]
+                task_results, stats.reduce_executor = (
+                    self.executor.run_reduce_phase(job, reduce_tasks, limit)
+                )
+                for task_stats, written, counters in task_results:
+                    stats.reduce_tasks.append(task_stats)
+                    output_records.extend(written)
+                    job_counters.merge_dict(counters)
+            else:
+                reduce_ex = ExecutorPhaseStats(mode="inline", tasks=len(nonempty))
+                for p in nonempty:
+                    if shuffle is not None:
+                        bucket = shuffle.load(p)
+                        reduce_ex.spill_bytes_read += shuffle.segment_bytes(p)
+                    else:
+                        assert partitions is not None
+                        bucket = partitions[p]
+                    task_stats, written, counters = execute_reduce_task(
+                        job, p, bucket, limit
+                    )
+                    stats.reduce_tasks.append(task_stats)
+                    output_records.extend(written)
+                    job_counters.merge_dict(counters)
+                stats.reduce_executor = reduce_ex
+
+            self.dfs.write(job.output, output_records)
+        finally:
+            if shuffle is not None:
+                shuffle.cleanup()
+
+        stats.counters = job_counters.as_dict()
+        self._simulate_times(stats)
+        return stats
+
+
+def executor_summary(job_stats_list: Iterable) -> dict:
+    """Merged executor summary over several :class:`JobStats` (e.g. the
+    three stages of a :class:`~repro.join.driver.JoinReport`)."""
+    summary: dict = {}
+    for job_stats in job_stats_list:
+        merge_executor_stats(
+            summary,
+            [
+                phase_ex
+                for phase in job_stats.phases
+                for phase_ex in (phase.map_executor, phase.reduce_executor)
+            ],
+        )
+    return summary

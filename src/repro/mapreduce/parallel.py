@@ -10,16 +10,23 @@ wall-clock becomes the bottleneck.
 
 Why ``fork`` specifically: job specifications carry closures (mappers
 capture the :class:`JoinConfig`, reducers capture kernels), which
-cannot be pickled.  With the ``fork`` start method, workers inherit
-the job object through process memory; only task *inputs* (record
+cannot be pickled.  With the ``fork`` start method, the pool
+*initializer arguments* are inherited through process memory rather
+than pickled, so the job rides into each worker inside a per-pool
+registry dict passed as ``initargs``.  Only task *inputs* (record
 lists) and task *results* (plain tuples) cross process boundaries,
 and those are always picklable.
 
-The job is handed to workers through a module-global set immediately
-before the pool is created — the pool lives for one job and is
-discarded, so there is no staleness window.  On platforms without
-``fork`` (Windows), construction raises and callers should fall back
-to :class:`SimulatedCluster`.
+The registry is a local dict handed to exactly one pool — there is no
+parent-side module global to populate or clear, so abandoning a result
+generator mid-iteration, or an exception escaping a phase, cannot leak
+stale job state into the next phase (the old ``_WORKER_JOB`` global
+could).  On platforms without ``fork`` (Windows), construction raises
+and callers should fall back to :class:`SimulatedCluster`.
+
+This cluster forks a fresh pool per phase; for the persistent pool +
+spilled-shuffle engine that amortizes that cost across a whole
+pipeline, see :mod:`repro.mapreduce.executor`.
 
 Determinism: ``Pool.map`` preserves task order, so partition contents
 and output files are byte-identical to the sequential executor's
@@ -40,32 +47,37 @@ from repro.mapreduce.cluster import (
 from repro.mapreduce.dfs import InMemoryDFS
 from repro.mapreduce.job import MapReduceJob
 
-# Handoff slot inherited by forked workers (set per job, read-only in
-# the children).  Maps are executed for exactly one job at a time.
-_WORKER_JOB: dict = {}
+# Worker-side slot filled by the pool initializer (fork-inherited, never
+# assigned in the parent process).
+_POOL_REGISTRY: dict = {}
+
+
+def _init_pool_registry(registry: dict) -> None:
+    _POOL_REGISTRY.clear()
+    _POOL_REGISTRY.update(registry)
 
 
 def _map_worker(args: tuple) -> tuple:
     task_id, input_name, records = args
-    job = _WORKER_JOB["job"]
+    reg = _POOL_REGISTRY
     return execute_map_task(
-        job,
+        reg["job"],
         task_id,
         input_name,
         records,
-        _WORKER_JOB["broadcast_data"],
-        _WORKER_JOB["broadcast_bytes"],
-        _WORKER_JOB["broadcast_cpu"],
-        _WORKER_JOB["memory_limit"],
-        _WORKER_JOB["map_slots"],
+        reg["broadcast_data"],
+        reg["broadcast_bytes"],
+        reg["broadcast_cpu"],
+        reg["memory_limit"],
+        reg["map_slots"],
     )
 
 
 def _reduce_worker(args: tuple) -> tuple:
     partition_index, bucket = args
-    job = _WORKER_JOB["job"]
+    reg = _POOL_REGISTRY
     return execute_reduce_task(
-        job, partition_index, bucket, _WORKER_JOB["memory_limit"]
+        reg["job"], partition_index, bucket, reg["memory_limit"]
     )
 
 
@@ -93,8 +105,12 @@ class ForkParallelCluster(SimulatedCluster):
         self.workers = workers or os.cpu_count() or 2
         self.min_tasks_for_pool = min_tasks_for_pool
 
-    def _pool(self):
-        return multiprocessing.get_context("fork").Pool(self.workers)
+    def _pool(self, registry: dict):
+        return multiprocessing.get_context("fork").Pool(
+            self.workers,
+            initializer=_init_pool_registry,
+            initargs=(registry,),
+        )
 
     def _execute_map_tasks(
         self,
@@ -109,7 +125,7 @@ class ForkParallelCluster(SimulatedCluster):
                 job, map_inputs, broadcast_data, broadcast_bytes, broadcast_cpu
             )
             return
-        _WORKER_JOB.update(
+        registry = dict(
             job=job,
             broadcast_data=broadcast_data,
             broadcast_bytes=broadcast_bytes,
@@ -117,22 +133,16 @@ class ForkParallelCluster(SimulatedCluster):
             memory_limit=self.config.memory_per_task_bytes,
             map_slots=self.config.map_slots,
         )
-        try:
-            with self._pool() as pool:
-                yield from pool.map(_map_worker, map_inputs)
-        finally:
-            _WORKER_JOB.clear()
+        with self._pool(registry) as pool:
+            yield from pool.map(_map_worker, map_inputs)
 
     def _execute_reduce_tasks(self, job: MapReduceJob, reduce_inputs):
         if len(reduce_inputs) < self.min_tasks_for_pool or self.workers <= 1:
             yield from super()._execute_reduce_tasks(job, reduce_inputs)
             return
-        _WORKER_JOB.update(
+        registry = dict(
             job=job,
             memory_limit=self.config.memory_per_task_bytes,
         )
-        try:
-            with self._pool() as pool:
-                yield from pool.map(_reduce_worker, reduce_inputs)
-        finally:
-            _WORKER_JOB.clear()
+        with self._pool(registry) as pool:
+            yield from pool.map(_reduce_worker, reduce_inputs)

@@ -18,8 +18,17 @@ def run_pipeline(
     cluster: SimulatedCluster, jobs: Iterable[MapReduceJob]
 ) -> JobStats:
     """Run *jobs* in order on *cluster*; each job reads what earlier
-    jobs wrote to the DFS.  Returns the aggregated :class:`JobStats`."""
+    jobs wrote to the DFS.  Returns the aggregated :class:`JobStats`.
+
+    Clusters with a persistent worker pool (see
+    :mod:`repro.mapreduce.executor`) expose ``prepare_jobs``; calling
+    it with the whole chain up front lets one fork serve every phase.
+    """
+    job_list = list(jobs)
+    prepare = getattr(cluster, "prepare_jobs", None)
+    if prepare is not None:
+        prepare(job_list)
     stats = JobStats()
-    for job in jobs:
+    for job in job_list:
         stats.phases.append(cluster.run_job(job))
     return stats

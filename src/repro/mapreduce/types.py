@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+from array import array
 from dataclasses import dataclass, field
 
 
@@ -43,6 +44,11 @@ def approx_bytes(obj: object) -> int:
         return 8
     if isinstance(obj, (tuple, list, set, frozenset)):
         return 8 + sum(approx_bytes(item) for item in obj)
+    if isinstance(obj, array):
+        # same accounting as a tuple of numbers, so switching the token
+        # wire format between tuple[int] and array('i') leaves shuffle
+        # byte counts (and therefore simulated times) unchanged
+        return 8 + 8 * len(obj)
     if isinstance(obj, dict):
         return 8 + sum(
             approx_bytes(k) + approx_bytes(v) for k, v in obj.items()
@@ -70,6 +76,85 @@ class TaskStats:
 
 
 @dataclass
+class ExecutorPhaseStats:
+    """How one map or reduce phase was physically executed.
+
+    Produced by the real-core executors (``repro.mapreduce.executor``,
+    ``repro.mapreduce.parallel``); ``None`` on :class:`PhaseStats` means
+    the phase ran on the plain sequential engine.  All byte figures use
+    :func:`approx_bytes` accounting except the spill figures, which are
+    real on-disk bytes.
+    """
+
+    #: ``"inline"`` (ran in the driver process) or ``"pool"``
+    mode: str = "inline"
+    #: generation of the worker pool that served this phase
+    pool_generation: int = 0
+    #: True when serving this phase forked a fresh pool (cold start)
+    pool_created: bool = False
+    workers: int = 0
+    tasks: int = 0
+    #: task chunks dispatched to the pool (``imap_unordered`` units)
+    chunks: int = 0
+    #: approx bytes of task payloads crossing parent -> worker
+    bytes_to_workers: int = 0
+    #: approx bytes of results crossing worker -> parent
+    bytes_from_workers: int = 0
+    #: real bytes of intermediate (shuffle) data written to spill files
+    spill_bytes_written: int = 0
+    #: real bytes of spill data read back on the reduce side
+    spill_bytes_read: int = 0
+    #: wall-clock of the dispatch loop (parent perspective)
+    wall_s: float = 0.0
+    #: summed task CPU seconds (worker perspective)
+    busy_s: float = 0.0
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of worker capacity spent in task CPU work."""
+        if self.mode != "pool" or self.workers <= 0 or self.wall_s <= 0:
+            return 0.0
+        return min(1.0, self.busy_s / (self.workers * self.wall_s))
+
+
+#: Aggregate keys reported by ``executor_summary`` (stable, documented).
+_EXECUTOR_SUM_FIELDS = (
+    "tasks",
+    "chunks",
+    "bytes_to_workers",
+    "bytes_from_workers",
+    "spill_bytes_written",
+    "spill_bytes_read",
+)
+
+
+def merge_executor_stats(
+    summary: dict, phases: "list[ExecutorPhaseStats | None]"
+) -> dict:
+    """Fold per-phase executor stats into a summary dict (in place)."""
+    summary.setdefault("pools_created", 0)
+    summary.setdefault("pooled_phases", 0)
+    summary.setdefault("inline_phases", 0)
+    summary.setdefault("busy_s", 0.0)
+    summary.setdefault("pool_wall_s", 0.0)
+    for name in _EXECUTOR_SUM_FIELDS:
+        summary.setdefault(name, 0)
+    for ex in phases:
+        if ex is None:
+            continue
+        if ex.mode == "pool":
+            summary["pooled_phases"] += 1
+            summary["pools_created"] += int(ex.pool_created)
+            summary["busy_s"] += ex.busy_s
+            summary["pool_wall_s"] += ex.wall_s
+        else:
+            summary["inline_phases"] += 1
+        for name in _EXECUTOR_SUM_FIELDS:
+            summary[name] += getattr(ex, name)
+    return summary
+
+
+@dataclass
 class PhaseStats:
     """One MapReduce job execution: measured work plus simulated times.
 
@@ -88,6 +173,9 @@ class PhaseStats:
     startup_s: float = 0.0
     simulated_total_s: float = 0.0
     counters: dict[str, int] = field(default_factory=dict)
+    #: how the phases were physically executed (None = sequential engine)
+    map_executor: ExecutorPhaseStats | None = None
+    reduce_executor: ExecutorPhaseStats | None = None
 
     @property
     def map_output_records(self) -> int:
@@ -119,6 +207,16 @@ class JobStats:
             for name, value in phase.counters.items():
                 merged[name] = merged.get(name, 0) + value
         return merged
+
+    def executor_summary(self) -> dict:
+        """Aggregated executor stats over every phase (see
+        :func:`merge_executor_stats`); all zeros for sequential runs."""
+        summary: dict = {}
+        for phase in self.phases:
+            merge_executor_stats(
+                summary, [phase.map_executor, phase.reduce_executor]
+            )
+        return summary
 
     def extend(self, other: "JobStats") -> None:
         self.phases.extend(other.phases)

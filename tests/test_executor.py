@@ -1,0 +1,287 @@
+"""Tests for the persistent execution engine (`repro.mapreduce.executor`).
+
+Covers the tentpole guarantees: byte-identical output to
+:class:`SimulatedCluster` across every stage combo for self- and R-S
+joins, one pool per end-to-end join, `InsufficientMemoryError`
+propagating out of pool workers, the early-exit-safe job registry of
+the per-phase fork cluster, `ClusterConfig.with_nodes` preserving new
+fields, and the rank-vs-string encoding differential.
+
+``assume_cores`` is pinned > 1 so the pooled spill path is exercised
+regardless of the host's core count (the engine would otherwise run
+inline on single-core machines).
+"""
+
+import multiprocessing
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.ordering import TokenOrder
+from repro.core.ppjoin import ppjoin_self_join
+from repro.core.prefixes import Projection
+from repro.core.similarity import Jaccard
+from repro.join.config import JoinConfig
+from repro.join.driver import ssjoin_rs, ssjoin_self
+from repro.mapreduce.cluster import ClusterConfig, SimulatedCluster
+from repro.mapreduce.dfs import InMemoryDFS
+from repro.mapreduce.executor import PersistentParallelCluster
+from repro.mapreduce.types import InsufficientMemoryError
+
+from tests.conftest import SCHEMA_1, random_records
+
+pytestmark = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="fork start method unavailable",
+)
+
+COMBOS = [
+    (stage1, kernel, stage3)
+    for stage1 in ("bto", "opto")
+    for kernel in ("bk", "pk")
+    for stage3 in ("brj", "oprj")
+]
+
+
+def cluster_config(**cfg):
+    defaults = dict(
+        num_nodes=4, job_startup_s=0, task_startup_s=0,
+        cpu_scale=1.0, data_scale=1.0,
+    )
+    defaults.update(cfg)
+    return ClusterConfig(**defaults)
+
+
+def make_pair(workers=2, assume_cores=4, **cfg):
+    sequential = SimulatedCluster(
+        cluster_config(**cfg), InMemoryDFS(num_nodes=4, block_bytes=512)
+    )
+    persistent = PersistentParallelCluster(
+        cluster_config(**cfg),
+        InMemoryDFS(num_nodes=4, block_bytes=512),
+        workers=workers,
+        min_tasks_for_pool=1,
+        assume_cores=assume_cores,
+    )
+    return sequential, persistent
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("stage1,kernel,stage3", COMBOS)
+    def test_selfjoin_identical(self, rng, stage1, kernel, stage3):
+        records = random_records(rng, 70)
+        sequential, persistent = make_pair()
+        config = JoinConfig(
+            threshold=0.5, schema=SCHEMA_1,
+            stage1=stage1, kernel=kernel, stage3=stage3,
+        )
+        with persistent:
+            sequential.dfs.write("records", records)
+            persistent.dfs.write("records", records)
+            seq_report = ssjoin_self(sequential, "records", config)
+            per_report = ssjoin_self(persistent, "records", config)
+            assert sequential.dfs.read_all(
+                seq_report.output_file
+            ) == persistent.dfs.read_all(per_report.output_file)
+
+    @pytest.mark.parametrize("stage1,kernel,stage3", COMBOS)
+    def test_rsjoin_identical(self, rng, stage1, kernel, stage3):
+        r = random_records(rng, 40)
+        s = random_records(rng, 40, rid_base=1000)
+        sequential, persistent = make_pair()
+        config = JoinConfig(
+            threshold=0.5, schema=SCHEMA_1,
+            stage1=stage1, kernel=kernel, stage3=stage3,
+        )
+        with persistent:
+            for cluster in (sequential, persistent):
+                cluster.dfs.write("r", r)
+                cluster.dfs.write("s", s)
+            seq_report = ssjoin_rs(sequential, "r", "s", config)
+            per_report = ssjoin_rs(persistent, "r", "s", config)
+            assert sequential.dfs.read_all(
+                seq_report.output_file
+            ) == persistent.dfs.read_all(per_report.output_file)
+
+    def test_counters_identical(self, rng):
+        records = random_records(rng, 70)
+        sequential, persistent = make_pair()
+        with persistent:
+            sequential.dfs.write("records", records)
+            persistent.dfs.write("records", records)
+            config = JoinConfig(threshold=0.5, schema=SCHEMA_1)
+            seq_report = ssjoin_self(sequential, "records", config)
+            per_report = ssjoin_self(persistent, "records", config)
+            for stage in seq_report.stages:
+                assert seq_report.stages[stage].counters() == per_report.stages[
+                    stage
+                ].counters()
+
+
+class TestPoolLifecycle:
+    def test_one_pool_per_join(self, rng):
+        """The acceptance criterion: a 3-stage pipeline (up to five
+        MapReduce jobs) forks exactly one pool."""
+        records = random_records(rng, 70)
+        _sequential, persistent = make_pair()
+        with persistent:
+            persistent.dfs.write("records", records)
+            ssjoin_self(persistent, "records", JoinConfig(threshold=0.5, schema=SCHEMA_1))
+            stats = persistent.executor.stats
+            assert stats.pools_created == 1
+            assert stats.phases_executed > 1  # the pool really was reused
+
+    def test_pool_reused_across_joins(self, rng):
+        """Same registered jobs -> the second run re-uses the pool."""
+        records = random_records(rng, 70)
+        _sequential, persistent = make_pair()
+        config = JoinConfig(threshold=0.5, schema=SCHEMA_1)
+        with persistent:
+            persistent.dfs.write("records", records)
+            ssjoin_self(persistent, "records", config, prefix="a")
+            ssjoin_self(persistent, "records", config, prefix="b")
+            # the second join's jobs are new closures, so one re-fork is
+            # allowed — but never one pool per phase
+            assert persistent.executor.stats.pools_created <= 2
+
+    def test_executor_summary_in_report(self, rng):
+        records = random_records(rng, 70)
+        _sequential, persistent = make_pair()
+        with persistent:
+            persistent.dfs.write("records", records)
+            report = ssjoin_self(
+                persistent, "records", JoinConfig(threshold=0.5, schema=SCHEMA_1)
+            )
+        summary = report.executor_summary()
+        assert summary["pools_created"] == 1
+        assert summary["pooled_phases"] > 0
+        assert summary["spill_bytes_written"] == summary["spill_bytes_read"]
+
+    def test_single_core_host_runs_inline(self, rng):
+        """On a 1-core host worker processes only time-slice, so the
+        engine degrades to inline execution — same answers, no pool."""
+        records = random_records(rng, 70)
+        _sequential, persistent = make_pair(assume_cores=1)
+        with persistent:
+            persistent.dfs.write("records", records)
+            ssjoin_self(persistent, "records", JoinConfig(threshold=0.5, schema=SCHEMA_1))
+            assert persistent.executor.stats.pools_created == 0
+
+    def test_memory_error_propagates_from_pool_worker(self, rng):
+        records = random_records(rng, 80, dup_rate=0.6)
+        _sequential, persistent = make_pair(memory_per_task_mb=0.0001)
+        with persistent:
+            persistent.dfs.write("records", records)
+            with pytest.raises(InsufficientMemoryError) as exc_info:
+                ssjoin_self(
+                    persistent, "records", JoinConfig(threshold=0.5, schema=SCHEMA_1)
+                )
+            assert exc_info.value.limit_bytes > 0  # fields survived pickling
+            # the engine stays usable after a failed phase
+            persistent.dfs.write("more", records)
+
+
+class TestForkClusterRegistry:
+    """Regression: the seed's `_WORKER_JOB` module global leaked when a
+    caller abandoned a task generator mid-iteration.  The registry is
+    now a local dict handed to one pool, so there is nothing to leak."""
+
+    def test_abandoned_generator_leaves_no_state(self):
+        from repro.mapreduce import parallel
+        from tests.test_parallel import make_pair as fork_pair, word_count_job
+
+        _sequential, fork = fork_pair()
+        docs = [f"w{i % 7} w{i % 3}" for i in range(200)]
+        fork.dfs.write("docs", docs)
+        job = word_count_job()
+        inputs = fork._collect_map_inputs(job)
+        gen = fork._execute_map_tasks(job, inputs, None, 0, 0.0)
+        next(gen)  # start the pool, consume one result ...
+        del gen  # ... and abandon the generator mid-iteration
+        # parent-side module state must be untouched
+        assert parallel._POOL_REGISTRY == {}
+        # and a fresh job still runs correctly end to end
+        fork.run_job(word_count_job())
+        assert sorted(fork.dfs.read_all("counts"))[0] == ("w0", 96)
+
+    def test_exception_in_phase_leaves_no_state(self, rng):
+        from repro.mapreduce import parallel
+        from tests.test_parallel import make_pair as fork_pair
+
+        records = random_records(rng, 80, dup_rate=0.6)
+        _sequential, fork = fork_pair(memory_per_task_mb=0.0001)
+        fork.dfs.write("records", records)
+        with pytest.raises(InsufficientMemoryError):
+            ssjoin_self(fork, "records", JoinConfig(threshold=0.5, schema=SCHEMA_1))
+        assert parallel._POOL_REGISTRY == {}
+
+
+class TestWithNodes:
+    def test_with_nodes_preserves_every_field(self):
+        config = ClusterConfig(
+            num_nodes=4, memory_per_task_mb=7.5, map_slots_per_node=3,
+            job_startup_s=0.25,
+        )
+        scaled = config.with_nodes(9)
+        assert scaled.num_nodes == 9
+        assert scaled.memory_per_task_mb == 7.5
+        assert scaled.map_slots_per_node == 3
+        assert scaled.job_startup_s == 0.25
+        # the original is untouched (dataclasses.replace, not mutation)
+        assert config.num_nodes == 4
+
+
+token_sets = st.lists(
+    st.sets(st.sampled_from([f"tok{i}" for i in range(18)]), min_size=1, max_size=8),
+    min_size=2,
+    max_size=20,
+)
+
+
+class TestEncodingDifferential:
+    """Rank-encoded integer kernels must produce exactly the RID pairs
+    the string-token kernels produce."""
+
+    @given(sets=token_sets, threshold=st.sampled_from([0.5, 0.75]))
+    @settings(max_examples=60, deadline=None)
+    def test_ppjoin_rank_vs_string(self, sets, threshold):
+        freqs = {}
+        for s in sets:
+            for tok in s:
+                freqs[tok] = freqs.get(tok, 0) + 1
+        order = TokenOrder.from_frequencies(freqs)
+        rank = [Projection(i, order.encode_array(s)) for i, s in enumerate(sets)]
+        text = [Projection(i, order.encode_strings(s)) for i, s in enumerate(sets)]
+        sim = Jaccard()
+        rank_pairs = {p[:2] for p in ppjoin_self_join(rank, sim, threshold)}
+        text_pairs = {p[:2] for p in ppjoin_self_join(text, sim, threshold)}
+        assert rank_pairs == text_pairs
+
+    @pytest.mark.parametrize("encoding", ["rank", "string"])
+    def test_join_config_encoding_accepted(self, encoding):
+        assert JoinConfig(token_encoding=encoding).token_encoding == encoding
+
+    def test_join_config_encoding_validated(self):
+        with pytest.raises(ValueError):
+            JoinConfig(token_encoding="utf8")
+
+    def test_e2e_encodings_same_pairs(self, rng):
+        from repro.join.records import rid_of
+
+        records = random_records(rng, 60)
+        results = {}
+        for encoding in ("rank", "string"):
+            cluster = SimulatedCluster(
+                cluster_config(), InMemoryDFS(num_nodes=4, block_bytes=512)
+            )
+            cluster.dfs.write("records", records)
+            report = ssjoin_self(
+                cluster,
+                "records",
+                JoinConfig(threshold=0.5, schema=SCHEMA_1, token_encoding=encoding),
+            )
+            results[encoding] = {
+                (rid_of(a), rid_of(b), round(s, 9))
+                for a, b, s in cluster.dfs.read_all(report.output_file)
+            }
+        assert results["rank"] == results["string"]

@@ -111,3 +111,22 @@ class TestReporting:
 
     def test_empty_rows(self):
         assert "a" in format_table(["a"], [])
+
+    def test_format_executor_summary(self):
+        from repro.bench.reporting import format_executor_summary
+
+        text = format_executor_summary(
+            {
+                "pools_created": 1, "pooled_phases": 6, "inline_phases": 4,
+                "busy_s": 1.0, "pool_wall_s": 2.0, "tasks": 10, "chunks": 4,
+                "bytes_to_workers": 2048, "bytes_from_workers": 1024,
+                "spill_bytes_written": 4096,
+            }
+        )
+        assert "pools" in text and "0.50" in text  # utilization column
+
+    def test_format_executor_summary_sequential(self):
+        from repro.bench.reporting import format_executor_summary
+
+        # all-zero summary (sequential run) renders without dividing by 0
+        assert "0" in format_executor_summary({})
