@@ -24,6 +24,7 @@ import pytest
 
 from repro.bench import dblp_times
 from repro.core.allpairs import allpairs_self_join
+from repro.core.bitmaps import signature as bitmap_signature
 from repro.core.naive import naive_self_join
 from repro.core.ordering import TokenOrder, count_token_frequencies
 from repro.core.ppjoin import ppjoin_self_join
@@ -44,6 +45,7 @@ from repro.mapreduce.parallel import ForkParallelCluster
 NUM_RECORDS = 600  # brute force is O(n^2); keep the oracle affordable
 E2E_FACTOR = 5  # DBLP x5, per the perf acceptance criterion
 E2E_ROUNDS = 3
+BITMAP_WIDTH = 64
 RESULTS_JSON = Path(__file__).parent / "results" / "BENCH_kernel.json"
 
 
@@ -56,6 +58,14 @@ def projections(records, encoding="rank"):
     return [
         Projection(rid_of(line), encode(tokenizer.tokenize(value)))
         for line, value in zip(records, values)
+    ]
+
+
+def with_signatures(projs, width=BITMAP_WIDTH):
+    """Copies carrying precomputed bitmap signatures — mirroring the
+    Stage-2 mappers, which compute each record's signature once."""
+    return [
+        Projection(p.rid, p.tokens, bitmap_signature(p.tokens, width)) for p in projs
     ]
 
 
@@ -78,6 +88,17 @@ ENCODINGS = {
     "string": lambda: ppjoin_self_join(SPROJS, SIM, 0.8),
 }
 
+# bitmap-signature pruning on vs off — "on" matches the PK kernel's
+# shipped configuration (bitmap bound replacing the suffix filter);
+# both must reproduce the naive oracle exactly (admissible filter).
+BPROJS = with_signatures(PROJS)
+BITMAP = {
+    "bitmap_off": lambda: ppjoin_self_join(PROJS, SIM, 0.8),
+    "bitmap_on": lambda: ppjoin_self_join(
+        BPROJS, SIM, 0.8, use_suffix=False, bitmap_width=BITMAP_WIDTH
+    ),
+}
+
 
 @lru_cache(maxsize=1)
 def reference_pairs() -> frozenset:
@@ -96,6 +117,12 @@ def test_encoding_micro(benchmark, encoding):
     assert {tuple(p[:2]) for p in result} == reference_pairs()
 
 
+@pytest.mark.parametrize("variant", list(BITMAP))
+def test_bitmap_micro(benchmark, variant):
+    result = benchmark.pedantic(BITMAP[variant], rounds=3, iterations=1)
+    assert {tuple(p[:2]) for p in result} == reference_pairs()
+
+
 # ---------------------------------------------------------------------------
 # the committed baseline artifact
 # ---------------------------------------------------------------------------
@@ -110,11 +137,11 @@ def _best_of(func, rounds=3):
     return min(times)
 
 
-def _run_e2e(make_cluster, lines):
+def _run_e2e(make_cluster, lines, config=None):
     cluster = make_cluster()
     cluster.dfs.write("in.records", lines)
     t0 = time.perf_counter()
-    report = ssjoin_self(cluster, "in.records", JoinConfig())
+    report = ssjoin_self(cluster, "in.records", config or JoinConfig())
     wall = time.perf_counter() - t0
     output = [list(b.records) for b in cluster.dfs.file(report.output_file).blocks]
     stats = getattr(cluster, "executor", None)
@@ -153,6 +180,42 @@ def test_bench_kernel_baseline(record_result):
     before, after = min(walls["fork"]), min(walls["persistent"])
     improvement = 100.0 * (1.0 - after / before)
 
+    # bitmap filter, micro: the PK kernel at dblp x5 with the bitmap
+    # bound replacing the suffix filter (the shipped configuration) vs
+    # the plain PPJoin+ stack — bit-identical pairs, interleaved
+    # best-of rounds so host noise hits both variants equally.
+    xprojs = projections(lines)
+    xbprojs = with_signatures(xprojs)
+    bitmap_off = lambda: ppjoin_self_join(xprojs, SIM, 0.8)
+    bitmap_on = lambda: ppjoin_self_join(
+        xbprojs, SIM, 0.8, use_suffix=False, bitmap_width=BITMAP_WIDTH
+    )
+    assert bitmap_on() == bitmap_off(), "bitmap filter changed the result set"
+    off_times, on_times = [], []
+    for _ in range(3 * E2E_ROUNDS):  # cheap runs — extra rounds beat host noise
+        off_times.append(_best_of(bitmap_off, rounds=1))
+        on_times.append(_best_of(bitmap_on, rounds=1))
+    b_off, b_on = min(off_times), min(on_times)
+    bitmap_speedup = b_off / b_on
+
+    # bitmap filter, end-to-end: same join on the sequential cluster
+    # with the filter on (default) vs off — identical joined output.
+    mk_sim = lambda: SimulatedCluster(ClusterConfig(), InMemoryDFS())
+    e2e_walls = {"on": [], "off": []}
+    e2e_outputs = {}
+    for _ in range(E2E_ROUNDS):
+        for name, cfg in (
+            ("off", JoinConfig(bitmap_filter=False)),
+            ("on", JoinConfig()),
+        ):
+            wall, output, _ = _run_e2e(mk_sim, lines, cfg)
+            e2e_walls[name].append(wall)
+            e2e_outputs[name] = output
+    assert e2e_outputs["on"] == e2e_outputs["off"], (
+        "bitmap filter changed the end-to-end join output"
+    )
+    e2e_off, e2e_on = min(e2e_walls["off"]), min(e2e_walls["on"])
+
     payload = {
         "generated_by": "benchmarks/bench_kernels_micro.py::test_bench_kernel_baseline",
         "kernel_micro": {
@@ -172,6 +235,22 @@ def test_bench_kernel_baseline(record_result):
             "output_identical_to_simulated": True,
             "persistent_pools_created": pools_seen,
         },
+        "bitmap_filter": {
+            "micro_workload": (
+                f"dblp x{E2E_FACTOR}, ppjoin+ self-join, jaccard>=0.8, "
+                f"width={BITMAP_WIDTH}, bitmap replaces suffix filter"
+            ),
+            "micro_off_best_s": round(b_off, 4),
+            "micro_on_best_s": round(b_on, 4),
+            "micro_speedup": round(bitmap_speedup, 3),
+            "micro_off_all_s": [round(t, 4) for t in off_times],
+            "micro_on_all_s": [round(t, 4) for t in on_times],
+            "e2e_workload": f"dblp x{E2E_FACTOR}, bto-pk-brj, sequential cluster",
+            "e2e_off_best_s": round(e2e_off, 3),
+            "e2e_on_best_s": round(e2e_on, 3),
+            "e2e_speedup": round(e2e_off / e2e_on, 3),
+            "output_identical_on_vs_off": True,
+        },
     }
     RESULTS_JSON.parent.mkdir(exist_ok=True)
     RESULTS_JSON.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
@@ -180,5 +259,7 @@ def test_bench_kernel_baseline(record_result):
         f"  encoding micro: string={micro['string']:.4f}s rank={micro['rank']:.4f}s "
         f"(x{micro['string'] / micro['rank']:.2f})\n"
         f"  e2e ssjoin_self dblp x{E2E_FACTOR}: fork={before:.3f}s "
-        f"persistent={after:.3f}s improvement={improvement:.1f}%"
+        f"persistent={after:.3f}s improvement={improvement:.1f}%\n"
+        f"  bitmap filter micro dblp x{E2E_FACTOR}: off={b_off:.4f}s on={b_on:.4f}s "
+        f"(x{bitmap_speedup:.2f}); e2e off={e2e_off:.3f}s on={e2e_on:.3f}s"
     )

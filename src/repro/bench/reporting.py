@@ -63,6 +63,15 @@ def format_executor_summary(summary: dict, title: str = "executor") -> str:
     return format_table(headers, [row], title=title)
 
 
+def format_filter_counters(pruned: dict, title: str = "stage2 filters") -> str:
+    """Render a :meth:`JoinReport.filter_counters` dict as one table row:
+    candidates examined, prunes per filter stage (length, bitmap,
+    positional, suffix) and surviving RID pairs."""
+    headers = ["candidates", "length", "bitmap", "positional", "suffix", "pairs"]
+    row = [pruned.get(h, 0) for h in headers]
+    return format_table(headers, [row], title=title)
+
+
 def format_speedup_series(rows: list[dict], baseline_key: int) -> str:
     """Fig. 10-style relative speedup: time(baseline) / time(n) per combo."""
     by_combo: dict[str, dict[int, float]] = {}

@@ -59,6 +59,11 @@ def _add_join_options(parser: argparse.ArgumentParser) -> None:
                         choices=["rank", "string"],
                         help="kernel token representation: frequency-rank "
                              "array('i') (default) or sorted string tuples")
+    parser.add_argument("--no-bitmap-filter", action="store_true",
+                        help="disable bitmap-signature candidate pruning "
+                             "(on by default; output is identical either way)")
+    parser.add_argument("--bitmap-width", type=int, default=64,
+                        help="bitmap signature width in bits (default: 64)")
     parser.add_argument("--dfs-dir", default=None, metavar="PATH",
                         help="back the DFS with this directory instead of RAM")
 
@@ -79,6 +84,8 @@ def _build_config(args: argparse.Namespace) -> JoinConfig:
         stage3=args.stage3,
         blocks=blocks,
         token_encoding=args.token_encoding,
+        bitmap_filter=not args.no_bitmap_filter,
+        bitmap_width=args.bitmap_width,
     )
 
 
@@ -114,10 +121,11 @@ def _emit(args: argparse.Namespace, pairs: list, report: JoinReport) -> None:
         for stage, seconds in report.stage_times().items():
             print(f"  {stage}: {seconds:.1f}s (simulated, "
                   f"{args.nodes} nodes)", file=sys.stderr)
+        from repro.bench.reporting import format_executor_summary, format_filter_counters
+
+        print(format_filter_counters(report.filter_counters()), file=sys.stderr)
         summary = report.executor_summary()
         if summary.get("pooled_phases") or summary.get("inline_phases"):
-            from repro.bench.reporting import format_executor_summary
-
             print(format_executor_summary(summary), file=sys.stderr)
 
 

@@ -2,7 +2,8 @@
 
 This subpackage contains everything the paper's MapReduce stages build
 on: tokenization, similarity functions with their filter bounds
-(prefix, length, positional, suffix), the global token ordering, a
+(prefix, length, positional, suffix), the bitmap-signature filter
+(:mod:`repro.core.bitmaps`), the global token ordering, a
 PPJoin+ reimplementation used by the indexed kernel (PK), the
 All-Pairs baseline, and a brute-force oracle used by the test suite.
 """
@@ -23,6 +24,7 @@ from repro.core.similarity import (
 )
 from repro.core.ordering import TokenOrder, count_token_frequencies
 from repro.core.verification import overlap, verify_pair
+from repro.core.bitmaps import overlap_upper_bound, signature as bitmap_signature
 from repro.core.filters import (
     length_bounds,
     positional_filter_passes,
@@ -53,6 +55,8 @@ __all__ = [
     "count_token_frequencies",
     "overlap",
     "verify_pair",
+    "bitmap_signature",
+    "overlap_upper_bound",
     "length_bounds",
     "positional_filter_passes",
     "suffix_filter_passes",

@@ -1,0 +1,89 @@
+"""Bitmap signatures — popcount-based candidate pruning (Sandes et al.).
+
+*Bitmap Filter: Speeding up Exact Set Similarity Joins with Bitwise
+Operations* (arXiv:1711.07295) observes that a fixed-width bit
+signature per record yields a cheap **upper bound** on the overlap of
+two token sets, tight enough to discard most candidate pairs before
+any token merge.  This module provides that signature and bound for
+the Stage-2 kernels; the check slots in between the length filter and
+the positional/suffix/verification steps.
+
+Signature
+---------
+A record's signature is a ``width``-bit integer with bit
+``element % width`` set for every rank-encoded token (for string
+tokens, a process-stable CRC32 hash replaces the rank).  Signatures
+are computed once per record in the Stage-2 mappers and shipped with
+the projection through the shuffle, so every kernel consults them for
+free.
+
+Admissibility
+-------------
+Let ``bx``, ``by`` be the signatures of token sets ``x``, ``y`` and
+``popcount`` count set bits.  Every element of ``x ∩ y`` sets the same
+bit in both signatures, so its bit lies in ``bx & by``.  Conversely, a
+bit in ``bx & ~by`` is set by at least one element of ``x``, and *no*
+element mapping to that bit can belong to ``y`` (it would have set the
+bit in ``by``); distinct such bits witness distinct elements, hence
+
+    |x ∩ y|  <=  |x| - popcount(bx & ~by)
+    |x ∩ y|  <=  |y| - popcount(by & ~bx)
+
+Writing ``c = popcount(bx & by)``, ``px = popcount(bx)``,
+``py = popcount(by)`` these combine into the form the kernels use::
+
+    |x ∩ y|  <=  c + min(|x| - px, |y| - py)
+
+(``popcount(bx & ~by) = px - c``).  The bound never *under*-estimates
+the overlap — pruning on it can produce no false negatives — which is
+differential-tested against exact set intersection and end-to-end
+against the unfiltered kernels.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+from zlib import crc32
+
+#: Default signature width in bits (one machine word).  Any positive
+#: width is admissible; wider signatures collide less and prune more.
+DEFAULT_WIDTH = 64
+
+
+def signature(tokens: Sequence, width: int = DEFAULT_WIDTH) -> int:
+    """The ``width``-bit signature of a token array.
+
+    Works on both kernel wire formats: rank-encoded integers
+    (``array('i')`` / ``tuple[int]``) set bit ``rank % width``; string
+    tokens set bit ``crc32(token) % width`` (CRC32 is process-stable,
+    unlike the salted built-in ``hash``).  The empty set's signature
+    is 0.
+    """
+    if width < 1:
+        raise ValueError(f"signature width must be >= 1, got {width}")
+    sig = 0
+    if not tokens:
+        return sig
+    if isinstance(tokens[0], str):
+        for token in tokens:
+            sig |= 1 << (crc32(token.encode("utf-8")) % width)
+    else:
+        for rank in tokens:
+            sig |= 1 << (rank % width)
+    return sig
+
+
+def overlap_upper_bound(nx: int, ny: int, sx: int, sy: int) -> int:
+    """Admissible upper bound on ``|x ∩ y|`` from sizes and signatures.
+
+    ``nx``/``ny`` must be the lengths of the *same* token arrays the
+    signatures were computed from (for S-filtered R-S projections that
+    is the filtered length, matching what verification merges).
+    """
+    c = (sx & sy).bit_count()
+    return c + min(nx - sx.bit_count(), ny - sy.bit_count())
+
+
+def passes(nx: int, ny: int, sx: int, sy: int, alpha: int) -> bool:
+    """Whether the pair can still reach the required overlap *alpha*."""
+    return overlap_upper_bound(nx, ny, sx, sy) >= alpha

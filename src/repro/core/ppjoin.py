@@ -39,6 +39,7 @@ from array import array
 from bisect import bisect_left
 from typing import Iterable, Sequence
 
+from repro.core.bitmaps import signature as bitmap_signature
 from repro.core.filters import (
     positional_filter_passes,
     suffix_filter_passes,
@@ -48,9 +49,15 @@ from repro.core.similarity import SimilarityFunction
 from repro.core.verification import overlap
 
 
-def _entry_bytes(size: int) -> int:
-    """Approximate in-memory bytes of one indexed entry of *size* tokens."""
-    return 8 * size + 32
+def _entry_bytes(size: int, has_signature: bool = False) -> int:
+    """Approximate in-memory bytes of one indexed entry of *size* tokens.
+
+    Entries of a bitmap-enabled index carry one extra signature word;
+    :meth:`PPJoinIndex.add` and :meth:`PPJoinIndex._evict_below` must
+    agree on it or ``live_bytes`` drifts (over-eviction would release
+    memory the reducer never reserved).
+    """
+    return 8 * size + 32 + (8 if has_signature else 0)
 
 
 class PPJoinIndex:
@@ -72,6 +79,16 @@ class PPJoinIndex:
         Drop indexed entries once the probe stream's length lower bound
         passes them.  Requires both add and probe streams to be
         non-decreasing in set size (enforced).
+    bitmap_width:
+        Enable the bitmap filter (arXiv:1711.07295, see
+        :mod:`repro.core.bitmaps`) with signatures of this many bits;
+        ``None`` disables it.  Signatures may be supplied precomputed to
+        :meth:`add`/:meth:`probe` (the Stage-2 mappers compute them once
+        per record) or are derived from the tokens on demand.
+
+    ``filter_stats`` counts candidates pruned per filter stage
+    (``length`` at posting-hit granularity, ``bitmap``/``positional``/
+    ``suffix`` once per candidate pair).
     """
 
     def __init__(
@@ -83,11 +100,14 @@ class PPJoinIndex:
         use_suffix: bool = True,
         evict: bool = True,
         suffix_max_depth: int = 2,
+        bitmap_width: int | None = None,
     ) -> None:
         if mode not in ("self", "rs"):
             raise ValueError(f"mode must be 'self' or 'rs', got {mode!r}")
         if threshold < 0.0:
             raise ValueError(f"threshold must be non-negative, got {threshold}")
+        if bitmap_width is not None and bitmap_width < 1:
+            raise ValueError(f"bitmap_width must be >= 1, got {bitmap_width}")
         self.sim = sim
         self.threshold = threshold
         self.mode = mode
@@ -95,6 +115,7 @@ class PPJoinIndex:
         self.use_suffix = use_suffix
         self.evict = evict
         self.suffix_max_depth = suffix_max_depth
+        self.bitmap_width = bitmap_width
 
         self._postings: dict[int, list[tuple[int, int]]] = {}
         self._cursor: dict[int, int] = {}  # per-token eviction cursor
@@ -102,12 +123,18 @@ class PPJoinIndex:
         self._tokens: list[tuple[int, ...] | None] = []
         self._sizes: list[int] = []
         self._prefix_lens: list[int] = []
+        #: per-entry signature and "size minus popcount" slack (the
+        #: precomputed y-side term of the overlap upper bound)
+        self._sigs: list[int] = []
+        self._sig_slack: list[int] = []
         self._frontier = 0  # entries below this id are evicted
         self._last_added_size = 0
         self._last_probe_size = 0
         self.peak_live_entries = 0
         #: approximate bytes of live (non-evicted) entries, for memory metering
         self.live_bytes = 0
+        #: candidates pruned per filter stage
+        self.filter_stats = {"length": 0, "bitmap": 0, "positional": 0, "suffix": 0}
 
     # -- size / memory accounting -------------------------------------
 
@@ -122,8 +149,15 @@ class PPJoinIndex:
 
     # -- indexing ------------------------------------------------------
 
-    def add(self, rid: int, tokens: Sequence[int]) -> None:
-        """Index one record (rank-encoded, globally ordered tokens)."""
+    def add(
+        self, rid: int, tokens: Sequence[int], signature: int | None = None
+    ) -> None:
+        """Index one record (rank-encoded, globally ordered tokens).
+
+        ``signature`` supplies the precomputed bitmap signature; ignored
+        when the index was built without ``bitmap_width``, computed from
+        the tokens when bitmap filtering is on but none is given.
+        """
         n = len(tokens)
         if self.evict and n < self._last_added_size:
             raise ValueError(
@@ -147,22 +181,32 @@ class PPJoinIndex:
         self._prefix_lens.append(plen)
         for pos in range(plen):
             self._postings.setdefault(tokens[pos], []).append((entry_id, pos))
-        self.live_bytes += _entry_bytes(n)
+        if self.bitmap_width is not None:
+            if signature is None:
+                signature = bitmap_signature(tokens, self.bitmap_width)
+            self._sigs.append(signature)
+            self._sig_slack.append(n - signature.bit_count())
+        self.live_bytes += _entry_bytes(n, self.bitmap_width is not None)
         self._note_live()
 
     def _evict_below(self, min_size: int) -> None:
         """Advance the eviction frontier past entries smaller than
         *min_size* (valid because entry sizes are non-decreasing)."""
         frontier = bisect_left(self._sizes, min_size, self._frontier)
+        has_sig = self.bitmap_width is not None
         for entry_id in range(self._frontier, frontier):
             self._tokens[entry_id] = None  # free the payload
-            self.live_bytes -= _entry_bytes(self._sizes[entry_id])
+            self.live_bytes -= _entry_bytes(self._sizes[entry_id], has_sig)
         self._frontier = frontier
 
     # -- probing ---------------------------------------------------------
 
     def probe(
-        self, rid: int, tokens: Sequence[int], true_size: int | None = None
+        self,
+        rid: int,
+        tokens: Sequence[int],
+        true_size: int | None = None,
+        signature: int | None = None,
     ) -> list[tuple[int, float]]:
         """Find indexed records similar to (*rid*, *tokens*).
 
@@ -174,7 +218,8 @@ class PPJoinIndex:
         *filtered* token array is probed (dropped tokens cannot match
         any indexed R record), but the length filter and the required
         overlap are computed against the record's *original* set size
-        so the reported similarity is exact.
+        so the reported similarity is exact.  ``signature`` is the
+        probe's precomputed bitmap signature (see :meth:`add`).
         """
         nx = len(tokens)
         n_true = nx if true_size is None else true_size
@@ -194,9 +239,25 @@ class PPJoinIndex:
         if self.evict:
             self._evict_below(lo)
         probe_len = sim.prefix_length(nx, threshold)
+        # Bitmap filter setup: the bound on the merged (token-array)
+        # overlap is  popcount(sx & sy) + min(x_slack, y_slack)  with
+        # slack = len - popcount; x's term is fixed for the whole probe.
+        sig_x = None
+        x_slack = 0
+        if self.bitmap_width is not None:
+            sig_x = (
+                signature
+                if signature is not None
+                else bitmap_signature(tokens, self.bitmap_width)
+            )
+            x_slack = nx - sig_x.bit_count()
         candidates: dict[int, list[int]] = {}
         pruned: set[int] = set()
+        # hot loop: hoist per-entry tables and per-stage prune tallies
+        # into locals (attribute/dict lookups cost real time here)
         sizes = self._sizes
+        sigs, sig_slack = self._sigs, self._sig_slack
+        p_length = p_bitmap = p_positional = p_suffix = 0
         for i in range(probe_len):
             postings = self._postings.get(tokens[i])
             if postings is None:
@@ -209,17 +270,29 @@ class PPJoinIndex:
             for entry_id, j in postings[start:]:
                 ny = sizes[entry_id]
                 if ny < lo or ny > hi:
+                    p_length += 1
                     continue
                 if entry_id in pruned:
                     continue
                 state = candidates.get(entry_id)
                 current = state[0] if state else 0
                 alpha = sim.overlap_threshold(n_true, ny, threshold)
+                if state is None and sig_x is not None:
+                    # first encounter: bitmap overlap upper bound,
+                    # between the length and positional filters
+                    bound = (sig_x & sigs[entry_id]).bit_count() + min(
+                        x_slack, sig_slack[entry_id]
+                    )
+                    if bound < alpha:
+                        pruned.add(entry_id)
+                        p_bitmap += 1
+                        continue
                 if self.use_positional and not positional_filter_passes(
                     nx, ny, i, j, current, alpha
                 ):
                     pruned.add(entry_id)
                     candidates.pop(entry_id, None)
+                    p_positional += 1
                     continue
                 if state is None:
                     if self.use_suffix:
@@ -233,12 +306,19 @@ class PPJoinIndex:
                             max_depth=self.suffix_max_depth,
                         ):
                             pruned.add(entry_id)
+                            p_suffix += 1
                             continue
                     candidates[entry_id] = [1, i, j]
                 else:
                     state[0] = current + 1
                     state[1] = i
                     state[2] = j
+        if p_length or p_bitmap or p_positional or p_suffix:
+            stats = self.filter_stats
+            stats["length"] += p_length
+            stats["bitmap"] += p_bitmap
+            stats["positional"] += p_positional
+            stats["suffix"] += p_suffix
         if not candidates:
             return []
         return self._verify(rid, tokens, n_true, probe_len, candidates)
@@ -293,13 +373,16 @@ def ppjoin_self_join(
     threshold: float,
     use_positional: bool = True,
     use_suffix: bool = True,
+    bitmap_width: int | None = None,
 ) -> list[tuple[int, int, float]]:
     """Single-node PPJoin(+) self-join over rank-encoded projections.
 
     Returns ``(rid_low, rid_high, similarity)`` triples, canonically
     sorted.  This is exactly what one Stage-2 PK reducer computes for
     its partition; it is also usable standalone as a laptop-scale
-    set-similarity join.
+    set-similarity join.  ``bitmap_width`` enables the bitmap filter
+    (admissible — the result set is unchanged); projections may carry
+    precomputed signatures.
     """
     index = PPJoinIndex(
         sim,
@@ -307,13 +390,16 @@ def ppjoin_self_join(
         mode="self",
         use_positional=use_positional,
         use_suffix=use_suffix,
+        bitmap_width=bitmap_width,
     )
     results: list[tuple[int, int, float]] = []
     for proj in _sorted_by_size(projections):
-        for other_rid, similarity in index.probe(proj.rid, proj.tokens):
+        for other_rid, similarity in index.probe(
+            proj.rid, proj.tokens, signature=proj.signature
+        ):
             low, high = sorted((proj.rid, other_rid))
             results.append((low, high, similarity))
-        index.add(proj.rid, proj.tokens)
+        index.add(proj.rid, proj.tokens, signature=proj.signature)
     results.sort()
     return results
 
@@ -325,6 +411,7 @@ def ppjoin_rs_join(
     threshold: float,
     use_positional: bool = True,
     use_suffix: bool = True,
+    bitmap_width: int | None = None,
 ) -> list[tuple[int, int, float]]:
     """Single-node PPJoin(+) R-S join.
 
@@ -340,12 +427,15 @@ def ppjoin_rs_join(
         use_positional=use_positional,
         use_suffix=use_suffix,
         evict=False,
+        bitmap_width=bitmap_width,
     )
     for proj in _sorted_by_size(r_projections):
-        index.add(proj.rid, proj.tokens)
+        index.add(proj.rid, proj.tokens, signature=proj.signature)
     results: list[tuple[int, int, float]] = []
     for proj in _sorted_by_size(s_projections):
-        for r_rid, similarity in index.probe(proj.rid, proj.tokens):
+        for r_rid, similarity in index.probe(
+            proj.rid, proj.tokens, signature=proj.signature
+        ):
             results.append((r_rid, proj.rid, similarity))
     results.sort()
     return results

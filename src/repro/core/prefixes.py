@@ -35,10 +35,16 @@ class Projection:
     sorted ``tuple[str]`` (see
     :meth:`~repro.core.ordering.TokenOrder.encode_strings`) are all
     valid and produce identical RID pairs.
+
+    ``signature`` optionally carries the record's bitmap signature
+    (:func:`repro.core.bitmaps.signature`), computed once and consulted
+    by the kernels' bitmap filter; ``None`` lets the kernel compute (or
+    skip) it as configured.
     """
 
     rid: int
     tokens: Sequence[int] | Sequence[str]
+    signature: int | None = None
 
     @property
     def size(self) -> int:

@@ -47,6 +47,13 @@ SPILL_WRITTEN = "stage2.spill_bytes_written"
 SPILL_READ = "stage2.spill_bytes_read"
 
 
+def projection_spill_bytes(num_tokens: int, has_signature: bool) -> int:
+    """Approximate local-disk bytes of one spilled projection in the
+    reduce-based strategy: the token array plus framing, plus one word
+    for the bitmap signature when the join ships signatures."""
+    return 8 * num_tokens + 32 + (8 if has_signature else 0)
+
+
 @dataclass(frozen=True)
 class BlockPolicy:
     """Sub-partitioning policy for oversized Stage-2 (BK) groups."""

@@ -68,6 +68,19 @@ class JoinConfig:
     #: ordering that serves as the opt-out / differential baseline.
     #: Both produce identical RID pairs.
     token_encoding: str = "rank"
+    #: bitmap-signature candidate pruning (arXiv:1711.07295, see
+    #: :mod:`repro.core.bitmaps`): Stage-2 mappers compute one
+    #: ``bitmap_width``-bit signature per record and every kernel
+    #: consults the popcount overlap upper bound between the length
+    #: filter and the remaining filter/verification steps.  The bound
+    #: is admissible, so RID pairs are identical with the filter on or
+    #: off (differential-tested).  In the PK kernel the bitmap bound
+    #: *replaces* the recursive suffix filter, which it empirically
+    #: subsumes at a fraction of the cost; the positional filter stays.
+    bitmap_filter: bool = True
+    #: signature width in bits for ``bitmap_filter`` (wider = fewer
+    #: collisions = more pruning, slightly larger shuffle records)
+    bitmap_width: int = 64
 
     def __post_init__(self) -> None:
         if isinstance(self.similarity, str):
@@ -86,6 +99,10 @@ class JoinConfig:
             raise ValueError(
                 f"token_encoding must be one of {TOKEN_ENCODINGS}, "
                 f"got {self.token_encoding!r}"
+            )
+        if self.bitmap_width < 1:
+            raise ValueError(
+                f"bitmap_width must be >= 1, got {self.bitmap_width}"
             )
         if self.num_groups is not None and self.num_groups < 1:
             raise ValueError(f"num_groups must be >= 1, got {self.num_groups}")

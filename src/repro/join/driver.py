@@ -64,6 +64,23 @@ class JoinReport:
                 merged[name] = merged.get(name, 0) + value
         return merged
 
+    def filter_counters(self) -> dict[str, int]:
+        """Stage-2 filter-effectiveness tallies: candidates pruned by
+        each filter stage (``length``/``bitmap``/``positional``/
+        ``suffix``) plus the ``candidates`` examined and ``pairs``
+        output.  Zeros for stages that never pruned (e.g. ``bitmap``
+        with ``bitmap_filter=False``, ``suffix`` in PK runs where the
+        bitmap bound replaces it)."""
+        counters = self.counters()
+        return {
+            "candidates": counters.get("stage2.candidate_pairs", 0),
+            "length": counters.get("stage2.pruned_length", 0),
+            "bitmap": counters.get("stage2.pruned_bitmap", 0),
+            "positional": counters.get("stage2.pruned_positional", 0),
+            "suffix": counters.get("stage2.pruned_suffix", 0),
+            "pairs": counters.get("stage2.pairs_output", 0),
+        }
+
     def executor_summary(self) -> dict:
         """Merged physical-execution stats across all three stages (see
         :func:`repro.mapreduce.types.merge_executor_stats`).  All zeros
@@ -97,6 +114,15 @@ class JoinReport:
         pairs = counters.get("stage3.record_pairs_output")
         if pairs is not None:
             lines.append(f"  record pairs: {pairs:,}")
+        pruned = self.filter_counters()
+        if any(pruned[k] for k in ("length", "bitmap", "positional", "suffix")):
+            lines.append(
+                "  pruned: "
+                + ", ".join(
+                    f"{name}={pruned[name]:,}"
+                    for name in ("length", "bitmap", "positional", "suffix")
+                )
+            )
         return "\n".join(lines)
 
 

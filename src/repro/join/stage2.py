@@ -40,6 +40,7 @@ from __future__ import annotations
 
 from typing import Iterator, Sequence
 
+from repro.core.bitmaps import overlap_upper_bound, signature as bitmap_signature
 from repro.core.ordering import TokenOrder
 from repro.core.ppjoin import PPJoinIndex
 from repro.core.prefixes import TokenGrouping
@@ -51,6 +52,7 @@ from repro.join.blocks import (
     SPILL_WRITTEN,
     BlockPolicy,
     MAP_BASED,
+    projection_spill_bytes,
 )
 from repro.join.config import JoinConfig
 from repro.join.records import join_value, rid_of
@@ -59,6 +61,42 @@ from repro.mapreduce.job import Context, MapReduceJob
 #: user counters
 CANDIDATE_PAIRS = "stage2.candidate_pairs"
 PAIRS_OUTPUT = "stage2.pairs_output"
+#: candidates pruned per filter stage (filter-effectiveness counters)
+PRUNED_LENGTH = "stage2.pruned_length"
+PRUNED_BITMAP = "stage2.pruned_bitmap"
+PRUNED_POSITIONAL = "stage2.pruned_positional"
+PRUNED_SUFFIX = "stage2.pruned_suffix"
+
+#: PPJoinIndex.filter_stats key -> counter name
+FILTER_COUNTERS = {
+    "length": PRUNED_LENGTH,
+    "bitmap": PRUNED_BITMAP,
+    "positional": PRUNED_POSITIONAL,
+    "suffix": PRUNED_SUFFIX,
+}
+
+
+def merge_index_filter_stats(ctx: Context, index: PPJoinIndex) -> None:
+    """Fold a PK index's per-filter prune tallies into the job counters."""
+    for stage, count in index.filter_stats.items():
+        if count:
+            ctx.counters.increment(FILTER_COUNTERS[stage], count)
+
+
+def make_pk_index(config: JoinConfig, mode: str, evict: bool) -> PPJoinIndex:
+    """The PK kernel's index under *config*: with the bitmap filter on,
+    the bitmap bound replaces the recursive suffix filter (which it
+    empirically subsumes at a fraction of the cost — both admissible,
+    identical output either way)."""
+    width = config.bitmap_width if config.bitmap_filter else None
+    return PPJoinIndex(
+        config.sim,
+        config.threshold,
+        mode=mode,
+        evict=evict,
+        use_suffix=width is None,
+        bitmap_width=width,
+    )
 
 # Relation tags inside keys/values (R sorts before S).
 REL_R = 0
@@ -133,6 +171,7 @@ def make_self_mapper(
         state["routes"] = make_router(config, order)
 
     width = config.length_class_width
+    bitmap_width = config.bitmap_width if config.bitmap_filter else None
 
     def mapper(line: str, ctx: Context) -> None:
         rid, ranks, _true = project_record(line, config, state["order"], "error")
@@ -140,7 +179,8 @@ def make_self_mapper(
         if n == 0:
             return
         prefix = ranks[: sim.prefix_length(n, threshold)]
-        value = (REL_R, rid, n, ranks)
+        sig = bitmap_signature(ranks, bitmap_width) if bitmap_width else None
+        value = (REL_R, rid, n, sig, ranks)
         for route in state["routes"](prefix):
             if blocks is not None:
                 block = blocks.block_of(rid)
@@ -172,22 +212,36 @@ def make_self_mapper(
 
 
 def bk_verify(
-    p1: tuple, p2: tuple, config: JoinConfig
+    p1: tuple, p2: tuple, config: JoinConfig, counters=None
 ) -> float | None:
-    """Length-filter + merge-verify two projections.
+    """Length-filter + bitmap-filter + merge-verify two projections.
 
-    Each projection is ``(rel, rid, true_size, tokens)``; overlaps are
-    computed on the (possibly S-filtered) token arrays while the length
-    filter and required overlap use the true set sizes, keeping the
-    reported similarity exact (see Section 4 Stage 1).
+    Each projection is ``(rel, rid, true_size, signature, tokens)``;
+    overlaps are computed on the (possibly S-filtered) token arrays
+    while the length filter and required overlap use the true set
+    sizes, keeping the reported similarity exact (see Section 4
+    Stage 1).  When both projections carry a bitmap signature, the
+    admissible popcount upper bound (:mod:`repro.core.bitmaps`) prunes
+    the pair before the O(n) merge; *counters*, when given, tallies
+    per-filter prunes.
     """
     sim, threshold = config.sim, config.threshold
-    _rel1, _rid1, n1, toks1 = p1
-    _rel2, _rid2, n2, toks2 = p2
+    _rel1, _rid1, n1, sig1, toks1 = p1
+    _rel2, _rid2, n2, sig2, toks2 = p2
     lo, hi = sim.length_bounds(n1, threshold)
     if not lo <= n2 <= hi:
+        if counters is not None:
+            counters.increment(PRUNED_LENGTH)
         return None
     alpha = sim.overlap_threshold(n1, n2, threshold)
+    if sig1 is not None and sig2 is not None:
+        # The signature covers the shipped token array, which in R-S
+        # joins is S-filtered — so bound with the array lengths, the
+        # lengths overlap() actually merges (common <= min of both).
+        if overlap_upper_bound(len(toks1), len(toks2), sig1, sig2) < alpha:
+            if counters is not None:
+                counters.increment(PRUNED_BITMAP)
+            return None
     common = overlap(toks1, toks2, required=alpha)
     if common < alpha:
         return None
@@ -218,7 +272,7 @@ def make_bk_self_reducer(config: JoinConfig):
         for i, p1 in enumerate(projections):
             for p2 in projections[i + 1 :]:
                 ctx.counters.increment(CANDIDATE_PAIRS)
-                similarity = bk_verify(p1, p2, config)
+                similarity = bk_verify(p1, p2, config, ctx.counters)
                 if similarity is not None:
                     _write_self_pair(ctx, p1[1], p2[1], similarity)
         ctx.release_memory(charged)
@@ -230,18 +284,19 @@ def make_pk_self_reducer(config: JoinConfig):
     """PPJoin+ Kernel over the length-sorted value stream."""
 
     def reducer(route: int, values: Iterator, ctx: Context) -> None:
-        index = PPJoinIndex(config.sim, config.threshold, mode="self", evict=True)
+        index = make_pk_index(config, mode="self", evict=True)
         charged = 0
-        for _rel, rid, _n, ranks in values:
-            for other_rid, similarity in index.probe(rid, ranks):
+        for _rel, rid, _n, sig, ranks in values:
+            for other_rid, similarity in index.probe(rid, ranks, signature=sig):
                 _write_self_pair(ctx, rid, other_rid, similarity)
-            index.add(rid, ranks)
+            index.add(rid, ranks, signature=sig)
             delta = index.live_bytes - charged
             if delta >= 0:
                 ctx.reserve_memory(delta, "PK index")
             else:
                 ctx.release_memory(-delta)
             charged = index.live_bytes
+        merge_index_filter_stats(ctx, index)
         ctx.release_memory(charged)
 
     return reducer
@@ -260,16 +315,16 @@ def make_bk_self_map_blocks_reducer(config: JoinConfig):
         loaded: list[tuple] = []
         charged = 0
         current_step = -1
-        for step, role, rel, rid, n, ranks in values:
+        for step, role, rel, rid, n, sig, ranks in values:
             if step != current_step:
                 ctx.release_memory(charged)
                 charged = 0
                 loaded = []
                 current_step = step
-            projection = (rel, rid, n, ranks)
+            projection = (rel, rid, n, sig, ranks)
             for other in loaded:
                 ctx.counters.increment(CANDIDATE_PAIRS)
-                similarity = bk_verify(other, projection, config)
+                similarity = bk_verify(other, projection, config, ctx.counters)
                 if similarity is not None:
                     _write_self_pair(ctx, other[1], rid, similarity)
             if role == ROLE_LOAD:
@@ -289,14 +344,14 @@ def make_bk_self_reduce_blocks_reducer(config: JoinConfig):
         charged = 0
         loaded_block = None
         spilled: dict[int, list[tuple]] = {}
-        for block, rel, rid, n, ranks in values:
-            projection = (rel, rid, n, ranks)
+        for block, rel, rid, n, sig, ranks in values:
+            projection = (rel, rid, n, sig, ranks)
             if loaded_block is None:
                 loaded_block = block
             if block == loaded_block:
                 for other in loaded:
                     ctx.counters.increment(CANDIDATE_PAIRS)
-                    similarity = bk_verify(other, projection, config)
+                    similarity = bk_verify(other, projection, config, ctx.counters)
                     if similarity is not None:
                         _write_self_pair(ctx, other[1], rid, similarity)
                 charged += ctx.reserve_memory_for(projection, "BK loaded block")
@@ -304,11 +359,13 @@ def make_bk_self_reduce_blocks_reducer(config: JoinConfig):
             else:
                 for other in loaded:
                     ctx.counters.increment(CANDIDATE_PAIRS)
-                    similarity = bk_verify(other, projection, config)
+                    similarity = bk_verify(other, projection, config, ctx.counters)
                     if similarity is not None:
                         _write_self_pair(ctx, other[1], rid, similarity)
                 spilled.setdefault(block, []).append(projection)
-                ctx.counters.increment(SPILL_WRITTEN, 8 * len(ranks) + 32)
+                ctx.counters.increment(
+                    SPILL_WRITTEN, projection_spill_bytes(len(ranks), sig is not None)
+                )
         ctx.release_memory(charged)
 
         remaining = sorted(spilled)
@@ -316,20 +373,28 @@ def make_bk_self_reduce_blocks_reducer(config: JoinConfig):
             loaded = []
             charged = 0
             for projection in spilled[block]:
-                ctx.counters.increment(SPILL_READ, 8 * len(projection[3]) + 32)
+                ctx.counters.increment(
+                    SPILL_READ,
+                    projection_spill_bytes(len(projection[4]), projection[3] is not None),
+                )
                 for other in loaded:
                     ctx.counters.increment(CANDIDATE_PAIRS)
-                    similarity = bk_verify(other, projection, config)
+                    similarity = bk_verify(other, projection, config, ctx.counters)
                     if similarity is not None:
                         _write_self_pair(ctx, other[1], projection[1], similarity)
                 charged += ctx.reserve_memory_for(projection, "BK loaded block")
                 loaded.append(projection)
             for later in remaining[idx + 1 :]:
                 for projection in spilled[later]:
-                    ctx.counters.increment(SPILL_READ, 8 * len(projection[3]) + 32)
+                    ctx.counters.increment(
+                        SPILL_READ,
+                        projection_spill_bytes(
+                            len(projection[4]), projection[3] is not None
+                        ),
+                    )
                     for other in loaded:
                         ctx.counters.increment(CANDIDATE_PAIRS)
-                        similarity = bk_verify(other, projection, config)
+                        similarity = bk_verify(other, projection, config, ctx.counters)
                         if similarity is not None:
                             _write_self_pair(ctx, other[1], projection[1], similarity)
             ctx.release_memory(charged)

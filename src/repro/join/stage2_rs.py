@@ -25,13 +25,14 @@ from __future__ import annotations
 
 from typing import Iterator
 
-from repro.core.ppjoin import PPJoinIndex
+from repro.core.bitmaps import signature as bitmap_signature
 from repro.join.blocks import (
     MAP_BASED,
     ROLE_LOAD,
     SPILL_READ,
     SPILL_WRITTEN,
     BlockPolicy,
+    projection_spill_bytes,
 )
 from repro.join.config import JoinConfig
 from repro.join.stage2 import (
@@ -41,7 +42,9 @@ from repro.join.stage2 import (
     REL_S,
     bk_verify,
     load_token_order,
+    make_pk_index,
     make_router,
+    merge_index_filter_stats,
     project_record,
 )
 from repro.mapreduce.job import Context, MapReduceJob
@@ -78,6 +81,8 @@ def make_rs_mapper(
         state["order"] = order
         state["routes"] = make_router(config, order)
 
+    bitmap_width = config.bitmap_width if config.bitmap_filter else None
+
     def mapper(line: str, ctx: Context) -> None:
         if ctx.input_file == r_file:
             rel, unknown = REL_R, "error"
@@ -90,7 +95,10 @@ def make_rs_mapper(
         if n == 0:
             return
         prefix = ranks[: sim.prefix_length(n, threshold)]
-        value = (rel, rid, true_size, ranks)
+        # The signature covers the *shipped* (S-filtered) token array —
+        # exactly the elements the kernels' overlap() merges.
+        sig = bitmap_signature(ranks, bitmap_width) if bitmap_width else None
+        value = (rel, rid, true_size, sig, ranks)
         cls = _length_class(rel, true_size, config)
         for route in state["routes"](prefix):
             if blocks is None:
@@ -140,7 +148,7 @@ def make_bk_rs_reducer(config: JoinConfig):
                 continue
             for r_proj in stored_r:
                 ctx.counters.increment(CANDIDATE_PAIRS)
-                similarity = bk_verify(r_proj, value, config)
+                similarity = bk_verify(r_proj, value, config, ctx.counters)
                 if similarity is not None:
                     _write_rs_pair(ctx, r_proj, value, similarity)
         ctx.release_memory(charged)
@@ -153,13 +161,15 @@ def make_pk_rs_reducer(config: JoinConfig):
     stream enabling eviction of too-short R entries."""
 
     def reducer(route: int, values: Iterator, ctx: Context) -> None:
-        index = PPJoinIndex(config.sim, config.threshold, mode="rs", evict=True)
+        index = make_pk_index(config, mode="rs", evict=True)
         charged = 0
-        for rel, rid, true_size, ranks in values:
+        for rel, rid, true_size, sig, ranks in values:
             if rel == REL_R:
-                index.add(rid, ranks)
+                index.add(rid, ranks, signature=sig)
             else:
-                for r_rid, similarity in index.probe(rid, ranks, true_size=true_size):
+                for r_rid, similarity in index.probe(
+                    rid, ranks, true_size=true_size, signature=sig
+                ):
                     ctx.write((r_rid, rid, similarity))
                     ctx.counters.increment(PAIRS_OUTPUT)
             delta = index.live_bytes - charged
@@ -168,6 +178,7 @@ def make_pk_rs_reducer(config: JoinConfig):
             else:
                 ctx.release_memory(-delta)
             charged = index.live_bytes
+        merge_index_filter_stats(ctx, index)
         ctx.release_memory(charged)
 
     return reducer
@@ -181,20 +192,20 @@ def make_bk_rs_map_blocks_reducer(config: JoinConfig):
         loaded: list[tuple] = []
         charged = 0
         current_step = -1
-        for step, role, rel, rid, true_size, ranks in values:
+        for step, role, rel, rid, true_size, sig, ranks in values:
             if step != current_step:
                 ctx.release_memory(charged)
                 charged = 0
                 loaded = []
                 current_step = step
-            projection = (rel, rid, true_size, ranks)
+            projection = (rel, rid, true_size, sig, ranks)
             if role == ROLE_LOAD:
                 charged += ctx.reserve_memory_for(projection, "BK loaded R block")
                 loaded.append(projection)
                 continue
             for r_proj in loaded:
                 ctx.counters.increment(CANDIDATE_PAIRS)
-                similarity = bk_verify(r_proj, projection, config)
+                similarity = bk_verify(r_proj, projection, config, ctx.counters)
                 if similarity is not None:
                     _write_rs_pair(ctx, r_proj, projection, similarity)
         ctx.release_memory(charged)
@@ -213,8 +224,8 @@ def make_bk_rs_reduce_blocks_reducer(config: JoinConfig):
         loaded_block = None
         spilled_r: dict[int, list[tuple]] = {}
         spilled_s: list[tuple] = []
-        for block, rel, rid, true_size, ranks in values:
-            projection = (rel, rid, true_size, ranks)
+        for block, rel, rid, true_size, sig, ranks in values:
+            projection = (rel, rid, true_size, sig, ranks)
             if rel == REL_R:
                 if loaded_block is None:
                     loaded_block = block
@@ -223,30 +234,42 @@ def make_bk_rs_reduce_blocks_reducer(config: JoinConfig):
                     loaded.append(projection)
                 else:
                     spilled_r.setdefault(block, []).append(projection)
-                    ctx.counters.increment(SPILL_WRITTEN, 8 * len(ranks) + 32)
+                    ctx.counters.increment(
+                        SPILL_WRITTEN,
+                        projection_spill_bytes(len(ranks), sig is not None),
+                    )
                 continue
             for r_proj in loaded:
                 ctx.counters.increment(CANDIDATE_PAIRS)
-                similarity = bk_verify(r_proj, projection, config)
+                similarity = bk_verify(r_proj, projection, config, ctx.counters)
                 if similarity is not None:
                     _write_rs_pair(ctx, r_proj, projection, similarity)
             if spilled_r:
                 spilled_s.append(projection)
-                ctx.counters.increment(SPILL_WRITTEN, 8 * len(ranks) + 32)
+                ctx.counters.increment(
+                    SPILL_WRITTEN,
+                    projection_spill_bytes(len(ranks), sig is not None),
+                )
         ctx.release_memory(charged)
 
         for block in sorted(spilled_r):
             loaded = []
             charged = 0
             for projection in spilled_r[block]:
-                ctx.counters.increment(SPILL_READ, 8 * len(projection[3]) + 32)
+                ctx.counters.increment(
+                    SPILL_READ,
+                    projection_spill_bytes(len(projection[4]), projection[3] is not None),
+                )
                 charged += ctx.reserve_memory_for(projection, "BK loaded R block")
                 loaded.append(projection)
             for s_proj in spilled_s:
-                ctx.counters.increment(SPILL_READ, 8 * len(s_proj[3]) + 32)
+                ctx.counters.increment(
+                    SPILL_READ,
+                    projection_spill_bytes(len(s_proj[4]), s_proj[3] is not None),
+                )
                 for r_proj in loaded:
                     ctx.counters.increment(CANDIDATE_PAIRS)
-                    similarity = bk_verify(r_proj, s_proj, config)
+                    similarity = bk_verify(r_proj, s_proj, config, ctx.counters)
                     if similarity is not None:
                         _write_rs_pair(ctx, r_proj, s_proj, similarity)
             ctx.release_memory(charged)

@@ -130,3 +130,48 @@ class TestReporting:
 
         # all-zero summary (sequential run) renders without dividing by 0
         assert "0" in format_executor_summary({})
+
+    def test_format_filter_counters(self):
+        from repro.bench.reporting import format_filter_counters
+
+        text = format_filter_counters(
+            {
+                "candidates": 1000, "length": 400, "bitmap": 350,
+                "positional": 50, "suffix": 0, "pairs": 200,
+            }
+        )
+        for column in ("candidates", "length", "bitmap", "positional",
+                       "suffix", "pairs"):
+            assert column in text
+        assert "350" in text and "1000" in text
+
+    def test_format_filter_counters_empty(self):
+        from repro.bench.reporting import format_filter_counters
+
+        # missing keys render as zeros, not KeyErrors
+        assert "bitmap" in format_filter_counters({})
+
+    def test_join_report_filter_counters_and_summary(self):
+        from repro.join.config import JoinConfig
+        from repro.join.driver import set_similarity_self_join
+        from repro.join.records import make_line
+
+        records = [
+            make_line(i, [" ".join(f"w{j}" for j in range(i % 4, i % 4 + 5)), "x"])
+            for i in range(20)
+        ]
+        from tests.conftest import SCHEMA_1, make_cluster
+
+        _, report = set_similarity_self_join(
+            records,
+            JoinConfig(threshold=0.5, schema=SCHEMA_1, kernel="bk"),
+            cluster=make_cluster(),
+        )
+        pruned = report.filter_counters()
+        # BK examines every in-group pair, so prunes + survivors can
+        # never exceed the candidates examined
+        assert pruned["candidates"] >= pruned["length"] + pruned["bitmap"]
+        summary = report.format_summary()
+        if any(pruned[k] for k in ("length", "bitmap", "positional", "suffix")):
+            assert "pruned:" in summary
+            assert "bitmap=" in summary

@@ -169,6 +169,56 @@ class TestRSJoinDifferential:
         assert index.probe(2, (1, 2, 3, 4), true_size=6) == []
 
 
+class TestBitmapIndex:
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            PPJoinIndex(Jaccard(), 0.5, bitmap_width=0)
+
+    def test_eviction_accounting_balanced_with_signatures(self):
+        """Regression: ``_entry_bytes`` must charge the signature word
+        on add AND on evict — a one-sided charge drifts ``live_bytes``
+        and eventually over- or under-evicts the memory meter."""
+        index = PPJoinIndex(Jaccard(), 0.9, bitmap_width=64)
+        for i in range(10):
+            index.add(i, tuple(range(3)))
+        assert index.live_bytes == 10 * (8 * 3 + 32 + 8)
+        # a long probe makes every size-3 entry evictable
+        index.probe(99, tuple(range(100, 140)))
+        assert index.live_entries == 0
+        assert index.live_bytes == 0
+
+    def test_live_bytes_never_negative_mixed_sizes(self):
+        rng = random.Random(11)
+        index = PPJoinIndex(Jaccard(), 0.8, bitmap_width=64)
+        size = 1
+        for i in range(50):
+            size += rng.randint(0, 2)
+            index.add(i, tuple(range(size)))
+            index.probe(1000 + i, tuple(range(size)))
+            assert index.live_bytes >= 0
+
+    def test_filter_stats_keys_and_bitmap_prunes(self):
+        index = PPJoinIndex(Jaccard(), 0.5, bitmap_width=64, use_suffix=False)
+        assert set(index.filter_stats) == {
+            "length", "bitmap", "positional", "suffix",
+        }
+        # same prefix token, disjoint suffixes: survives the length
+        # filter, dies on the bitmap bound before verification
+        index.add(1, (0, 1, 2, 3))
+        index.probe(2, (0, 10, 11, 12))
+        assert index.filter_stats["bitmap"] == 1
+        assert index.filter_stats["suffix"] == 0
+
+    def test_bitmap_never_prunes_true_pair(self):
+        rng = random.Random(12)
+        sets = [set(rng.sample(range(200), rng.randint(1, 10))) for _ in range(60)]
+        projs = projections(sets)
+        for width in (1, 2, 64):
+            assert ppjoin_self_join(
+                projs, Jaccard(), 0.5, use_suffix=False, bitmap_width=width
+            ) == naive_self_join(projs, Jaccard(), 0.5)
+
+
 class TestDeterminism:
     def test_output_sorted(self):
         rng = random.Random(2)
