@@ -17,6 +17,8 @@ See README.md for the architecture overview and DESIGN.md for the
 paper-to-module map.
 """
 
+from __future__ import annotations
+
 from repro.core import (
     Cosine,
     EditDistanceQGrams,
@@ -61,40 +63,40 @@ from repro.mapreduce import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "BlockPolicy",
+    "ClusterConfig",
     "Cosine",
     "Dice",
+    "EditDistanceQGrams",
+    "ForkParallelCluster",
+    "InMemoryDFS",
+    "InsufficientMemoryError",
     "Jaccard",
+    "JoinConfig",
+    "JoinReport",
+    "LocalDiskDFS",
+    "MapReduceJob",
+    "MinHasher",
     "Overlap",
+    "Projection",
     "QGramTokenizer",
+    "RecordSchema",
     "SimilarityFunction",
+    "SimulatedCluster",
     "TokenOrder",
     "Tokenizer",
     "WordTokenizer",
-    "get_similarity_function",
-    "EditDistanceQGrams",
     "edit_distance_self_join",
+    "get_similarity_function",
     "levenshtein",
+    "minhash_lsh_self_join",
     "naive_rs_join",
     "naive_self_join",
     "ppjoin_rs_join",
     "ppjoin_self_join",
-    "Projection",
-    "JoinConfig",
-    "JoinReport",
-    "RecordSchema",
     "set_similarity_rs_join",
     "set_similarity_self_join",
     "ssjoin_rs",
     "ssjoin_self",
-    "BlockPolicy",
-    "MinHasher",
-    "minhash_lsh_self_join",
-    "ClusterConfig",
-    "ForkParallelCluster",
-    "InMemoryDFS",
-    "LocalDiskDFS",
-    "InsufficientMemoryError",
-    "MapReduceJob",
-    "SimulatedCluster",
     "__version__",
 ]

@@ -1,0 +1,37 @@
+"""Static and dynamic verification of the MapReduce contract.
+
+:mod:`repro.analysis.mrlint`
+    AST-based linter enforcing the MR contract (deterministic, pure,
+    pickle-safe mapper/reducer/kernel code).  ``python -m repro lint``.
+
+:mod:`repro.analysis.sanitize`
+    Runtime sanitizer mode (``JoinConfig.sanitize`` /
+    ``REPRO_SANITIZE=1``): reduce-input sortedness, sampled filter
+    admissibility oracle, index byte accounting.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.mrlint import RULES, Finding, lint_file, lint_paths, lint_source
+from repro.analysis.sanitize import (
+    CHECKS,
+    VIOLATIONS,
+    Sanitizer,
+    env_sanitize,
+    make_sanitizer,
+    sanitize_active,
+)
+
+__all__ = [
+    "RULES",
+    "Finding",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "CHECKS",
+    "VIOLATIONS",
+    "Sanitizer",
+    "env_sanitize",
+    "make_sanitizer",
+    "sanitize_active",
+]

@@ -1,0 +1,680 @@
+"""mrlint — AST-based static analyzer for the MapReduce contract.
+
+The correctness of the pipeline rests on invariants the runtime never
+checks: mappers and reducers must be pure with respect to module state
+(tasks re-run and re-order freely), nothing order-nondeterministic may
+flow into ``emit()`` (partition contents must be byte-identical across
+the sequential engine and the fork executors), kernel code must be
+deterministic (no unseeded randomness, no wall-clock reads), closures
+shipped to fork workers must not capture unpicklable handles, and the
+Stage-2 composite keys must keep their ``(group, length, ...)`` shape
+— the length component is what lets the PK kernel evict index entries
+(Section 3.2.2) and the R-S kernel stream R before S (Section 4).
+
+``mrlint`` discovers every mapper/reducer/combiner and kernel function
+in a source tree (stdlib :mod:`ast` only, no third-party dependency)
+and enforces those invariants mechanically:
+
+=======  ==============================================================
+rule     violation
+=======  ==============================================================
+MR001    MR function mutates module-level state (stateful mapper)
+MR002    iteration over a ``set``/``frozenset`` in a function that
+         feeds ``emit()``/``write()``/returned pairs (unordered
+         iteration breaks byte-identical output; wrap in ``sorted()``)
+MR003    unseeded randomness or wall-clock read in MR/kernel code
+         (``random.*`` module functions, ``time.time``, ``os.urandom``,
+         ``uuid.uuid4``, ``datetime.now``; ``random.Random(seed)`` is
+         the sanctioned form)
+MR004    MR closure captures an unpicklable object (open file handle,
+         ``threading``/``multiprocessing`` primitive, socket) — unsafe
+         to ship to fork/pickle workers
+MR005    Stage-2 ``emit()`` key is not an inline composite tuple of at
+         least two components (``(group, length, ...)`` shape)
+MR006    MR function declares a mutable default argument (hidden
+         cross-task state)
+=======  ==============================================================
+
+Function discovery is structural, not configured:
+
+* functions named ``mapper``/``reducer``/``combiner`` (or ending in
+  ``_mapper``/``_reducer``/``_combiner``) and the ``map_setup`` /
+  ``reduce_teardown`` hook family;
+* any function passed as a ``mapper=``/``reducer=``/``combiner=``/
+  ``*_setup=``/``*_teardown=`` keyword to a ``*Job(...)`` constructor;
+* kernel code: methods of classes whose name ends in ``Index`` and
+  functions ending in ``_join`` or ``_verify`` (MR002/MR003 only).
+
+Run it as ``python -m repro lint src/`` (exit status 1 on findings) or
+programmatically via :func:`lint_paths`.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+__all__ = ["RULES", "Finding", "lint_source", "lint_file", "lint_paths"]
+
+#: rule id -> one-line description (stable, documented in docs/API.md)
+RULES: dict[str, str] = {
+    "MR001": "MR function mutates module-level state",
+    "MR002": "set iteration on a path that feeds emit()/returned pairs",
+    "MR003": "unseeded randomness or wall-clock read in MR/kernel code",
+    "MR004": "MR closure captures an unpicklable object (handle/lock/pool)",
+    "MR005": "Stage-2 emit key is not a composite (group, length, ...) tuple",
+    "MR006": "MR function declares a mutable default argument",
+}
+
+#: pseudo-rule for files that do not parse
+PARSE_ERROR = "MR000"
+
+_MR_NAME_RE = re.compile(
+    r"(?:^|_)(?:mapper|reducer|combiner)$"
+    r"|^(?:map|reduce|combine)_(?:setup|teardown)$"
+)
+_KERNEL_NAME_RE = re.compile(r"(?:_join|_verify)$")
+_JOB_MR_KWARGS = frozenset(
+    {
+        "mapper",
+        "reducer",
+        "combiner",
+        "map_setup",
+        "map_teardown",
+        "reduce_setup",
+        "reduce_teardown",
+    }
+)
+
+#: methods whose call mutates the receiver in place
+_MUTATORS = frozenset(
+    {
+        "append",
+        "extend",
+        "insert",
+        "add",
+        "update",
+        "setdefault",
+        "pop",
+        "popitem",
+        "remove",
+        "discard",
+        "clear",
+        "sort",
+        "reverse",
+        "write",
+        "writelines",
+    }
+)
+
+#: time-module attributes whose value depends on the wall clock
+_CLOCK_ATTRS = frozenset(
+    {
+        "time",
+        "time_ns",
+        "monotonic",
+        "monotonic_ns",
+        "perf_counter",
+        "perf_counter_ns",
+    }
+)
+
+#: call roots that construct objects unsafe to pickle / ship to workers
+_UNPICKLABLE_ROOTS = frozenset({"threading", "multiprocessing", "socket"})
+_UNPICKLABLE_NAMES = frozenset(
+    {
+        "open",
+        "Lock",
+        "RLock",
+        "Condition",
+        "Semaphore",
+        "BoundedSemaphore",
+        "Event",
+        "Pool",
+        "Queue",
+        "TemporaryFile",
+        "NamedTemporaryFile",
+        "SpooledTemporaryFile",
+        "socket",
+    }
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    function: str
+    message: str
+
+    def format(self) -> str:
+        where = f" [{self.function}]" if self.function else ""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule}{where} {self.message}"
+
+
+# ---------------------------------------------------------------------------
+# AST helpers
+# ---------------------------------------------------------------------------
+
+_FunctionNode = ast.FunctionDef | ast.AsyncFunctionDef
+
+
+def _shallow_nodes(fn: _FunctionNode) -> Iterator[ast.AST]:
+    """Every node of *fn*'s body, excluding nested function/class bodies
+    (those have their own scopes and, where relevant, their own checks)."""
+    stack: list[ast.AST] = list(fn.body)
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.ClassDef)
+        ):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _target_names(target: ast.expr) -> Iterator[str]:
+    """Plain names bound by an assignment target."""
+    if isinstance(target, ast.Name):
+        yield target.id
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for elt in target.elts:
+            yield from _target_names(elt)
+    elif isinstance(target, ast.Starred):
+        yield from _target_names(target.value)
+
+
+def _root_name(node: ast.expr) -> str | None:
+    """The base ``Name`` of an attribute/subscript chain, if any."""
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        node = node.value
+    return node.id if isinstance(node, ast.Name) else None
+
+
+def _module_bindings(tree: ast.Module) -> set[str]:
+    """Names bound at module level (imports, assignments, defs)."""
+    names: set[str] = set()
+    for node in tree.body:
+        if isinstance(node, (ast.Import, ast.ImportFrom)):
+            for alias in node.names:
+                names.add((alias.asname or alias.name).split(".")[0])
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            names.add(node.name)
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                names.update(_target_names(target))
+        elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+            names.update(_target_names(node.target))
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            names.update(_target_names(node.target))
+        elif isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                if item.optional_vars is not None:
+                    names.update(_target_names(item.optional_vars))
+    return names
+
+
+def _module_imports(tree: ast.Module) -> set[str]:
+    """Top-level module names bound by imports (``import random`` ->
+    ``random``; ``import os.path`` -> ``os``)."""
+    names: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                names.add((alias.asname or alias.name).split(".")[0])
+    return names
+
+
+def _local_bindings(fn: _FunctionNode) -> set[str]:
+    """Names bound inside *fn*'s own scope (params + shallow bindings)."""
+    names: set[str] = set()
+    args = fn.args
+    for arg in (*args.posonlyargs, *args.args, *args.kwonlyargs):
+        names.add(arg.arg)
+    if args.vararg is not None:
+        names.add(args.vararg.arg)
+    if args.kwarg is not None:
+        names.add(args.kwarg.arg)
+    declared_global: set[str] = set()
+    for node in _shallow_nodes(fn):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                names.update(_target_names(target))
+        elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+            names.update(_target_names(node.target))
+        elif isinstance(node, ast.NamedExpr):
+            names.update(_target_names(node.target))
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            names.update(_target_names(node.target))
+        elif isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                if item.optional_vars is not None:
+                    names.update(_target_names(item.optional_vars))
+        elif isinstance(node, ast.comprehension):
+            names.update(_target_names(node.target))
+        elif isinstance(node, ast.ExceptHandler) and node.name:
+            names.add(node.name)
+        elif isinstance(node, (ast.Import, ast.ImportFrom)):
+            for alias in node.names:
+                names.add((alias.asname or alias.name).split(".")[0])
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            names.add(node.name)
+        elif isinstance(node, (ast.Global, ast.Nonlocal)):
+            declared_global.update(node.names)
+    return names - declared_global
+
+
+@dataclass
+class _Function:
+    """One discovered function with its scope context."""
+
+    node: _FunctionNode
+    qualname: str
+    enclosing: tuple[_FunctionNode, ...]  # outermost -> innermost
+    is_mr: bool
+    is_kernel: bool
+
+
+def _discover(tree: ast.Module) -> list[_Function]:
+    """Find every MR and kernel function in a parsed module."""
+    job_kwarg_names: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call):
+            callee = node.func
+            callee_name = (
+                callee.id
+                if isinstance(callee, ast.Name)
+                else callee.attr if isinstance(callee, ast.Attribute) else ""
+            )
+            if not callee_name.endswith("Job"):
+                continue
+            for kw in node.keywords:
+                if kw.arg in _JOB_MR_KWARGS and isinstance(kw.value, ast.Name):
+                    job_kwarg_names.add(kw.value.id)
+
+    found: list[_Function] = []
+
+    def visit(
+        nodes: Iterable[ast.AST],
+        enclosing: tuple[_FunctionNode, ...],
+        prefix: str,
+        in_index_class: bool,
+    ) -> None:
+        for node in nodes:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qualname = f"{prefix}{node.name}"
+                is_mr = (
+                    _MR_NAME_RE.search(node.name) is not None
+                    or node.name in job_kwarg_names
+                )
+                is_kernel = in_index_class or _KERNEL_NAME_RE.search(node.name) is not None
+                found.append(_Function(node, qualname, enclosing, is_mr, is_kernel))
+                visit(node.body, enclosing + (node,), f"{qualname}.", False)
+            elif isinstance(node, ast.ClassDef):
+                visit(
+                    node.body,
+                    enclosing,
+                    f"{prefix}{node.name}.",
+                    node.name.endswith("Index"),
+                )
+    visit(tree.body, (), "", False)
+    return found
+
+
+# ---------------------------------------------------------------------------
+# rule checks
+# ---------------------------------------------------------------------------
+
+
+def _check_mr001(
+    fn: _Function,
+    module_names: set[str],
+    local_names: set[str],
+    enclosing_names: set[str],
+    emit: "list[Finding]",
+    path: str,
+) -> None:
+    """Mutation of module-level state inside an MR function."""
+    declared_global: set[str] = set()
+    flagged: set[str] = set()
+
+    def fire(node: ast.AST, name: str, how: str) -> None:
+        if name in flagged:
+            return
+        flagged.add(name)
+        emit.append(
+            Finding(
+                "MR001",
+                path,
+                getattr(node, "lineno", fn.node.lineno),
+                getattr(node, "col_offset", 0),
+                fn.qualname,
+                f"{how} module-level {name!r} — MR functions must not "
+                "mutate module state (tasks re-run and re-order freely)",
+            )
+        )
+
+    def is_module_ref(name: str | None) -> bool:
+        return (
+            name is not None
+            and name not in local_names
+            and name not in enclosing_names
+            and (name in module_names or name in declared_global)
+        )
+
+    for node in _shallow_nodes(fn.node):
+        if isinstance(node, ast.Global):
+            declared_global.update(node.names)
+    for node in _shallow_nodes(fn.node):
+        if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            targets = (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            for target in targets:
+                if isinstance(target, ast.Name) and target.id in declared_global:
+                    fire(node, target.id, "assigns")
+                elif isinstance(target, (ast.Attribute, ast.Subscript)):
+                    root = _root_name(target)
+                    if is_module_ref(root):
+                        fire(node, root, "writes into")
+        elif isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            if node.func.attr in _MUTATORS:
+                root = _root_name(node.func.value)
+                if is_module_ref(root):
+                    fire(node, root, f"calls .{node.func.attr}() on")
+
+
+def _set_expr(node: ast.expr, set_names: set[str]) -> bool:
+    """Whether *node* provably evaluates to a set/frozenset."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in ("set", "frozenset")
+    if isinstance(node, ast.Name):
+        return node.id in set_names
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitAnd, ast.BitOr, ast.BitXor, ast.Sub)
+    ):
+        return _set_expr(node.left, set_names) or _set_expr(node.right, set_names)
+    return False
+
+
+def _check_mr002(fn: _Function, emit: "list[Finding]", path: str) -> None:
+    """Iteration over a set in a function that emits/returns data."""
+    feeds_output = False
+    for node in _shallow_nodes(fn.node):
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            if node.func.attr in ("emit", "write"):
+                feeds_output = True
+        elif isinstance(node, ast.Return) and node.value is not None:
+            feeds_output = True
+        elif isinstance(node, (ast.Yield, ast.YieldFrom)):
+            feeds_output = True
+    if not feeds_output:
+        return
+
+    set_names: set[str] = set()
+    for node in _shallow_nodes(fn.node):
+        if isinstance(node, ast.Assign) and _set_expr(node.value, set_names):
+            for target in node.targets:
+                set_names.update(_target_names(target))
+
+    def fire(node: ast.AST, what: str) -> None:
+        emit.append(
+            Finding(
+                "MR002",
+                path,
+                getattr(node, "lineno", fn.node.lineno),
+                getattr(node, "col_offset", 0),
+                fn.qualname,
+                f"iterates over {what} — set order is not deterministic "
+                "across processes; wrap the iterable in sorted()",
+            )
+        )
+
+    for node in _shallow_nodes(fn.node):
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            if _set_expr(node.iter, set_names):
+                fire(node, "a set")
+        elif isinstance(node, ast.comprehension):
+            if _set_expr(node.iter, set_names):
+                fire(node.iter, "a set (comprehension)")
+
+
+def _check_mr003(
+    fn: _Function, module_imports: set[str], emit: "list[Finding]", path: str
+) -> None:
+    """Unseeded randomness / wall-clock reads in MR or kernel code."""
+
+    def fire(node: ast.AST, what: str) -> None:
+        emit.append(
+            Finding(
+                "MR003",
+                path,
+                getattr(node, "lineno", fn.node.lineno),
+                getattr(node, "col_offset", 0),
+                fn.qualname,
+                f"calls {what} — kernel/MR code must be deterministic; "
+                "use random.Random(seed) or pass values in",
+            )
+        )
+
+    for node in _shallow_nodes(fn.node):
+        if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute)):
+            continue
+        attr = node.func.attr
+        root = _root_name(node.func.value)
+        if root is None or root not in module_imports:
+            continue
+        if root == "random" and attr != "Random":
+            fire(node, f"random.{attr}() (process-global, unseeded RNG)")
+        elif root == "time" and attr in _CLOCK_ATTRS:
+            fire(node, f"time.{attr}() (wall clock)")
+        elif root == "os" and attr == "urandom":
+            fire(node, "os.urandom() (entropy source)")
+        elif root == "uuid" and attr in ("uuid1", "uuid4"):
+            fire(node, f"uuid.{attr}() (random identifier)")
+        elif root == "datetime" and attr in ("now", "utcnow", "today"):
+            fire(node, f"datetime …{attr}() (wall clock)")
+
+
+def _unpicklable_call(node: ast.expr) -> str | None:
+    """Describe *node* if it constructs an unpicklable object."""
+    if not isinstance(node, ast.Call):
+        return None
+    func = node.func
+    if isinstance(func, ast.Name) and func.id in _UNPICKLABLE_NAMES:
+        return f"{func.id}(...)"
+    if isinstance(func, ast.Attribute):
+        root = _root_name(func.value)
+        if root in _UNPICKLABLE_ROOTS or (
+            root is not None and func.attr in _UNPICKLABLE_NAMES
+        ):
+            return f"{root}.{func.attr}(...)"
+    return None
+
+
+def _scope_unpicklable_bindings(nodes: Iterable[ast.AST]) -> dict[str, str]:
+    """Names bound to unpicklable constructions within *nodes*."""
+    bindings: dict[str, str] = {}
+    for node in nodes:
+        if isinstance(node, ast.Assign):
+            what = _unpicklable_call(node.value)
+            if what is not None:
+                for target in node.targets:
+                    for name in _target_names(target):
+                        bindings[name] = what
+        elif isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                what = _unpicklable_call(item.context_expr)
+                if what is not None and item.optional_vars is not None:
+                    for name in _target_names(item.optional_vars):
+                        bindings[name] = what
+    return bindings
+
+
+def _check_mr004(
+    fn: _Function,
+    tree: ast.Module,
+    local_names: set[str],
+    emit: "list[Finding]",
+    path: str,
+) -> None:
+    """Closure capture of unpicklable objects in MR functions."""
+    outer: dict[str, str] = {}
+    # module scope first, then enclosing functions innermost-last so the
+    # nearest binding wins
+    outer.update(_scope_unpicklable_bindings(tree.body))
+    for enclosing in fn.enclosing:
+        outer.update(_scope_unpicklable_bindings(_shallow_nodes(enclosing)))
+    if not outer:
+        return
+    flagged: set[str] = set()
+    for node in _shallow_nodes(fn.node):
+        if not (isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load)):
+            continue
+        name = node.id
+        if name in local_names or name in flagged or name not in outer:
+            continue
+        flagged.add(name)
+        emit.append(
+            Finding(
+                "MR004",
+                path,
+                node.lineno,
+                node.col_offset,
+                fn.qualname,
+                f"captures {name!r} bound to {outer[name]} — file handles, "
+                "locks and pools cannot be shipped to fork/pickle workers",
+            )
+        )
+
+
+def _check_mr005(fn: _Function, emit: "list[Finding]", path: str) -> None:
+    """Stage-2 emit keys must be inline composite tuples (>= 2 parts)."""
+    for node in _shallow_nodes(fn.node):
+        if not (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "emit"
+            and node.args
+        ):
+            continue
+        key = node.args[0]
+        if not (isinstance(key, ast.Tuple) and len(key.elts) >= 2):
+            emit.append(
+                Finding(
+                    "MR005",
+                    path,
+                    node.lineno,
+                    node.col_offset,
+                    fn.qualname,
+                    "Stage-2 emit key must be an inline (group, length, ...) "
+                    "tuple — the length component drives PK eviction and R-S "
+                    "streaming order",
+                )
+            )
+
+
+def _check_mr006(fn: _Function, emit: "list[Finding]", path: str) -> None:
+    """Mutable default arguments on MR functions."""
+    args = fn.node.args
+    defaults = [*args.defaults, *(d for d in args.kw_defaults if d is not None)]
+    for default in defaults:
+        mutable = isinstance(
+            default, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)
+        ) or (
+            isinstance(default, ast.Call)
+            and isinstance(default.func, ast.Name)
+            and default.func.id in ("list", "dict", "set", "bytearray", "defaultdict")
+        )
+        if mutable:
+            emit.append(
+                Finding(
+                    "MR006",
+                    path,
+                    default.lineno,
+                    default.col_offset,
+                    fn.qualname,
+                    "mutable default argument — shared across every task "
+                    "that reuses the function object (hidden mapper state)",
+                )
+            )
+
+
+# ---------------------------------------------------------------------------
+# entry points
+# ---------------------------------------------------------------------------
+
+
+def lint_source(source: str, path: str = "<string>") -> list[Finding]:
+    """Lint one module's source text; returns findings sorted by location."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                PARSE_ERROR,
+                path,
+                exc.lineno or 1,
+                (exc.offset or 1) - 1,
+                "",
+                f"syntax error: {exc.msg}",
+            )
+        ]
+    module_names = _module_bindings(tree)
+    module_imports = _module_imports(tree)
+    is_stage2 = "stage2" in os.path.basename(path)
+    findings: list[Finding] = []
+    for fn in _discover(tree):
+        local_names = _local_bindings(fn.node)
+        enclosing_names: set[str] = set()
+        for enclosing in fn.enclosing:
+            enclosing_names.update(_local_bindings(enclosing))
+        if fn.is_mr:
+            _check_mr001(fn, module_names, local_names, enclosing_names, findings, path)
+            _check_mr002(fn, findings, path)
+            _check_mr004(fn, tree, local_names, findings, path)
+            _check_mr006(fn, findings, path)
+            if is_stage2:
+                _check_mr005(fn, findings, path)
+        if fn.is_mr or fn.is_kernel:
+            _check_mr003(fn, module_imports, findings, path)
+        if fn.is_kernel and not fn.is_mr:
+            _check_mr002(fn, findings, path)
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings
+
+
+def lint_file(path: str) -> list[Finding]:
+    """Lint one ``.py`` file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return lint_source(handle.read(), path)
+
+
+def _iter_py_files(paths: Iterable[str]) -> Iterator[str]:
+    for path in paths:
+        if os.path.isdir(path):
+            for dirpath, dirnames, filenames in os.walk(path):
+                dirnames.sort()
+                dirnames[:] = [d for d in dirnames if d != "__pycache__"]
+                for filename in sorted(filenames):
+                    if filename.endswith(".py"):
+                        yield os.path.join(dirpath, filename)
+        else:
+            yield path
+
+
+def lint_paths(paths: Iterable[str]) -> list[Finding]:
+    """Lint every ``.py`` file under *paths* (files or directory trees)."""
+    findings: list[Finding] = []
+    for filename in _iter_py_files(paths):
+        findings.extend(lint_file(filename))
+    return findings

@@ -1,6 +1,8 @@
 """Experiment harness: canonical workloads, sweep runners and
 paper-style reporting for every table and figure in Section 6."""
 
+from __future__ import annotations
+
 from repro.bench.workloads import (
     BASE_DBLP_RECORDS,
     BASE_CITESEERX_RECORDS,
@@ -30,25 +32,25 @@ from repro.bench.reporting import (
 )
 
 __all__ = [
-    "BASE_DBLP_RECORDS",
     "BASE_CITESEERX_RECORDS",
-    "dblp_times",
-    "citeseerx_times",
-    "rs_workload",
+    "BASE_DBLP_RECORDS",
     "PAPER_COMBOS",
+    "citeseerx_times",
+    "dblp_times",
+    "format_executor_summary",
+    "format_speedup_series",
+    "format_table",
+    "groups_sweep",
     "make_cluster",
-    "run_self_join",
-    "run_rs_join",
-    "self_join_size_sweep",
-    "self_join_speedup",
-    "self_join_scaleup",
+    "rs_join_scaleup",
     "rs_join_size_sweep",
     "rs_join_speedup",
-    "rs_join_scaleup",
-    "stage_breakdown_speedup",
+    "rs_workload",
+    "run_rs_join",
+    "run_self_join",
+    "self_join_scaleup",
+    "self_join_size_sweep",
+    "self_join_speedup",
     "stage_breakdown_scaleup",
-    "groups_sweep",
-    "format_table",
-    "format_speedup_series",
-    "format_executor_summary",
+    "stage_breakdown_speedup",
 ]

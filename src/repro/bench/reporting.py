@@ -69,7 +69,14 @@ def format_filter_counters(pruned: dict, title: str = "stage2 filters") -> str:
     positional, suffix) and surviving RID pairs."""
     headers = ["candidates", "length", "bitmap", "positional", "suffix", "pairs"]
     row = [pruned.get(h, 0) for h in headers]
-    return format_table(headers, [row], title=title)
+    text = format_table(headers, [row], title=title)
+    checks = pruned.get("sanitize_checks", 0)
+    if checks:
+        text += (
+            f"\nsanitize: {checks:,} checks, "
+            f"{pruned.get('sanitize_violations', 0):,} violations"
+        )
+    return text
 
 
 def format_speedup_series(rows: list[dict], baseline_key: int) -> str:

@@ -66,6 +66,11 @@ def _add_join_options(parser: argparse.ArgumentParser) -> None:
                         help="bitmap signature width in bits (default: 64)")
     parser.add_argument("--dfs-dir", default=None, metavar="PATH",
                         help="back the DFS with this directory instead of RAM")
+    parser.add_argument("--sanitize", action="store_true",
+                        help="runtime sanitizer mode: check shuffle sortedness, "
+                             "filter admissibility (sampled oracle) and index "
+                             "byte accounting; output is unchanged, counters "
+                             "appear under --stats (also: REPRO_SANITIZE=1)")
 
 
 def _build_config(args: argparse.Namespace) -> JoinConfig:
@@ -86,6 +91,7 @@ def _build_config(args: argparse.Namespace) -> JoinConfig:
         token_encoding=args.token_encoding,
         bitmap_filter=not args.no_bitmap_filter,
         bitmap_width=args.bitmap_width,
+        sanitize=args.sanitize,
     )
 
 
@@ -157,6 +163,19 @@ def _cmd_rsjoin(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis.mrlint import lint_paths
+
+    findings = lint_paths(args.paths)
+    for finding in findings:
+        print(finding.format())
+    if findings:
+        print(f"{len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    print("mrlint: clean", file=sys.stderr)
+    return 0
+
+
 def _cmd_generate(args: argparse.Namespace) -> int:
     if args.corpus == "dblp":
         records = generate_dblp(args.num_records, seed=args.seed)
@@ -201,6 +220,15 @@ def build_parser() -> argparse.ArgumentParser:
                        help="DBLP file whose publications seed CITESEERX "
                             "(makes R-S joins non-empty)")
     p_gen.set_defaults(func=_cmd_generate)
+
+    p_lint = sub.add_parser(
+        "lint",
+        help="statically check mapper/reducer/kernel code against the "
+             "MR contract (repro.analysis.mrlint)",
+    )
+    p_lint.add_argument("paths", nargs="+",
+                        help="python files or directory trees to lint")
+    p_lint.set_defaults(func=_cmd_lint)
     return parser
 
 

@@ -8,6 +8,8 @@ PPJoin+ reimplementation used by the indexed kernel (PK), the
 All-Pairs baseline, and a brute-force oracle used by the test suite.
 """
 
+from __future__ import annotations
+
 from repro.core.tokenizers import (
     Tokenizer,
     WordTokenizer,
@@ -41,35 +43,35 @@ from repro.core.allpairs import allpairs_self_join
 from repro.core.naive import naive_self_join, naive_rs_join
 
 __all__ = [
-    "Tokenizer",
-    "WordTokenizer",
-    "QGramTokenizer",
-    "clean_text",
-    "SimilarityFunction",
-    "Jaccard",
     "Cosine",
     "Dice",
-    "Overlap",
-    "get_similarity_function",
-    "TokenOrder",
-    "count_token_frequencies",
-    "overlap",
-    "verify_pair",
-    "bitmap_signature",
-    "overlap_upper_bound",
-    "length_bounds",
-    "positional_filter_passes",
-    "suffix_filter_passes",
-    "PPJoinIndex",
-    "ppjoin_self_join",
-    "ppjoin_rs_join",
     "EditDistanceQGrams",
-    "edit_distance_self_join",
-    "levenshtein",
+    "Jaccard",
     "MinHasher",
-    "candidate_probability",
-    "minhash_lsh_self_join",
+    "Overlap",
+    "PPJoinIndex",
+    "QGramTokenizer",
+    "SimilarityFunction",
+    "TokenOrder",
+    "Tokenizer",
+    "WordTokenizer",
     "allpairs_self_join",
-    "naive_self_join",
+    "bitmap_signature",
+    "candidate_probability",
+    "clean_text",
+    "count_token_frequencies",
+    "edit_distance_self_join",
+    "get_similarity_function",
+    "length_bounds",
+    "levenshtein",
+    "minhash_lsh_self_join",
     "naive_rs_join",
+    "naive_self_join",
+    "overlap",
+    "overlap_upper_bound",
+    "positional_filter_passes",
+    "ppjoin_rs_join",
+    "ppjoin_self_join",
+    "suffix_filter_passes",
+    "verify_pair",
 ]

@@ -89,7 +89,7 @@ class EditDistanceQGrams(SimilarityFunction):
             raise ValueError(f"q must be >= 1, got {q}")
         self.q = q
 
-    def similarity(self, x, y) -> float:
+    def similarity(self, x: Sequence, y: Sequence) -> float:
         sx, sy = set(x), set(y)
         return float(len(sx & sy))
 

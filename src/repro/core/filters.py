@@ -29,7 +29,7 @@ sorted ``tuple[str]`` (see :mod:`repro.core.ordering`) both work.
 from __future__ import annotations
 
 from bisect import bisect_left
-from typing import Sequence
+from typing import Any, Sequence
 
 from repro.core.similarity import SimilarityFunction
 
@@ -65,7 +65,7 @@ def positional_filter_passes(
 
 
 def _partition(
-    s: Sequence, w, lo: int, hi: int
+    s: Sequence, w: Any, lo: int, hi: int
 ) -> tuple[Sequence, Sequence, bool, int]:
     """Partition the ordered token array *s* around token *w*.
 

@@ -37,7 +37,10 @@ from __future__ import annotations
 
 from array import array
 from bisect import bisect_left
-from typing import Iterable, Sequence
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (analysis -> core)
+    from repro.analysis.sanitize import Sanitizer
 
 from repro.core.bitmaps import signature as bitmap_signature
 from repro.core.filters import (
@@ -89,6 +92,11 @@ class PPJoinIndex:
     ``filter_stats`` counts candidates pruned per filter stage
     (``length`` at posting-hit granularity, ``bitmap``/``positional``/
     ``suffix`` once per candidate pair).
+
+    ``sanitizer`` (see :mod:`repro.analysis.sanitize`) attaches the
+    runtime admissibility oracle: a deterministic sample of pruned
+    candidates is re-checked against the exact overlap.  Observe-only —
+    probe results are identical with or without it.
     """
 
     def __init__(
@@ -101,6 +109,7 @@ class PPJoinIndex:
         evict: bool = True,
         suffix_max_depth: int = 2,
         bitmap_width: int | None = None,
+        sanitizer: "Sanitizer | None" = None,
     ) -> None:
         if mode not in ("self", "rs"):
             raise ValueError(f"mode must be 'self' or 'rs', got {mode!r}")
@@ -116,6 +125,7 @@ class PPJoinIndex:
         self.evict = evict
         self.suffix_max_depth = suffix_max_depth
         self.bitmap_width = bitmap_width
+        self.sanitizer = sanitizer
 
         self._postings: dict[int, list[tuple[int, int]]] = {}
         self._cursor: dict[int, int] = {}  # per-token eviction cursor
@@ -146,6 +156,19 @@ class PPJoinIndex:
     def _note_live(self) -> None:
         if self.live_entries > self.peak_live_entries:
             self.peak_live_entries = self.live_entries
+
+    def expected_live_bytes(self) -> int:
+        """Recount the charged bytes of every live entry from scratch.
+
+        ``live_bytes`` is maintained incrementally (add charges, evict
+        releases); the sanitizer compares it against this ground truth
+        to catch accounting drift.
+        """
+        has_sig = self.bitmap_width is not None
+        return sum(
+            _entry_bytes(self._sizes[entry_id], has_sig)
+            for entry_id in range(self._frontier, len(self._rids))
+        )
 
     # -- indexing ------------------------------------------------------
 
@@ -257,6 +280,7 @@ class PPJoinIndex:
         # into locals (attribute/dict lookups cost real time here)
         sizes = self._sizes
         sigs, sig_slack = self._sigs, self._sig_slack
+        sanitizer = self.sanitizer
         p_length = p_bitmap = p_positional = p_suffix = 0
         for i in range(probe_len):
             postings = self._postings.get(tokens[i])
@@ -271,6 +295,10 @@ class PPJoinIndex:
                 ny = sizes[entry_id]
                 if ny < lo or ny > hi:
                     p_length += 1
+                    if sanitizer is not None:
+                        y_tokens = self._tokens[entry_id]
+                        if y_tokens is not None:  # evicted entries have no payload
+                            sanitizer.check_prune("length", tokens, n_true, y_tokens, ny)
                     continue
                 if entry_id in pruned:
                     continue
@@ -286,6 +314,10 @@ class PPJoinIndex:
                     if bound < alpha:
                         pruned.add(entry_id)
                         p_bitmap += 1
+                        if sanitizer is not None:
+                            y_tokens = self._tokens[entry_id]
+                            assert y_tokens is not None
+                            sanitizer.check_prune("bitmap", tokens, n_true, y_tokens, ny)
                         continue
                 if self.use_positional and not positional_filter_passes(
                     nx, ny, i, j, current, alpha
@@ -293,6 +325,10 @@ class PPJoinIndex:
                     pruned.add(entry_id)
                     candidates.pop(entry_id, None)
                     p_positional += 1
+                    if sanitizer is not None:
+                        y_tokens = self._tokens[entry_id]
+                        assert y_tokens is not None
+                        sanitizer.check_prune("positional", tokens, n_true, y_tokens, ny)
                     continue
                 if state is None:
                     if self.use_suffix:
@@ -307,6 +343,10 @@ class PPJoinIndex:
                         ):
                             pruned.add(entry_id)
                             p_suffix += 1
+                            if sanitizer is not None:
+                                sanitizer.check_prune(
+                                    "suffix", tokens, n_true, y_tokens, ny
+                                )
                             continue
                     candidates[entry_id] = [1, i, j]
                 else:

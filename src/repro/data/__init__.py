@@ -1,6 +1,8 @@
 """Workload data: synthetic DBLP/CITESEERX corpora and the paper's
 dataset-increase technique (Section 6)."""
 
+from __future__ import annotations
+
 from repro.data.synthetic import (
     CorpusSpec,
     DBLP_SPEC,
@@ -13,12 +15,12 @@ from repro.data.increase import increase_dataset
 from repro.data.loaders import read_records, write_records
 
 __all__ = [
+    "CITESEERX_SPEC",
     "CorpusSpec",
     "DBLP_SPEC",
-    "CITESEERX_SPEC",
+    "generate_citeseerx",
     "generate_corpus",
     "generate_dblp",
-    "generate_citeseerx",
     "increase_dataset",
     "read_records",
     "write_records",

@@ -9,6 +9,8 @@ Section 5 (insufficient memory): :mod:`repro.join.blocks`.
 End-to-end drivers live in :mod:`repro.join.driver`.
 """
 
+from __future__ import annotations
+
 from repro.join.config import JoinConfig
 from repro.join.records import (
     RecordSchema,
@@ -29,16 +31,16 @@ from repro.join.driver import (
 
 __all__ = [
     "JoinConfig",
-    "estimate_self_join_cardinality",
-    "recommend_config",
+    "JoinReport",
     "RecordSchema",
+    "estimate_self_join_cardinality",
     "join_value",
     "make_line",
     "parse_fields",
+    "recommend_config",
     "rid_of",
-    "JoinReport",
-    "set_similarity_self_join",
     "set_similarity_rs_join",
-    "ssjoin_self",
+    "set_similarity_self_join",
     "ssjoin_rs",
+    "ssjoin_self",
 ]

@@ -81,6 +81,14 @@ class JoinConfig:
     #: signature width in bits for ``bitmap_filter`` (wider = fewer
     #: collisions = more pruning, slightly larger shuffle records)
     bitmap_width: int = 64
+    #: runtime sanitizer mode (see :mod:`repro.analysis.sanitize`):
+    #: wraps the Stage-2 kernels and shuffle with observe-only invariant
+    #: checks — reduce-input length sortedness, a sampled filter
+    #: admissibility oracle, and index byte accounting — reported as
+    #: ``sanitize.checks`` / ``sanitize.violations`` counters.  Output
+    #: is bit-identical with the flag on or off.  ``REPRO_SANITIZE=1``
+    #: force-enables it regardless of this field.
+    sanitize: bool = False
 
     def __post_init__(self) -> None:
         if isinstance(self.similarity, str):

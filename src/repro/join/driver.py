@@ -70,7 +70,9 @@ class JoinReport:
         ``suffix``) plus the ``candidates`` examined and ``pairs``
         output.  Zeros for stages that never pruned (e.g. ``bitmap``
         with ``bitmap_filter=False``, ``suffix`` in PK runs where the
-        bitmap bound replaces it)."""
+        bitmap bound replaces it).  Sanitizer runs (``sanitize=True`` /
+        ``REPRO_SANITIZE=1``) add their check/violation tallies under
+        ``sanitize_checks`` / ``sanitize_violations``."""
         counters = self.counters()
         return {
             "candidates": counters.get("stage2.candidate_pairs", 0),
@@ -79,6 +81,8 @@ class JoinReport:
             "positional": counters.get("stage2.pruned_positional", 0),
             "suffix": counters.get("stage2.pruned_suffix", 0),
             "pairs": counters.get("stage2.pairs_output", 0),
+            "sanitize_checks": counters.get("sanitize.checks", 0),
+            "sanitize_violations": counters.get("sanitize.violations", 0),
         }
 
     def executor_summary(self) -> dict:
@@ -122,6 +126,11 @@ class JoinReport:
                     f"{name}={pruned[name]:,}"
                     for name in ("length", "bitmap", "positional", "suffix")
                 )
+            )
+        if pruned["sanitize_checks"]:
+            lines.append(
+                f"  sanitize: {pruned['sanitize_checks']:,} checks, "
+                f"{pruned['sanitize_violations']:,} violations"
             )
         return "\n".join(lines)
 

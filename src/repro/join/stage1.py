@@ -19,14 +19,14 @@ every downstream stage — deterministic.
 
 from __future__ import annotations
 
-from typing import Iterator
+from typing import Callable, Iterator
 
 from repro.mapreduce.job import Context, MapReduceJob
 from repro.join.config import JoinConfig
 from repro.join.records import join_value
 
 
-def _make_token_count_mapper(config: JoinConfig):
+def _make_token_count_mapper(config: JoinConfig) -> Callable[[str, Context], None]:
     """Tokenize the join attribute and emit ``(token, 1)``."""
     tokenizer, schema = config.tokenizer, config.schema
 

@@ -38,8 +38,9 @@ and the length filter as a *secondary routing criterion*
 
 from __future__ import annotations
 
-from typing import Iterator, Sequence
+from typing import Callable, Iterator, Sequence
 
+from repro.analysis.sanitize import Sanitizer, make_sanitizer
 from repro.core.bitmaps import overlap_upper_bound, signature as bitmap_signature
 from repro.core.ordering import TokenOrder
 from repro.core.ppjoin import PPJoinIndex
@@ -83,7 +84,12 @@ def merge_index_filter_stats(ctx: Context, index: PPJoinIndex) -> None:
             ctx.counters.increment(FILTER_COUNTERS[stage], count)
 
 
-def make_pk_index(config: JoinConfig, mode: str, evict: bool) -> PPJoinIndex:
+def make_pk_index(
+    config: JoinConfig,
+    mode: str,
+    evict: bool,
+    sanitizer: Sanitizer | None = None,
+) -> PPJoinIndex:
     """The PK kernel's index under *config*: with the bitmap filter on,
     the bitmap bound replaces the recursive suffix filter (which it
     empirically subsumes at a fraction of the cost — both admissible,
@@ -96,7 +102,18 @@ def make_pk_index(config: JoinConfig, mode: str, evict: bool) -> PPJoinIndex:
         evict=evict,
         use_suffix=width is None,
         bitmap_width=width,
+        sanitizer=sanitizer,
     )
+
+
+#: value layout shared by every Stage-2 projection:
+#: ``(rel, rid, true_size, signature, tokens)``
+def _projection_size(value: tuple) -> int:
+    return value[2]
+
+
+def _projection_rel(value: tuple) -> int:
+    return value[0]
 
 # Relation tags inside keys/values (R sorts before S).
 REL_R = 0
@@ -117,7 +134,7 @@ def load_token_order(ctx: Context, token_order_file: str) -> TokenOrder:
     return TokenOrder(ctx.broadcast[token_order_file])
 
 
-def make_router(config: JoinConfig, order: TokenOrder):
+def make_router(config: JoinConfig, order: TokenOrder) -> Callable:
     """Return ``routes(prefix) -> list`` for the configured routing
     strategy.  Prefix elements are ranks (``token_encoding="rank"``) or
     raw tokens (``"string"``); individual routing uses the element
@@ -212,7 +229,11 @@ def make_self_mapper(
 
 
 def bk_verify(
-    p1: tuple, p2: tuple, config: JoinConfig, counters=None
+    p1: tuple,
+    p2: tuple,
+    config: JoinConfig,
+    counters=None,
+    sanitizer: Sanitizer | None = None,
 ) -> float | None:
     """Length-filter + bitmap-filter + merge-verify two projections.
 
@@ -232,6 +253,8 @@ def bk_verify(
     if not lo <= n2 <= hi:
         if counters is not None:
             counters.increment(PRUNED_LENGTH)
+        if sanitizer is not None:
+            sanitizer.check_prune("length", toks1, n1, toks2, n2)
         return None
     alpha = sim.overlap_threshold(n1, n2, threshold)
     if sig1 is not None and sig2 is not None:
@@ -241,6 +264,8 @@ def bk_verify(
         if overlap_upper_bound(len(toks1), len(toks2), sig1, sig2) < alpha:
             if counters is not None:
                 counters.increment(PRUNED_BITMAP)
+            if sanitizer is not None:
+                sanitizer.check_prune("bitmap", toks1, n1, toks2, n2)
             return None
     common = overlap(toks1, toks2, required=alpha)
     if common < alpha:
@@ -260,10 +285,13 @@ def _write_self_pair(ctx: Context, rid1: int, rid2: int, similarity: float) -> N
 # ---------------------------------------------------------------------------
 
 
-def make_bk_self_reducer(config: JoinConfig):
+def make_bk_self_reducer(config: JoinConfig) -> Callable:
     """Basic Kernel: nested-loop verification of the whole group."""
 
     def reducer(route: int, values: Iterator, ctx: Context) -> None:
+        sanitizer = make_sanitizer(config, ctx.counters)
+        if sanitizer is not None:
+            values = sanitizer.sorted_values(values, _projection_size)
         projections: list[tuple] = []
         charged = 0
         for value in values:
@@ -272,7 +300,7 @@ def make_bk_self_reducer(config: JoinConfig):
         for i, p1 in enumerate(projections):
             for p2 in projections[i + 1 :]:
                 ctx.counters.increment(CANDIDATE_PAIRS)
-                similarity = bk_verify(p1, p2, config, ctx.counters)
+                similarity = bk_verify(p1, p2, config, ctx.counters, sanitizer)
                 if similarity is not None:
                     _write_self_pair(ctx, p1[1], p2[1], similarity)
         ctx.release_memory(charged)
@@ -280,11 +308,14 @@ def make_bk_self_reducer(config: JoinConfig):
     return reducer
 
 
-def make_pk_self_reducer(config: JoinConfig):
+def make_pk_self_reducer(config: JoinConfig) -> Callable:
     """PPJoin+ Kernel over the length-sorted value stream."""
 
     def reducer(route: int, values: Iterator, ctx: Context) -> None:
-        index = make_pk_index(config, mode="self", evict=True)
+        sanitizer = make_sanitizer(config, ctx.counters)
+        index = make_pk_index(config, mode="self", evict=True, sanitizer=sanitizer)
+        if sanitizer is not None:
+            values = sanitizer.sorted_values(values, _projection_size)
         charged = 0
         for _rel, rid, _n, sig, ranks in values:
             for other_rid, similarity in index.probe(rid, ranks, signature=sig):
@@ -296,6 +327,8 @@ def make_pk_self_reducer(config: JoinConfig):
             else:
                 ctx.release_memory(-delta)
             charged = index.live_bytes
+        if sanitizer is not None:
+            sanitizer.check_index_accounting(index)
         merge_index_filter_stats(ctx, index)
         ctx.release_memory(charged)
 
@@ -307,7 +340,7 @@ def make_pk_self_reducer(config: JoinConfig):
 # ---------------------------------------------------------------------------
 
 
-def make_bk_self_map_blocks_reducer(config: JoinConfig):
+def make_bk_self_map_blocks_reducer(config: JoinConfig) -> Callable:
     """Map-based block processing: the mapper interleaved load/stream
     copies; only the currently loaded block is held in memory."""
 
@@ -335,7 +368,7 @@ def make_bk_self_map_blocks_reducer(config: JoinConfig):
     return reducer
 
 
-def make_bk_self_reduce_blocks_reducer(config: JoinConfig):
+def make_bk_self_reduce_blocks_reducer(config: JoinConfig) -> Callable:
     """Reduce-based block processing: spill later blocks to local disk
     and re-read them for the remaining steps (Figure 7(b))."""
 

@@ -23,7 +23,7 @@ Output records are ``(r_rid, s_rid, similarity)``.
 
 from __future__ import annotations
 
-from typing import Iterator
+from typing import Callable, Iterator
 
 from repro.core.bitmaps import signature as bitmap_signature
 from repro.join.blocks import (
@@ -34,12 +34,15 @@ from repro.join.blocks import (
     BlockPolicy,
     projection_spill_bytes,
 )
+from repro.analysis.sanitize import make_sanitizer
 from repro.join.config import JoinConfig
 from repro.join.stage2 import (
     CANDIDATE_PAIRS,
     PAIRS_OUTPUT,
     REL_R,
     REL_S,
+    _projection_rel,
+    _projection_size,
     bk_verify,
     load_token_order,
     make_pk_index,
@@ -134,11 +137,16 @@ def _write_rs_pair(
 # ---------------------------------------------------------------------------
 
 
-def make_bk_rs_reducer(config: JoinConfig):
+def make_bk_rs_reducer(config: JoinConfig) -> Callable:
     """Basic Kernel, R-S: store the R projections (they sort first),
     stream S against them."""
 
     def reducer(route: int, values: Iterator, ctx: Context) -> None:
+        sanitizer = make_sanitizer(config, ctx.counters)
+        if sanitizer is not None:
+            values = sanitizer.sorted_values(
+                values, _projection_size, group_of=_projection_rel
+            )
         stored_r: list[tuple] = []
         charged = 0
         for value in values:
@@ -148,7 +156,7 @@ def make_bk_rs_reducer(config: JoinConfig):
                 continue
             for r_proj in stored_r:
                 ctx.counters.increment(CANDIDATE_PAIRS)
-                similarity = bk_verify(r_proj, value, config, ctx.counters)
+                similarity = bk_verify(r_proj, value, config, ctx.counters, sanitizer)
                 if similarity is not None:
                     _write_rs_pair(ctx, r_proj, value, similarity)
         ctx.release_memory(charged)
@@ -156,12 +164,17 @@ def make_bk_rs_reducer(config: JoinConfig):
     return reducer
 
 
-def make_pk_rs_reducer(config: JoinConfig):
+def make_pk_rs_reducer(config: JoinConfig) -> Callable:
     """PPJoin+ Kernel, R-S: index R, probe S, with the length-class
     stream enabling eviction of too-short R entries."""
 
     def reducer(route: int, values: Iterator, ctx: Context) -> None:
-        index = make_pk_index(config, mode="rs", evict=True)
+        sanitizer = make_sanitizer(config, ctx.counters)
+        index = make_pk_index(config, mode="rs", evict=True, sanitizer=sanitizer)
+        if sanitizer is not None:
+            values = sanitizer.sorted_values(
+                values, _projection_size, group_of=_projection_rel
+            )
         charged = 0
         for rel, rid, true_size, sig, ranks in values:
             if rel == REL_R:
@@ -178,13 +191,15 @@ def make_pk_rs_reducer(config: JoinConfig):
             else:
                 ctx.release_memory(-delta)
             charged = index.live_bytes
+        if sanitizer is not None:
+            sanitizer.check_index_accounting(index)
         merge_index_filter_stats(ctx, index)
         ctx.release_memory(charged)
 
     return reducer
 
 
-def make_bk_rs_map_blocks_reducer(config: JoinConfig):
+def make_bk_rs_map_blocks_reducer(config: JoinConfig) -> Callable:
     """Map-based block processing, R-S: R blocks are loaded one per
     step; the S stream is replicated against every step."""
 
@@ -213,7 +228,7 @@ def make_bk_rs_map_blocks_reducer(config: JoinConfig):
     return reducer
 
 
-def make_bk_rs_reduce_blocks_reducer(config: JoinConfig):
+def make_bk_rs_reduce_blocks_reducer(config: JoinConfig) -> Callable:
     """Reduce-based block processing, R-S: load the first R block,
     spill the other R blocks and the whole S stream to local disk,
     then re-read the S stream once per remaining R block."""

@@ -29,7 +29,7 @@ the R (or lower-RID) record first.
 
 from __future__ import annotations
 
-from typing import Iterator
+from typing import Callable, Iterator
 
 from repro.join.records import rid_of
 from repro.mapreduce.job import Context, MapReduceJob
@@ -61,7 +61,9 @@ def _half_side(group_key: tuple[int, int], pair: tuple, is_rs: bool) -> int:
 # ---------------------------------------------------------------------------
 
 
-def _make_brj_fill_mapper(record_files: dict[str, int], pairs_file: str, is_rs: bool):
+def _make_brj_fill_mapper(
+    record_files: dict[str, int], pairs_file: str, is_rs: bool
+) -> Callable:
     """Phase-1 mapper: route records and pairs to their RID reducers.
 
     ``record_files`` maps input file name to its relation tag.
@@ -78,7 +80,7 @@ def _make_brj_fill_mapper(record_files: dict[str, int], pairs_file: str, is_rs: 
     return mapper
 
 
-def _brj_fill_reducer(is_rs: bool):
+def _brj_fill_reducer(is_rs: bool) -> Callable:
     """Phase-1 reducer: attach the record to each of its RID pairs,
     deduplicating pairs (Stage 2 may emit one pair from several
     groups)."""
@@ -111,7 +113,7 @@ def _brj_fill_reducer(is_rs: bool):
     return reducer
 
 
-def _half_join_mapper(record, ctx: Context) -> None:
+def _half_join_mapper(record: tuple, ctx: Context) -> None:
     """Phase-2 (identity) mapper: key half-filled pairs by their RID pair."""
     pair_key, side, record_line = record
     ctx.emit(pair_key, (side, record_line))
@@ -216,7 +218,7 @@ def oprj_jobs(
 
 
 def stage3_jobs(
-    config,
+    config: JoinConfig,
     record_files: dict[str, int],
     pairs_file: str,
     output: str,

@@ -12,6 +12,8 @@ See DESIGN.md §2 for why this substitution preserves the paper's
 speedup/scaleup behaviour.
 """
 
+from __future__ import annotations
+
 from repro.mapreduce.types import (
     ExecutorPhaseStats,
     InsufficientMemoryError,
@@ -34,22 +36,22 @@ from repro.mapreduce.executor import (
 from repro.mapreduce.pipeline import run_pipeline
 
 __all__ = [
+    "ClusterConfig",
+    "Context",
+    "Counters",
     "ExecutorPhaseStats",
     "ExecutorStats",
+    "ForkParallelCluster",
+    "InMemoryDFS",
     "InsufficientMemoryError",
     "JobStats",
+    "LocalDiskDFS",
+    "MapReduceJob",
     "PersistentExecutor",
     "PersistentParallelCluster",
     "PhaseStats",
-    "approx_bytes",
-    "Counters",
-    "stable_hash",
-    "InMemoryDFS",
-    "LocalDiskDFS",
-    "Context",
-    "MapReduceJob",
-    "ClusterConfig",
     "SimulatedCluster",
-    "ForkParallelCluster",
+    "approx_bytes",
     "run_pipeline",
+    "stable_hash",
 ]

@@ -344,7 +344,7 @@ class SimulatedCluster:
         broadcast_data: dict[str, list],
         broadcast_bytes: int,
         broadcast_cpu: float,
-    ):
+    ) -> Iterator[tuple[TaskStats, list[tuple[int, tuple, tuple]], dict[str, int]]]:
         limit = self.config.memory_per_task_bytes
         slots = self.config.map_slots
         for task_id, input_name, records in map_inputs:
@@ -355,7 +355,7 @@ class SimulatedCluster:
 
     def _execute_reduce_tasks(
         self, job: MapReduceJob, reduce_inputs: list[tuple[int, list]]
-    ):
+    ) -> Iterator[tuple[TaskStats, list, dict[str, int]]]:
         limit = self.config.memory_per_task_bytes
         for partition_index, bucket in reduce_inputs:
             yield execute_reduce_task(job, partition_index, bucket, limit)

@@ -27,7 +27,7 @@ from __future__ import annotations
 import json
 import pickle
 from pathlib import Path
-from typing import Iterator
+from typing import Iterable, Iterator
 
 from repro.mapreduce.dfs import DEFAULT_BLOCK_BYTES
 from repro.mapreduce.types import approx_bytes
@@ -117,7 +117,7 @@ class LocalDiskDFS:
 
     # -- file operations -------------------------------------------------
 
-    def write(self, name: str, records) -> DiskFile:
+    def write(self, name: str, records: Iterable) -> DiskFile:
         """Create (or overwrite) file *name* from *records*."""
         self.delete(name)
         meta_blocks: list[dict] = []

@@ -54,8 +54,9 @@ import tempfile
 import time
 import weakref
 from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from typing import Callable, Iterable, Sequence
 
+from repro.analysis.sanitize import env_sanitize
 from repro.mapreduce.cluster import (
     ClusterConfig,
     SimulatedCluster,
@@ -465,12 +466,32 @@ class PersistentExecutor:
         size = max(1, -(-len(tasks) // target))
         return [tasks[i : i + size] for i in range(0, len(tasks), size)]
 
-    def _dispatch(self, func, payloads: list) -> list:
+    def _dispatch(self, func: Callable, payloads: list) -> list:
         """Run chunk payloads on the pool, reassembling results in
-        deterministic chunk order regardless of completion order."""
+        deterministic chunk order regardless of completion order.
+
+        Under ``REPRO_SANITIZE=1`` the reassembly is cross-checked: a
+        duplicate or missing chunk index means ``imap_unordered``
+        delivered a corrupt stream — silent reordering here is exactly
+        the failure mode that breaks byte-identical output, so it is an
+        error, not a counter.
+        """
+        sanitize = env_sanitize()
         collected: list = [None] * len(payloads)
+        seen: set[int] = set()
         for chunk_index, results in self._pool.imap_unordered(func, payloads):
+            if sanitize:
+                if chunk_index in seen or not 0 <= chunk_index < len(payloads):
+                    raise RuntimeError(
+                        f"pool delivered chunk {chunk_index} twice or out of "
+                        f"range (expected {len(payloads)} distinct chunks)"
+                    )
+                seen.add(chunk_index)
             collected[chunk_index] = results
+        if sanitize and len(seen) != len(payloads):
+            raise RuntimeError(
+                f"pool delivered {len(seen)} of {len(payloads)} chunks"
+            )
         return [result for results in collected for result in results]
 
     def run_map_phase(

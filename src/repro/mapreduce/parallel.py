@@ -36,7 +36,9 @@ and output files are byte-identical to the sequential executor's
 from __future__ import annotations
 
 import multiprocessing
+import multiprocessing.pool
 import os
+from typing import Iterator
 
 from repro.mapreduce.cluster import (
     ClusterConfig,
@@ -45,6 +47,7 @@ from repro.mapreduce.cluster import (
     execute_reduce_task,
 )
 from repro.mapreduce.dfs import InMemoryDFS
+from repro.mapreduce.types import TaskStats
 from repro.mapreduce.job import MapReduceJob
 
 # Worker-side slot filled by the pool initializer (fork-inherited, never
@@ -105,7 +108,7 @@ class ForkParallelCluster(SimulatedCluster):
         self.workers = workers or os.cpu_count() or 2
         self.min_tasks_for_pool = min_tasks_for_pool
 
-    def _pool(self, registry: dict):
+    def _pool(self, registry: dict) -> "multiprocessing.pool.Pool":
         return multiprocessing.get_context("fork").Pool(
             self.workers,
             initializer=_init_pool_registry,
@@ -115,11 +118,11 @@ class ForkParallelCluster(SimulatedCluster):
     def _execute_map_tasks(
         self,
         job: MapReduceJob,
-        map_inputs,
-        broadcast_data,
-        broadcast_bytes,
-        broadcast_cpu,
-    ):
+        map_inputs: list[tuple[int, str, list]],
+        broadcast_data: dict[str, list],
+        broadcast_bytes: int,
+        broadcast_cpu: float,
+    ) -> Iterator[tuple[TaskStats, list[tuple[int, tuple, tuple]], dict[str, int]]]:
         if len(map_inputs) < self.min_tasks_for_pool or self.workers <= 1:
             yield from super()._execute_map_tasks(
                 job, map_inputs, broadcast_data, broadcast_bytes, broadcast_cpu
@@ -136,7 +139,9 @@ class ForkParallelCluster(SimulatedCluster):
         with self._pool(registry) as pool:
             yield from pool.map(_map_worker, map_inputs)
 
-    def _execute_reduce_tasks(self, job: MapReduceJob, reduce_inputs):
+    def _execute_reduce_tasks(
+        self, job: MapReduceJob, reduce_inputs: list[tuple[int, list]]
+    ) -> Iterator[tuple[TaskStats, list, dict[str, int]]]:
         if len(reduce_inputs) < self.min_tasks_for_pool or self.workers <= 1:
             yield from super()._execute_reduce_tasks(job, reduce_inputs)
             return

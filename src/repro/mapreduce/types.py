@@ -22,7 +22,7 @@ class InsufficientMemoryError(MemoryError):
         self.needed_bytes = needed_bytes
         self.limit_bytes = limit_bytes
 
-    def __reduce__(self):
+    def __reduce__(self) -> tuple[type, tuple[str, int, int]]:
         # default exception pickling would re-call __init__ with the
         # formatted message only; rebuild from the real fields so the
         # error survives the trip back from a worker process

@@ -1,0 +1,46 @@
+"""Clean fixture: contract-conforming MR code that must produce zero
+findings.
+
+Exercises the patterns the rules must *not* flag: enclosing-scope
+closure state (the ``map_setup`` idiom), sorted set iteration, seeded
+RNG, insertion-ordered dict iteration, composite keys, and a job
+constructed with function references.
+"""
+
+import random
+
+LIMIT = 16  # module constant: read-only access is fine
+
+
+def make_mapper(seed):
+    state = {}
+
+    def map_setup(ctx):
+        state["rng"] = random.Random(seed)  # clean: seeded, per-task
+
+    def mapper(line, ctx):
+        tokens = sorted(set(line.split()))  # clean: sorted before iteration
+        state["last"] = tokens  # clean: enclosing-function state, not module
+        for token in tokens[:LIMIT]:
+            ctx.emit((token, len(tokens)), line)
+
+    return map_setup, mapper
+
+
+def reducer(key, values, ctx):
+    by_rid = {}
+    for value in values:
+        by_rid.setdefault(value[0], []).append(value)
+    for rid, group in by_rid.items():  # clean: dicts iterate in insertion order
+        ctx.emit((key, rid), len(group))
+
+
+def build_job(records_file, seed):
+    map_setup, mapper = make_mapper(seed)
+    return dict(
+        name="clean",
+        inputs=[records_file],
+        mapper=mapper,
+        reducer=reducer,
+        map_setup=map_setup,
+    )

@@ -1,0 +1,12 @@
+"""MR001 fixture: a mapper that mutates module-level state.
+
+Exactly one violation: the write into ``SEEN`` inside ``mapper``.
+"""
+
+SEEN = {}
+
+
+def mapper(line, ctx):
+    rid, text = line.split("\t", 1)
+    SEEN[rid] = text  # MR001: module state mutated from an MR function
+    ctx.emit((rid, len(text)), text)

@@ -1,0 +1,13 @@
+"""MR002 fixture: set iteration on a path that feeds emit().
+
+Exactly one violation: the ``for`` over the raw set.  The second loop
+is wrapped in ``sorted()`` and must not fire.
+"""
+
+
+def mapper(line, ctx):
+    tokens = set(line.split())
+    for token in tokens:  # MR002: unordered iteration feeding emit()
+        ctx.emit((token, len(tokens)), 1)
+    for token in sorted(tokens):  # clean: deterministic order
+        ctx.emit((token, len(tokens)), 2)

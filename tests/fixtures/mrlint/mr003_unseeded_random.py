@@ -1,0 +1,15 @@
+"""MR003 fixture: unseeded randomness in MR code.
+
+Exactly one violation: ``random.random()`` in ``reducer``.  The seeded
+``random.Random(0)`` construction is the sanctioned form and must not
+fire.
+"""
+
+import random
+
+
+def reducer(key, values, ctx):
+    rng = random.Random(0)  # clean: seeded, task-local
+    sample = rng.random()
+    noise = random.random()  # MR003: process-global unseeded RNG
+    ctx.emit(key, (sample, noise, sum(values)))

@@ -1,0 +1,16 @@
+"""MR004 fixture: an MR closure capturing an unpicklable object.
+
+Exactly one violation: ``mapper`` reads the enclosing ``handle`` bound
+to ``open(...)``.  The factory itself opening the file is fine — only
+shipping the handle into the mapper closure is not.
+"""
+
+
+def make_mapper(path):
+    handle = open(path)
+
+    def mapper(line, ctx):
+        lookup = handle.read()  # MR004: file handle captured by closure
+        ctx.emit((line, len(lookup)), lookup)
+
+    return mapper

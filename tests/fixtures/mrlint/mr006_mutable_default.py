@@ -1,0 +1,9 @@
+"""MR006 fixture: a mutable default argument on an MR function.
+
+Exactly one violation: the ``acc=[]`` default on ``combiner``.
+"""
+
+
+def combiner(key, values, ctx, acc=[]):  # MR006: shared mutable default
+    acc.append(key)
+    ctx.emit((key, len(acc)), sum(values))

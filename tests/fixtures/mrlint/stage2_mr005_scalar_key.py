@@ -1,0 +1,16 @@
+"""MR005 fixture: a Stage-2 emit site with a non-composite key.
+
+Exactly one violation: the bare-token emit.  The composite
+``(token, n)`` emit is the contract-conforming shape and must not fire.
+The file name contains ``stage2`` — the rule only applies to Stage-2
+modules.
+"""
+
+
+def mapper(line, ctx):
+    tokens = sorted(set(line.split()))
+    n = len(tokens)
+    for token in tokens:
+        ctx.emit(token, line)  # MR005: scalar key, no length component
+    for token in tokens:
+        ctx.emit((token, n), line)  # clean: (group, length) composite

@@ -210,7 +210,11 @@ class TestPipelineDifferential:
         pruned = report.filter_counters()
         assert set(pruned) == {
             "candidates", "length", "bitmap", "positional", "suffix", "pairs",
+            "sanitize_checks", "sanitize_violations",
         }
+        # sanitizer off by default: no checks, no violations
+        assert pruned["sanitize_checks"] == 0
+        assert pruned["sanitize_violations"] == 0
         # the shipped PK config replaces the suffix filter with the bitmap
         assert pruned["suffix"] == 0
         # stage2 may emit a pair once per shared prefix group; the
