@@ -137,8 +137,12 @@ def _best_of(func, rounds=3):
     return min(times)
 
 
-def _run_e2e(make_cluster, lines, config=None):
+def _run_e2e(make_cluster, lines, config=None, traced=False):
     cluster = make_cluster()
+    if traced:
+        from repro.obs.trace import Tracer
+
+        cluster.tracer = Tracer()
     cluster.dfs.write("in.records", lines)
     t0 = time.perf_counter()
     report = ssjoin_self(cluster, "in.records", config or JoinConfig())
@@ -216,6 +220,23 @@ def test_bench_kernel_baseline(record_result):
     )
     e2e_off, e2e_on = min(e2e_walls["off"]), min(e2e_walls["on"])
 
+    # tracing overhead, end-to-end: the same join with a span tracer
+    # attached vs without — bit-identical output (the observe-only
+    # guarantee), interleaved rounds, min-of so host noise cancels.
+    trace_walls = {"untraced": [], "traced": []}
+    trace_outputs = {}
+    trace_events = 0
+    for _ in range(E2E_ROUNDS):
+        for name, traced in (("untraced", False), ("traced", True)):
+            wall, output, _ = _run_e2e(mk_sim, lines, traced=traced)
+            trace_walls[name].append(wall)
+            trace_outputs[name] = output
+    t_plain, t_traced = min(trace_walls["untraced"]), min(trace_walls["traced"])
+    assert trace_outputs["traced"] == trace_outputs["untraced"], (
+        "span tracing changed the end-to-end join output"
+    )
+    trace_overhead = 100.0 * (t_traced / t_plain - 1.0)
+
     payload = {
         "generated_by": "benchmarks/bench_kernels_micro.py::test_bench_kernel_baseline",
         "kernel_micro": {
@@ -251,6 +272,16 @@ def test_bench_kernel_baseline(record_result):
             "e2e_speedup": round(e2e_off / e2e_on, 3),
             "output_identical_on_vs_off": True,
         },
+        "tracing": {
+            "workload": f"dblp x{E2E_FACTOR}, bto-pk-brj, sequential cluster",
+            "rounds": E2E_ROUNDS,
+            "untraced_best_s": round(t_plain, 3),
+            "traced_best_s": round(t_traced, 3),
+            "overhead_pct": round(trace_overhead, 1),
+            "untraced_all_s": [round(t, 3) for t in trace_walls["untraced"]],
+            "traced_all_s": [round(t, 3) for t in trace_walls["traced"]],
+            "output_identical_traced_vs_untraced": True,
+        },
     }
     RESULTS_JSON.parent.mkdir(exist_ok=True)
     RESULTS_JSON.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
@@ -261,5 +292,7 @@ def test_bench_kernel_baseline(record_result):
         f"  e2e ssjoin_self dblp x{E2E_FACTOR}: fork={before:.3f}s "
         f"persistent={after:.3f}s improvement={improvement:.1f}%\n"
         f"  bitmap filter micro dblp x{E2E_FACTOR}: off={b_off:.4f}s on={b_on:.4f}s "
-        f"(x{bitmap_speedup:.2f}); e2e off={e2e_off:.3f}s on={e2e_on:.3f}s"
+        f"(x{bitmap_speedup:.2f}); e2e off={e2e_off:.3f}s on={e2e_on:.3f}s\n"
+        f"  tracing e2e dblp x{E2E_FACTOR}: untraced={t_plain:.3f}s "
+        f"traced={t_traced:.3f}s overhead={trace_overhead:+.1f}%"
     )

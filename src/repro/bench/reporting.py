@@ -79,6 +79,18 @@ def format_filter_counters(pruned: dict, title: str = "stage2 filters") -> str:
     return text
 
 
+def format_histograms(histograms: dict, title: str = "histograms") -> str:
+    """Render a :meth:`MetricsRegistry.histograms` dict, one row per
+    histogram: observation count, sum, mean, p50, p99 and the largest
+    power-of-two bucket bound."""
+    headers = ["histogram", "n", "sum", "mean", "p50", "p99", "max<"]
+    rows = [
+        [name, h.count, h.total, h.mean, float(h.p50), float(h.p99), h.max_bound]
+        for name, h in sorted(histograms.items())
+    ]
+    return format_table(headers, rows, title=title)
+
+
 def format_speedup_series(rows: list[dict], baseline_key: int) -> str:
     """Fig. 10-style relative speedup: time(baseline) / time(n) per combo."""
     by_combo: dict[str, dict[int, float]] = {}

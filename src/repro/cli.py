@@ -71,6 +71,11 @@ def _add_join_options(parser: argparse.ArgumentParser) -> None:
                              "filter admissibility (sampled oracle) and index "
                              "byte accounting; output is unchanged, counters "
                              "appear under --stats (also: REPRO_SANITIZE=1)")
+    parser.add_argument("--trace", default=None, metavar="PATH",
+                        help="record a span timeline of the whole join and "
+                             "write it as Chrome trace-event JSON (open in "
+                             "Perfetto; analyze with 'repro trace-report'); "
+                             "observe-only, output is unchanged")
 
 
 def _build_config(args: argparse.Namespace) -> JoinConfig:
@@ -112,6 +117,23 @@ def _make_cluster(args: argparse.Namespace) -> SimulatedCluster:
     return SimulatedCluster(ClusterConfig(num_nodes=num_nodes), dfs)
 
 
+def _attach_tracer(args: argparse.Namespace, cluster: SimulatedCluster):
+    """Attach a Tracer to *cluster* when ``--trace`` was given."""
+    if args.trace is None:
+        return None
+    from repro.obs.trace import Tracer
+
+    cluster.tracer = Tracer()
+    return cluster.tracer
+
+
+def _export_trace(args: argparse.Namespace, tracer) -> None:
+    if tracer is None:
+        return
+    tracer.export(args.trace)
+    print(f"trace ({len(tracer)} events) -> {args.trace}", file=sys.stderr)
+
+
 def _emit(args: argparse.Namespace, pairs: list, report: JoinReport) -> None:
     lines = []
     for line1, line2, similarity in pairs:
@@ -133,15 +155,22 @@ def _emit(args: argparse.Namespace, pairs: list, report: JoinReport) -> None:
         summary = report.executor_summary()
         if summary.get("pooled_phases") or summary.get("inline_phases"):
             print(format_executor_summary(summary), file=sys.stderr)
+        from repro.bench.reporting import format_histograms
+
+        histograms = report.metrics().histograms()
+        if histograms:
+            print(format_histograms(histograms), file=sys.stderr)
 
 
 def _cmd_selfjoin(args: argparse.Namespace) -> int:
     records = read_records(args.input)
     cluster = _make_cluster(args)
+    tracer = _attach_tracer(args, cluster)
     try:
         cluster.dfs.write("input", records)
         report = ssjoin_self(cluster, "input", _build_config(args))
         _emit(args, sorted(cluster.dfs.read_all(report.output_file)), report)
+        _export_trace(args, tracer)
     finally:
         if hasattr(cluster, "close"):
             cluster.close()
@@ -152,15 +181,49 @@ def _cmd_rsjoin(args: argparse.Namespace) -> int:
     r_records = read_records(args.r_input)
     s_records = read_records(args.s_input)
     cluster = _make_cluster(args)
+    tracer = _attach_tracer(args, cluster)
     try:
         cluster.dfs.write("r", r_records)
         cluster.dfs.write("s", s_records)
         report = ssjoin_rs(cluster, "r", "s", _build_config(args))
         _emit(args, sorted(cluster.dfs.read_all(report.output_file)), report)
+        _export_trace(args, tracer)
     finally:
         if hasattr(cluster, "close"):
             cluster.close()
     return 0
+
+
+def _cmd_trace_report(args: argparse.Namespace) -> int:
+    from repro.obs.report import (
+        digest_trace,
+        format_routing_comparison,
+        format_trace_report,
+        load_trace,
+        validate_trace,
+    )
+
+    digests = []
+    status = 0
+    for path in args.traces:
+        doc = load_trace(path)
+        problems = validate_trace(doc)
+        if problems:
+            status = 1
+            for problem in problems:
+                print(f"{path}: {problem}", file=sys.stderr)
+            if args.validate_only:
+                continue
+        digests.append(digest_trace(doc, path=path))
+    if args.validate_only:
+        if status == 0:
+            print(f"{len(args.traces)} trace file(s) valid", file=sys.stderr)
+        return status
+    for digest in digests:
+        print(format_trace_report(digest))
+    if len(digests) > 1:
+        print(format_routing_comparison(digests))
+    return status
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
@@ -229,6 +292,19 @@ def build_parser() -> argparse.ArgumentParser:
     p_lint.add_argument("paths", nargs="+",
                         help="python files or directory trees to lint")
     p_lint.set_defaults(func=_cmd_lint)
+
+    p_trace = sub.add_parser(
+        "trace-report",
+        help="analyze --trace output: per-stage critical path, straggler "
+             "tasks and reduce-group skew (Gini, p99/median); pass several "
+             "traces to compare routing balance",
+    )
+    p_trace.add_argument("traces", nargs="+",
+                         help="Chrome trace-event JSON file(s) from --trace")
+    p_trace.add_argument("--validate-only", action="store_true",
+                         help="only check the files against the trace-event "
+                              "schema (required keys, monotonic ts)")
+    p_trace.set_defaults(func=_cmd_trace_report)
     return parser
 
 

@@ -31,6 +31,8 @@ from repro.mapreduce.cluster import ClusterConfig, SimulatedCluster
 from repro.mapreduce.dfs import InMemoryDFS
 from repro.mapreduce.pipeline import run_pipeline
 from repro.mapreduce.types import JobStats, merge_executor_stats
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import trace_span
 
 
 @dataclass
@@ -100,6 +102,25 @@ class JoinReport:
                 ],
             )
         return summary
+
+    def metrics(self) -> MetricsRegistry:
+        """Unified metrics view of this run: the merged job counters
+        (with ``hist.*`` keys decoded back into histograms — reduce
+        group sizes, per-partition shuffle bytes, kernel observations),
+        per-stage simulated times as gauges, and the executor summary
+        as ``executor.*`` gauges.  Deterministic: two identical runs
+        snapshot byte-identically."""
+        registry = MetricsRegistry()
+        registry.merge_counters(self.counters())
+        for name, stats in self.stages.items():
+            registry.gauge(f"{name}.simulated_s", stats.simulated_total_s)
+            registry.gauge(f"{name}.shuffle_bytes", stats.shuffle_bytes)
+        registry.gauge("total.simulated_s", self.total_simulated_s)
+        registry.merge_gauges(
+            {k: float(v) for k, v in self.executor_summary().items()},
+            prefix="executor.",
+        )
+        return registry
 
     def format_summary(self) -> str:
         """Multi-line human-readable run summary."""
@@ -178,9 +199,22 @@ def ssjoin_self(
     _prepare(cluster, s1 + s2 + s3)
 
     report = JoinReport(combo=config.combo_name, output_file=output_file)
-    report.stage1 = run_pipeline(cluster, s1)
-    report.stage2 = run_pipeline(cluster, s2)
-    report.stage3 = run_pipeline(cluster, s3)
+    tracer = getattr(cluster, "tracer", None)
+    with trace_span(
+        tracer, f"ssjoin_self:{records_file}", "join",
+        combo=config.combo_name, threshold=config.threshold,
+        routing=config.routing, kernel=config.kernel,
+    ):
+        with trace_span(tracer, "stage1", "stage", algorithm=config.stage1):
+            report.stage1 = run_pipeline(cluster, s1)
+        with trace_span(
+            tracer, "stage2", "stage",
+            kernel=config.kernel, routing=config.routing,
+            num_groups=config.num_groups or "per-token",
+        ):
+            report.stage2 = run_pipeline(cluster, s2)
+        with trace_span(tracer, "stage3", "stage", algorithm=config.stage3):
+            report.stage3 = run_pipeline(cluster, s3)
     return report
 
 
@@ -218,9 +252,22 @@ def ssjoin_rs(
     _prepare(cluster, s1 + s2 + s3)
 
     report = JoinReport(combo=config.combo_name, output_file=output_file)
-    report.stage1 = run_pipeline(cluster, s1)
-    report.stage2 = run_pipeline(cluster, s2)
-    report.stage3 = run_pipeline(cluster, s3)
+    tracer = getattr(cluster, "tracer", None)
+    with trace_span(
+        tracer, f"ssjoin_rs:{r_file}:{s_file}", "join",
+        combo=config.combo_name, threshold=config.threshold,
+        routing=config.routing, kernel=config.kernel,
+    ):
+        with trace_span(tracer, "stage1", "stage", algorithm=config.stage1):
+            report.stage1 = run_pipeline(cluster, s1)
+        with trace_span(
+            tracer, "stage2", "stage",
+            kernel=config.kernel, routing=config.routing,
+            num_groups=config.num_groups or "per-token",
+        ):
+            report.stage2 = run_pipeline(cluster, s2)
+        with trace_span(tracer, "stage3", "stage", algorithm=config.stage3):
+            report.stage3 = run_pipeline(cluster, s3)
     return report
 
 

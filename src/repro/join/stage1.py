@@ -51,7 +51,9 @@ def bto_jobs(
     counts_file = output + ".counts"
 
     def count_reducer(token: str, counts: Iterator, ctx: Context) -> None:
-        ctx.write((token, sum(counts)))
+        total = sum(counts)
+        ctx.observe("stage1.token_frequency", total)
+        ctx.write((token, total))
 
     count_job = MapReduceJob(
         name="bto-count",
@@ -95,6 +97,7 @@ def opto_jobs(
 
     def reducer(token: str, counts: Iterator, ctx: Context) -> None:
         total = sum(counts)
+        ctx.observe("stage1.token_frequency", total)
         ctx.token_counts[token] = ctx.token_counts.get(token, 0) + total
         ctx.reserve_memory(len(token) + 16, "OPTO token counts")
 

@@ -198,7 +198,10 @@ def make_self_mapper(
         prefix = ranks[: sim.prefix_length(n, threshold)]
         sig = bitmap_signature(ranks, bitmap_width) if bitmap_width else None
         value = (REL_R, rid, n, sig, ranks)
-        for route in state["routes"](prefix):
+        route_list = state["routes"](prefix)
+        ctx.observe("stage2.prefix_tokens", len(prefix))
+        ctx.observe("stage2.record_routes", len(route_list))
+        for route in route_list:
             if blocks is not None:
                 block = blocks.block_of(rid)
                 if blocks.strategy == MAP_BASED:
@@ -297,6 +300,11 @@ def make_bk_self_reducer(config: JoinConfig) -> Callable:
         for value in values:
             charged += ctx.reserve_memory_for(value, "BK candidate list")
             projections.append(value)
+        ctx.observe("stage2.group_records", len(projections))
+        ctx.observe(
+            "stage2.group_candidates",
+            len(projections) * (len(projections) - 1) // 2,
+        )
         for i, p1 in enumerate(projections):
             for p2 in projections[i + 1 :]:
                 ctx.counters.increment(CANDIDATE_PAIRS)
@@ -317,7 +325,9 @@ def make_pk_self_reducer(config: JoinConfig) -> Callable:
         if sanitizer is not None:
             values = sanitizer.sorted_values(values, _projection_size)
         charged = 0
+        group_records = 0
         for _rel, rid, _n, sig, ranks in values:
+            group_records += 1
             for other_rid, similarity in index.probe(rid, ranks, signature=sig):
                 _write_self_pair(ctx, rid, other_rid, similarity)
             index.add(rid, ranks, signature=sig)
@@ -327,6 +337,7 @@ def make_pk_self_reducer(config: JoinConfig) -> Callable:
             else:
                 ctx.release_memory(-delta)
             charged = index.live_bytes
+        ctx.observe("stage2.group_records", group_records)
         if sanitizer is not None:
             sanitizer.check_index_accounting(index)
         merge_index_filter_stats(ctx, index)

@@ -103,7 +103,10 @@ def make_rs_mapper(
         sig = bitmap_signature(ranks, bitmap_width) if bitmap_width else None
         value = (rel, rid, true_size, sig, ranks)
         cls = _length_class(rel, true_size, config)
-        for route in state["routes"](prefix):
+        route_list = state["routes"](prefix)
+        ctx.observe("stage2.prefix_tokens", len(prefix))
+        ctx.observe("stage2.record_routes", len(route_list))
+        for route in route_list:
             if blocks is None:
                 # The trailing actual length keeps same-class R records
                 # sorted by size: length classes are not injective
@@ -149,16 +152,22 @@ def make_bk_rs_reducer(config: JoinConfig) -> Callable:
             )
         stored_r: list[tuple] = []
         charged = 0
+        group_records = 0
+        group_candidates = 0
         for value in values:
+            group_records += 1
             if value[0] == REL_R:
                 charged += ctx.reserve_memory_for(value, "BK stored R partition")
                 stored_r.append(value)
                 continue
+            group_candidates += len(stored_r)
             for r_proj in stored_r:
                 ctx.counters.increment(CANDIDATE_PAIRS)
                 similarity = bk_verify(r_proj, value, config, ctx.counters, sanitizer)
                 if similarity is not None:
                     _write_rs_pair(ctx, r_proj, value, similarity)
+        ctx.observe("stage2.group_records", group_records)
+        ctx.observe("stage2.group_candidates", group_candidates)
         ctx.release_memory(charged)
 
     return reducer
@@ -176,7 +185,9 @@ def make_pk_rs_reducer(config: JoinConfig) -> Callable:
                 values, _projection_size, group_of=_projection_rel
             )
         charged = 0
+        group_records = 0
         for rel, rid, true_size, sig, ranks in values:
+            group_records += 1
             if rel == REL_R:
                 index.add(rid, ranks, signature=sig)
             else:
@@ -191,6 +202,7 @@ def make_pk_rs_reducer(config: JoinConfig) -> Callable:
             else:
                 ctx.release_memory(-delta)
             charged = index.live_bytes
+        ctx.observe("stage2.group_records", group_records)
         if sanitizer is not None:
             sanitizer.check_index_accounting(index)
         merge_index_filter_stats(ctx, index)

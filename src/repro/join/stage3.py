@@ -108,6 +108,7 @@ def _brj_fill_reducer(is_rs: bool) -> Callable:
             charged += ctx.reserve_memory_for((rid1, rid2), "BRJ dedup set")
             side = _half_side(group_key, value, is_rs)
             ctx.write(((rid1, rid2, similarity), side, record_line))
+        ctx.observe("stage3.pairs_per_rid", len(seen))
         ctx.release_memory(charged)
 
     return reducer

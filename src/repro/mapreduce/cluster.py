@@ -52,6 +52,8 @@ from repro.mapreduce.dfs import InMemoryDFS
 from repro.mapreduce.hashing import stable_hash
 from repro.mapreduce.job import Context, MapReduceJob
 from repro.mapreduce.types import PhaseStats, TaskStats, approx_bytes
+from repro.obs.metrics import observe_into
+from repro.obs.trace import Tracer, trace_span
 
 
 @dataclass
@@ -137,13 +139,18 @@ def execute_map_task(
     broadcast_cpu: float,
     memory_limit_bytes: int | None,
     map_slots: int,
+    *,
+    tracer: Tracer | None = None,
 ) -> tuple[TaskStats, list[tuple[int, tuple, tuple]], dict[str, int]]:
     """Run one map task (+ combiner + partitioning).
 
     Returns ``(stats, partitioned, counters)`` where ``partitioned`` is
     a list of ``(partition_index, key, value)`` triples in emission
-    order and ``counters`` is the task's counter snapshot.
+    order and ``counters`` is the task's counter snapshot.  When a
+    *tracer* is attached, the task records a span — observe-only, the
+    returned triple is identical either way.
     """
+    span = trace_span(tracer, f"map:{task_id}", "task", job=job.name, task=task_id)
     ctx = Context(
         "map",
         Counters(),
@@ -192,6 +199,12 @@ def execute_map_task(
         output_bytes=output_bytes,
         peak_memory_bytes=ctx.peak_memory_bytes,
     )
+    span.set(
+        input_records=len(records),
+        output_records=len(pairs),
+        output_bytes=output_bytes,
+    )
+    span.close()
     return stats, partitioned, ctx.counters.as_dict()
 
 
@@ -222,11 +235,19 @@ def execute_reduce_task(
     partition_index: int,
     bucket: list[tuple],
     memory_limit_bytes: int | None,
+    *,
+    tracer: Tracer | None = None,
 ) -> tuple[TaskStats, list, dict[str, int]]:
     """Run one reduce task over its partition's ``(key, value)`` list.
 
-    Returns ``(stats, written_records, counters)``.
+    Returns ``(stats, written_records, counters)``.  The group-size
+    histogram and (when tracing) the per-task skew payload are computed
+    *after* the CPU clock stops, so neither shows up in the cost model.
     """
+    span = trace_span(
+        tracer, f"reduce:{partition_index}", "task",
+        job=job.name, partition=partition_index,
+    )
     ctx = Context("reduce", Counters(), memory_limit_bytes=memory_limit_bytes)
     ctx.task_id = partition_index
     t0 = time.perf_counter()
@@ -245,6 +266,18 @@ def execute_reduce_task(
         job.reduce_teardown(ctx)
     cpu = time.perf_counter() - t0
 
+    # Observability bookkeeping on the already-sorted bucket: group-size
+    # histogram (always on; rides the counter path) and, when tracing,
+    # the hottest groups for the skew report.
+    group_sizes: list[tuple[object, int]] = []
+    for group_key, group in groupby(bucket, key=lambda pair: job.group_key(pair[0])):
+        size = sum(1 for _ in group)
+        group_sizes.append((group_key, size))
+        ctx.observe("reduce.group_records", size)
+    if tracer is not None:
+        hot = sorted(group_sizes, key=lambda kv: (-kv[1], repr(kv[0])))[:5]
+        span.set(top_groups=[(repr(key), size) for key, size in hot])
+
     ctx.counters.increment(REDUCE_INPUT_GROUPS, groups)
     ctx.counters.increment(REDUCE_INPUT_RECORDS, len(bucket))
     ctx.counters.increment(REDUCE_OUTPUT_RECORDS, len(ctx._written))
@@ -257,6 +290,12 @@ def execute_reduce_task(
         output_bytes=out_bytes,
         peak_memory_bytes=ctx.peak_memory_bytes,
     )
+    span.set(
+        input_records=len(bucket),
+        groups=groups,
+        output_records=len(ctx._written),
+    )
+    span.close()
     return stats, ctx._written, ctx.counters.as_dict()
 
 
@@ -282,6 +321,9 @@ class SimulatedCluster:
     def __init__(self, config: ClusterConfig | None = None, dfs: InMemoryDFS | None = None) -> None:
         self.config = config or ClusterConfig()
         self.dfs = dfs or InMemoryDFS(num_nodes=self.config.num_nodes)
+        #: attach a :class:`repro.obs.trace.Tracer` to record job,
+        #: phase and task spans (observe-only; ``None`` = no tracing)
+        self.tracer: Tracer | None = None
 
     # -- public API ---------------------------------------------------------
 
@@ -292,37 +334,62 @@ class SimulatedCluster:
         stats.startup_s = cfg.job_startup_s
         job_counters = Counters()
 
-        broadcast_data, broadcast_bytes, broadcast_cpu = self._load_broadcast(job)
-        map_inputs = self._collect_map_inputs(job)
+        with trace_span(
+            self.tracer, job.name, "job", reducers=job.num_reducers
+        ) as job_span:
+            broadcast_data, broadcast_bytes, broadcast_cpu = self._load_broadcast(job)
+            map_inputs = self._collect_map_inputs(job)
 
-        partitions: list[list[tuple]] = [[] for _ in range(job.num_reducers)]
-        for task_stats, partitioned, counters in self._execute_map_tasks(
-            job, map_inputs, broadcast_data, broadcast_bytes, broadcast_cpu
-        ):
-            stats.map_tasks.append(task_stats)
-            for p, key, value in partitioned:
-                partitions[p].append((key, value))
-            job_counters.merge_dict(counters)
+            partitions: list[list[tuple]] = [[] for _ in range(job.num_reducers)]
+            with trace_span(self.tracer, "map", "phase", job=job.name) as phase_span:
+                for task_stats, partitioned, counters in self._execute_map_tasks(
+                    job, map_inputs, broadcast_data, broadcast_bytes, broadcast_cpu
+                ):
+                    stats.map_tasks.append(task_stats)
+                    for p, key, value in partitioned:
+                        partitions[p].append((key, value))
+                    job_counters.merge_dict(counters)
+                phase_span.set(tasks=len(stats.map_tasks))
 
-        stats.shuffle_bytes = sum(
-            approx_bytes(pair) for bucket in partitions for pair in bucket
-        )
-        job_counters.increment(SHUFFLE_BYTES, stats.shuffle_bytes)
+            with trace_span(
+                self.tracer, "shuffle", "phase", job=job.name
+            ) as phase_span:
+                for bucket in partitions:
+                    bucket_bytes = sum(approx_bytes(pair) for pair in bucket)
+                    stats.shuffle_bytes += bucket_bytes
+                    observe_into(
+                        job_counters.increment, "shuffle.partition_bytes",
+                        bucket_bytes,
+                    )
+                job_counters.increment(SHUFFLE_BYTES, stats.shuffle_bytes)
+                phase_span.set(
+                    shuffle_bytes=stats.shuffle_bytes, partitions=len(partitions)
+                )
 
-        reduce_inputs = [
-            (p, bucket) for p, bucket in enumerate(partitions) if bucket
-        ]
-        output_records: list = []
-        for task_stats, written, counters in self._execute_reduce_tasks(
-            job, reduce_inputs
-        ):
-            stats.reduce_tasks.append(task_stats)
-            output_records.extend(written)
-            job_counters.merge_dict(counters)
+            reduce_inputs = [
+                (p, bucket) for p, bucket in enumerate(partitions) if bucket
+            ]
+            output_records: list = []
+            with trace_span(
+                self.tracer, "reduce", "phase", job=job.name
+            ) as phase_span:
+                for task_stats, written, counters in self._execute_reduce_tasks(
+                    job, reduce_inputs
+                ):
+                    stats.reduce_tasks.append(task_stats)
+                    output_records.extend(written)
+                    job_counters.merge_dict(counters)
+                phase_span.set(tasks=len(stats.reduce_tasks))
 
-        self.dfs.write(job.output, output_records)
-        stats.counters = job_counters.as_dict()
-        self._simulate_times(stats)
+            self.dfs.write(job.output, output_records)
+            stats.counters = job_counters.as_dict()
+            self._simulate_times(stats)
+            job_span.set(
+                map_tasks=len(stats.map_tasks),
+                reduce_tasks=len(stats.reduce_tasks),
+                shuffle_bytes=stats.shuffle_bytes,
+                simulated_total_s=round(stats.simulated_total_s, 3),
+            )
         return stats
 
     def _collect_map_inputs(self, job: MapReduceJob) -> list[tuple[int, str, list]]:
@@ -351,6 +418,7 @@ class SimulatedCluster:
             yield execute_map_task(
                 job, task_id, input_name, records,
                 broadcast_data, broadcast_bytes, broadcast_cpu, limit, slots,
+                tracer=self.tracer,
             )
 
     def _execute_reduce_tasks(
@@ -358,7 +426,9 @@ class SimulatedCluster:
     ) -> Iterator[tuple[TaskStats, list, dict[str, int]]]:
         limit = self.config.memory_per_task_bytes
         for partition_index, bucket in reduce_inputs:
-            yield execute_reduce_task(job, partition_index, bucket, limit)
+            yield execute_reduce_task(
+                job, partition_index, bucket, limit, tracer=self.tracer
+            )
 
     # -- broadcast (distributed cache) ------------------------------------
 

@@ -41,7 +41,10 @@ class Counters:
         self._counts.update(counts)
 
     def as_dict(self) -> dict[str, int]:
-        return dict(self._counts)
+        """Snapshot with keys in sorted order, so merged snapshots,
+        ``--stats`` output and JSON reports are byte-stable and
+        diffable across runs."""
+        return dict(sorted(self._counts.items()))
 
     def __iter__(self) -> Iterator[tuple[str, int]]:
         return iter(sorted(self._counts.items()))

@@ -72,6 +72,8 @@ from repro.mapreduce.types import (
     approx_bytes,
     merge_executor_stats,
 )
+from repro.obs.metrics import observe_into
+from repro.obs.trace import Tracer, trace_span
 
 _PICKLE = pickle.HIGHEST_PROTOCOL
 
@@ -190,9 +192,14 @@ def _run_map_chunk(args: tuple) -> tuple:
         memory_limit,
         map_slots,
         num_reducers,
+        trace,
     ) = common
     job = _W_JOBS[jid]
     broadcast = _broadcast_for(bcast_path)
+    # When the parent traces, each chunk records its task spans into a
+    # worker-local tracer whose raw events ride back with the results
+    # (perf_counter is CLOCK_MONOTONIC, shared across the fork).
+    tracer = Tracer() if trace else None
     results = []
     for task_id, input_name, spec in tasks:
         records = _resolve_records(spec)
@@ -206,24 +213,30 @@ def _run_map_chunk(args: tuple) -> tuple:
             broadcast_cpu,
             memory_limit,
             map_slots,
+            tracer=tracer,
         )
         path, segments, part_bytes = _spill_map_output(
             phase_dir, task_id, partitioned, num_reducers
         )
         results.append((stats, counters, path, segments, part_bytes))
-    return chunk_index, results
+    events = tracer.raw_events() if tracer is not None else []
+    return chunk_index, results, events
 
 
 def _run_reduce_chunk(args: tuple) -> tuple:
-    chunk_index, jid, memory_limit, tasks = args
+    chunk_index, jid, memory_limit, trace, tasks = args
     job = _W_JOBS[jid]
+    tracer = Tracer() if trace else None
     results = []
     for partition_index, refs in tasks:
         bucket = _read_segments(refs)
         results.append(
-            execute_reduce_task(job, partition_index, bucket, memory_limit)
+            execute_reduce_task(
+                job, partition_index, bucket, memory_limit, tracer=tracer
+            )
         )
-    return chunk_index, results
+    events = tracer.raw_events() if tracer is not None else []
+    return chunk_index, results, events
 
 
 # ---------------------------------------------------------------------------
@@ -346,6 +359,9 @@ class PersistentExecutor:
         self.workers = workers or os.cpu_count() or 2
         self.chunks_per_worker = chunks_per_worker
         self.stats = ExecutorStats()
+        #: attach a :class:`repro.obs.trace.Tracer` to collect worker
+        #: task spans (set by the owning cluster; observe-only)
+        self.tracer: Tracer | None = None
         self._jobs: list[MapReduceJob] = []
         self._job_ids: dict[int, int] = {}
         self._dfs = dfs
@@ -479,7 +495,9 @@ class PersistentExecutor:
         sanitize = env_sanitize()
         collected: list = [None] * len(payloads)
         seen: set[int] = set()
-        for chunk_index, results in self._pool.imap_unordered(func, payloads):
+        for chunk_index, results, events in self._pool.imap_unordered(
+            func, payloads
+        ):
             if sanitize:
                 if chunk_index in seen or not 0 <= chunk_index < len(payloads):
                     raise RuntimeError(
@@ -487,6 +505,8 @@ class PersistentExecutor:
                         f"range (expected {len(payloads)} distinct chunks)"
                     )
                 seen.add(chunk_index)
+            if events and self.tracer is not None:
+                self.tracer.absorb(events)
             collected[chunk_index] = results
         if sanitize and len(seen) != len(payloads):
             raise RuntimeError(
@@ -540,6 +560,7 @@ class PersistentExecutor:
             memory_limit,
             map_slots,
             num_reducers,
+            self.tracer is not None,
         )
         tasks = []
         for task_id, input_name, records in map_inputs:
@@ -558,13 +579,17 @@ class PersistentExecutor:
 
         shuffle = MapShuffle(num_reducers, phase_dir, bcast_path)
         task_results = []
-        for stats, counters, path, segments, part_bytes in self._dispatch(
-            _run_map_chunk, payloads
+        with trace_span(
+            self.tracer, f"dispatch-map:{job.name}", "dispatch",
+            job=job.name, chunks=len(payloads), workers=self.workers,
         ):
-            shuffle.add_task(path, segments, part_bytes)
-            ex.busy_s += stats.cpu_seconds
-            ex.bytes_from_workers += approx_bytes(counters) + 96
-            task_results.append((stats, counters))
+            for stats, counters, path, segments, part_bytes in self._dispatch(
+                _run_map_chunk, payloads
+            ):
+                shuffle.add_task(path, segments, part_bytes)
+                ex.busy_s += stats.cpu_seconds
+                ex.bytes_from_workers += approx_bytes(counters) + 96
+                task_results.append((stats, counters))
         ex.spill_bytes_written = shuffle.spilled_bytes
         ex.wall_s = time.perf_counter() - t0
         self._account(ex)
@@ -597,20 +622,25 @@ class PersistentExecutor:
             ex.spill_bytes_read += sum(length for _pp, _o, length in refs)
             ex.bytes_to_workers += 24 * len(refs)
         chunks = self._chunk(reduce_tasks)
+        trace = self.tracer is not None
         payloads = [
-            (i, jid, memory_limit, chunk) for i, chunk in enumerate(chunks)
+            (i, jid, memory_limit, trace, chunk) for i, chunk in enumerate(chunks)
         ]
         ex.chunks = len(payloads)
 
         task_results = []
-        for stats, written, counters in self._dispatch(
-            _run_reduce_chunk, payloads
+        with trace_span(
+            self.tracer, f"dispatch-reduce:{job.name}", "dispatch",
+            job=job.name, chunks=len(payloads), workers=self.workers,
         ):
-            ex.busy_s += stats.cpu_seconds
-            ex.bytes_from_workers += (
-                approx_bytes(counters) + stats.output_bytes + 96
-            )
-            task_results.append((stats, written, counters))
+            for stats, written, counters in self._dispatch(
+                _run_reduce_chunk, payloads
+            ):
+                ex.busy_s += stats.cpu_seconds
+                ex.bytes_from_workers += (
+                    approx_bytes(counters) + stats.output_bytes + 96
+                )
+                task_results.append((stats, written, counters))
         ex.wall_s = time.perf_counter() - t0
         self._account(ex)
         return task_results, ex
@@ -716,6 +746,10 @@ class PersistentParallelCluster(SimulatedCluster):
         stats.startup_s = cfg.job_startup_s
         job_counters = Counters()
         limit = cfg.memory_per_task_bytes
+        self.executor.tracer = self.tracer
+        job_span = trace_span(
+            self.tracer, job.name, "job", reducers=job.num_reducers
+        )
 
         broadcast_data, broadcast_bytes, broadcast_cpu = self._load_broadcast(job)
         map_inputs = self._collect_map_inputs(job)
@@ -724,6 +758,7 @@ class PersistentParallelCluster(SimulatedCluster):
         partitions: list[list[tuple]] | None = None
         try:
             # ---- map phase -------------------------------------------
+            phase_span = trace_span(self.tracer, "map", "phase", job=job.name)
             if self._use_map_pool(map_inputs):
                 task_results, shuffle, stats.map_executor = (
                     self.executor.run_map_phase(
@@ -758,7 +793,23 @@ class PersistentParallelCluster(SimulatedCluster):
                     for bucket in partitions
                     for pair in bucket
                 )
+            phase_span.set(
+                tasks=len(stats.map_tasks), mode=stats.map_executor.mode
+            )
+            phase_span.close()
             job_counters.increment(SHUFFLE_BYTES, stats.shuffle_bytes)
+            # same per-partition byte histogram as the sequential
+            # engine (every partition, empty ones included), so merged
+            # counters stay byte-identical across engines
+            for p in range(job.num_reducers):
+                if shuffle is not None:
+                    bucket_bytes = shuffle._part_bytes.get(p, 0)
+                else:
+                    assert partitions is not None
+                    bucket_bytes = sum(approx_bytes(pair) for pair in partitions[p])
+                observe_into(
+                    job_counters.increment, "shuffle.partition_bytes", bucket_bytes
+                )
 
             # ---- reduce phase ----------------------------------------
             if shuffle is not None:
@@ -768,6 +819,7 @@ class PersistentParallelCluster(SimulatedCluster):
                 nonempty = [p for p, bucket in enumerate(partitions) if bucket]
 
             output_records: list = []
+            phase_span = trace_span(self.tracer, "reduce", "phase", job=job.name)
             if self._use_reduce_pool(shuffle, len(nonempty)):
                 assert shuffle is not None
                 reduce_tasks = [(p, shuffle.refs_for(p)) for p in nonempty]
@@ -788,12 +840,16 @@ class PersistentParallelCluster(SimulatedCluster):
                         assert partitions is not None
                         bucket = partitions[p]
                     task_stats, written, counters = execute_reduce_task(
-                        job, p, bucket, limit
+                        job, p, bucket, limit, tracer=self.tracer
                     )
                     stats.reduce_tasks.append(task_stats)
                     output_records.extend(written)
                     job_counters.merge_dict(counters)
                 stats.reduce_executor = reduce_ex
+            phase_span.set(
+                tasks=len(stats.reduce_tasks), mode=stats.reduce_executor.mode
+            )
+            phase_span.close()
 
             self.dfs.write(job.output, output_records)
         finally:
@@ -802,6 +858,13 @@ class PersistentParallelCluster(SimulatedCluster):
 
         stats.counters = job_counters.as_dict()
         self._simulate_times(stats)
+        job_span.set(
+            map_tasks=len(stats.map_tasks),
+            reduce_tasks=len(stats.reduce_tasks),
+            shuffle_bytes=stats.shuffle_bytes,
+            simulated_total_s=round(stats.simulated_total_s, 3),
+        )
+        job_span.close()
         return stats
 
 

@@ -37,6 +37,7 @@ from typing import Any, Callable, Iterator, Sequence
 
 from repro.mapreduce.counters import Counters
 from repro.mapreduce.types import InsufficientMemoryError, approx_bytes
+from repro.obs.metrics import observe_into
 
 
 def _identity(key: Any) -> Any:
@@ -78,6 +79,18 @@ class Context:
     def write(self, record: Any) -> None:
         """Write a final output record (reduce side)."""
         self._written.append(record)
+
+    # -- observability ------------------------------------------------------
+
+    def observe(self, name: str, value: int) -> None:
+        """Record one histogram observation (e.g. a group size).
+
+        Encoded as three plain counter increments under ``hist.<name>``
+        (log2 bucket, count, sum — see :mod:`repro.obs.metrics`), so
+        observations merge back to the driver through the existing
+        counter path and never affect task output.
+        """
+        observe_into(self.counters.increment, name, value)
 
     # -- memory metering ----------------------------------------------------
 

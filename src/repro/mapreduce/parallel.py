@@ -49,6 +49,7 @@ from repro.mapreduce.cluster import (
 from repro.mapreduce.dfs import InMemoryDFS
 from repro.mapreduce.types import TaskStats
 from repro.mapreduce.job import MapReduceJob
+from repro.obs.trace import Tracer
 
 # Worker-side slot filled by the pool initializer (fork-inherited, never
 # assigned in the parent process).
@@ -63,7 +64,8 @@ def _init_pool_registry(registry: dict) -> None:
 def _map_worker(args: tuple) -> tuple:
     task_id, input_name, records = args
     reg = _POOL_REGISTRY
-    return execute_map_task(
+    tracer = Tracer() if reg.get("trace") else None
+    result = execute_map_task(
         reg["job"],
         task_id,
         input_name,
@@ -73,15 +75,19 @@ def _map_worker(args: tuple) -> tuple:
         reg["broadcast_cpu"],
         reg["memory_limit"],
         reg["map_slots"],
+        tracer=tracer,
     )
+    return result, tracer.raw_events() if tracer is not None else []
 
 
 def _reduce_worker(args: tuple) -> tuple:
     partition_index, bucket = args
     reg = _POOL_REGISTRY
-    return execute_reduce_task(
-        reg["job"], partition_index, bucket, reg["memory_limit"]
+    tracer = Tracer() if reg.get("trace") else None
+    result = execute_reduce_task(
+        reg["job"], partition_index, bucket, reg["memory_limit"], tracer=tracer
     )
+    return result, tracer.raw_events() if tracer is not None else []
 
 
 class ForkParallelCluster(SimulatedCluster):
@@ -135,9 +141,13 @@ class ForkParallelCluster(SimulatedCluster):
             broadcast_cpu=broadcast_cpu,
             memory_limit=self.config.memory_per_task_bytes,
             map_slots=self.config.map_slots,
+            trace=self.tracer is not None,
         )
         with self._pool(registry) as pool:
-            yield from pool.map(_map_worker, map_inputs)
+            for result, events in pool.map(_map_worker, map_inputs):
+                if events and self.tracer is not None:
+                    self.tracer.absorb(events)
+                yield result
 
     def _execute_reduce_tasks(
         self, job: MapReduceJob, reduce_inputs: list[tuple[int, list]]
@@ -148,6 +158,10 @@ class ForkParallelCluster(SimulatedCluster):
         registry = dict(
             job=job,
             memory_limit=self.config.memory_per_task_bytes,
+            trace=self.tracer is not None,
         )
         with self._pool(registry) as pool:
-            yield from pool.map(_reduce_worker, reduce_inputs)
+            for result, events in pool.map(_reduce_worker, reduce_inputs):
+                if events and self.tracer is not None:
+                    self.tracer.absorb(events)
+                yield result

@@ -111,10 +111,20 @@ class ExecutorPhaseStats:
 
     @property
     def utilization(self) -> float:
-        """Fraction of worker capacity spent in task CPU work."""
-        if self.mode != "pool" or self.workers <= 0 or self.wall_s <= 0:
+        """Fraction of worker capacity spent in task CPU work.
+
+        Defined for pooled phases with at least one worker; everything
+        else is 0.0.  Degenerate clocks are clamped instead of silently
+        zeroed: a phase whose dispatch wall rounded to ~0 but that did
+        real CPU work reports 1.0 (fully busy for as long as it
+        existed), negative busy time never produces a negative ratio,
+        and the result always lands in [0, 1].
+        """
+        if self.mode != "pool" or self.workers <= 0:
             return 0.0
-        return min(1.0, self.busy_s / (self.workers * self.wall_s))
+        if self.wall_s <= 1e-12:
+            return 1.0 if self.busy_s > 0.0 else 0.0
+        return min(1.0, max(0.0, self.busy_s / (self.workers * self.wall_s)))
 
 
 #: Aggregate keys reported by ``executor_summary`` (stable, documented).
@@ -201,12 +211,13 @@ class JobStats:
         return sum(p.shuffle_bytes for p in self.phases)
 
     def counters(self) -> dict[str, int]:
-        """Merged counters across phases."""
+        """Merged counters across phases, keys sorted for byte-stable
+        reports."""
         merged: dict[str, int] = {}
         for phase in self.phases:
             for name, value in phase.counters.items():
                 merged[name] = merged.get(name, 0) + value
-        return merged
+        return dict(sorted(merged.items()))
 
     def executor_summary(self) -> dict:
         """Aggregated executor stats over every phase (see

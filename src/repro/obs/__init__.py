@@ -1,0 +1,60 @@
+"""Observability layer: span tracing, metrics registry, skew reports.
+
+``repro.obs`` is strictly observe-only — attaching a tracer or reading
+metrics never changes partitioning, ordering or emitted pairs (the
+differential tests in ``tests/test_obs.py`` enforce bit-identical
+output with tracing on vs off).
+
+* :mod:`repro.obs.trace` — zero-dependency nested-span tracer with
+  Chrome-trace-event JSON export (Perfetto-loadable).
+* :mod:`repro.obs.metrics` — counters/gauges/log-scale histograms
+  behind one :class:`MetricsRegistry`; histograms ride the existing
+  worker→parent counter merge path.
+* :mod:`repro.obs.report` — post-run critical-path and reduce-skew
+  analyzer behind ``python -m repro trace-report``.
+"""
+
+from __future__ import annotations
+
+from repro.obs.metrics import (
+    HIST_PREFIX,
+    HistogramSnapshot,
+    MetricsRegistry,
+    bucket_bounds,
+    bucket_of,
+    hist_counter,
+    observe_into,
+)
+from repro.obs.report import (
+    TraceDigest,
+    digest_trace,
+    format_routing_comparison,
+    format_trace_report,
+    gini,
+    load_trace,
+    p99_over_median,
+    validate_trace,
+)
+from repro.obs.trace import NULL_SPAN, Span, Tracer, trace_span
+
+__all__ = [
+    "HIST_PREFIX",
+    "HistogramSnapshot",
+    "MetricsRegistry",
+    "bucket_bounds",
+    "bucket_of",
+    "hist_counter",
+    "observe_into",
+    "TraceDigest",
+    "digest_trace",
+    "format_routing_comparison",
+    "format_trace_report",
+    "gini",
+    "load_trace",
+    "p99_over_median",
+    "validate_trace",
+    "NULL_SPAN",
+    "Span",
+    "Tracer",
+    "trace_span",
+]

@@ -1,0 +1,232 @@
+"""Unified metrics registry: counters, gauges and log-scale histograms.
+
+The MapReduce runtime already moves *counters* from every task back to
+the driver (:class:`repro.mapreduce.counters.Counters` snapshots merge
+additively through the existing worker→parent result path).  This
+module layers two things on top without inventing a second transport:
+
+* **Histogram encoding over counters** — an observation of value ``v``
+  under histogram ``name`` increments three plain counters::
+
+      hist.<name>.b<bucket>   (bucket = bit_length(v): log2 buckets)
+      hist.<name>.n           (observation count)
+      hist.<name>.sum         (exact sum)
+
+  Log-scale buckets keep the payload tiny (a histogram spanning
+  1..10⁹ needs ≤ 31 keys) and additive, so worker histograms merge for
+  free with task counters.  :meth:`Context.observe
+  <repro.mapreduce.job.Context.observe>` is the runtime entry point.
+
+* **:class:`MetricsRegistry`** — one read-side view that splits a
+  merged counter snapshot into plain counters and
+  :class:`HistogramSnapshot` objects, folds in gauges (e.g. the
+  executor summary), and renders a deterministic, sorted, JSON-safe
+  :meth:`MetricsRegistry.snapshot`.
+
+Everything here is observe-only bookkeeping: histogram counters ride
+the same merge path as the pre-existing framework counters and never
+influence partitioning, ordering or output records.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Mapping
+
+__all__ = [
+    "HIST_PREFIX",
+    "bucket_of",
+    "bucket_bounds",
+    "hist_counter",
+    "observe_into",
+    "HistogramSnapshot",
+    "MetricsRegistry",
+]
+
+#: namespace prefix marking histogram-encoded counters
+HIST_PREFIX = "hist."
+
+
+def bucket_of(value: int) -> int:
+    """Log2 bucket index of *value* (0 for values <= 0).
+
+    Bucket ``b`` covers ``[2**(b-1), 2**b)`` for ``b >= 1`` and the
+    single value 0 for ``b == 0``.
+    """
+    return value.bit_length() if value > 0 else 0
+
+
+def bucket_bounds(bucket: int) -> tuple[int, int]:
+    """Inclusive-exclusive ``[low, high)`` value range of *bucket*."""
+    if bucket <= 0:
+        return (0, 1)
+    return (1 << (bucket - 1), 1 << bucket)
+
+
+def hist_counter(name: str, value: int) -> str:
+    """The bucket-counter key one observation of *value* increments."""
+    return f"{HIST_PREFIX}{name}.b{bucket_of(value)}"
+
+
+def observe_into(
+    increment: "Callable[[str, int], object]", name: str, value: int
+) -> None:
+    """Record one observation of *value* through a counter ``increment``
+    callable (``Counters.increment`` or any ``(key, amount)`` sink).
+
+    This is the write-side of the histogram-over-counters encoding used
+    by :meth:`repro.mapreduce.job.Context.observe` and the cluster's
+    per-partition byte accounting.
+    """
+    increment(hist_counter(name, value), 1)
+    increment(f"{HIST_PREFIX}{name}.n", 1)
+    increment(f"{HIST_PREFIX}{name}.sum", value)
+
+
+class HistogramSnapshot:
+    """Read-side view of one histogram reassembled from counters."""
+
+    __slots__ = ("name", "buckets", "count", "total")
+
+    def __init__(
+        self, name: str, buckets: dict[int, int], count: int, total: int
+    ) -> None:
+        self.name = name
+        #: bucket index -> observation count (sparse, sorted on access)
+        self.buckets = buckets
+        self.count = count
+        self.total = total
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Approximate q-quantile: the geometric midpoint of the bucket
+        containing the q-th observation (exact for 0/1-valued data)."""
+        if not self.count:
+            return 0.0
+        q = min(1.0, max(0.0, q))
+        target = q * self.count
+        seen = 0
+        last_bucket = 0
+        for bucket in sorted(self.buckets):
+            last_bucket = bucket
+            seen += self.buckets[bucket]
+            if seen >= target:
+                break
+        low, high = bucket_bounds(last_bucket)
+        return (low + (high - 1)) / 2.0
+
+    @property
+    def p50(self) -> float:
+        return self.quantile(0.50)
+
+    @property
+    def p99(self) -> float:
+        return self.quantile(0.99)
+
+    @property
+    def max_bound(self) -> int:
+        """Exclusive upper bound of the highest occupied bucket."""
+        if not self.buckets:
+            return 0
+        return bucket_bounds(max(self.buckets))[1]
+
+    def as_dict(self) -> dict[str, Any]:
+        """Sorted, JSON-safe rendering (bucket keys become strings)."""
+        return {
+            "buckets": {str(b): self.buckets[b] for b in sorted(self.buckets)},
+            "count": self.count,
+            "sum": self.total,
+            "mean": round(self.mean, 3),
+            "p50": self.p50,
+            "p99": self.p99,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"HistogramSnapshot({self.name!r}, n={self.count}, "
+            f"p50={self.p50}, p99={self.p99})"
+        )
+
+
+class MetricsRegistry:
+    """One mergeable registry over counters, gauges and histograms.
+
+    Build it from merged job counters (:meth:`merge_counters` splits
+    the ``hist.*`` namespace back into histograms) plus any gauge dicts
+    (executor summaries, cluster shape).  ``snapshot()`` is
+    deterministic — keys sorted at every level — so two identical runs
+    produce byte-identical JSON.
+    """
+
+    def __init__(self) -> None:
+        self._counters: dict[str, int] = {}
+        self._gauges: dict[str, float] = {}
+        #: name -> (buckets, count, sum)
+        self._hists: dict[str, tuple[dict[int, int], int, int]] = {}
+
+    # -- write side -------------------------------------------------------
+
+    def increment(self, name: str, amount: int = 1) -> None:
+        self._counters[name] = self._counters.get(name, 0) + amount
+
+    def gauge(self, name: str, value: float) -> None:
+        self._gauges[name] = value
+
+    def observe(self, name: str, value: int) -> None:
+        """Record one histogram observation directly (driver-side)."""
+        buckets, count, total = self._hists.setdefault(name, ({}, 0, 0))
+        bucket = bucket_of(value)
+        buckets[bucket] = buckets.get(bucket, 0) + 1
+        self._hists[name] = (buckets, count + 1, total + value)
+
+    def merge_counters(self, counters: Mapping[str, int]) -> None:
+        """Fold a merged counter snapshot in, decoding ``hist.*`` keys."""
+        for key, value in counters.items():
+            if not key.startswith(HIST_PREFIX):
+                self.increment(key, value)
+                continue
+            name, _, field = key[len(HIST_PREFIX):].rpartition(".")
+            if not name:  # malformed: keep it visible as a plain counter
+                self.increment(key, value)
+                continue
+            buckets, count, total = self._hists.setdefault(name, ({}, 0, 0))
+            if field == "n":
+                self._hists[name] = (buckets, count + value, total)
+            elif field == "sum":
+                self._hists[name] = (buckets, count, total + value)
+            elif field.startswith("b") and field[1:].isdigit():
+                bucket = int(field[1:])
+                buckets[bucket] = buckets.get(bucket, 0) + value
+            else:
+                self.increment(key, value)
+
+    def merge_gauges(self, gauges: Mapping[str, float], prefix: str = "") -> None:
+        for key, value in gauges.items():
+            self.gauge(f"{prefix}{key}", value)
+
+    # -- read side --------------------------------------------------------
+
+    def counters(self) -> dict[str, int]:
+        return dict(sorted(self._counters.items()))
+
+    def gauges(self) -> dict[str, float]:
+        return dict(sorted(self._gauges.items()))
+
+    def histograms(self) -> dict[str, HistogramSnapshot]:
+        out = {}
+        for name in sorted(self._hists):
+            buckets, count, total = self._hists[name]
+            out[name] = HistogramSnapshot(name, dict(buckets), count, total)
+        return out
+
+    def snapshot(self) -> dict[str, Any]:
+        """Deterministic JSON-safe dump of everything in the registry."""
+        return {
+            "counters": self.counters(),
+            "gauges": {k: round(v, 6) for k, v in self.gauges().items()},
+            "histograms": {
+                name: hist.as_dict() for name, hist in self.histograms().items()
+            },
+        }

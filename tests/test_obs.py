@@ -1,0 +1,502 @@
+"""Tests for the observability layer (``repro.obs``).
+
+Covers the histogram-over-counters encoding, the metrics registry, the
+span tracer and its Chrome-trace-event export, the trace-report
+analyzer, and — most importantly — the observe-only guarantee: a traced
+join produces bit-identical pairs and counters to an untraced one, on
+both execution engines.
+"""
+
+import json
+import multiprocessing
+
+import pytest
+
+from repro.join.config import JoinConfig
+from repro.join.driver import ssjoin_rs, ssjoin_self
+from repro.mapreduce.cluster import ClusterConfig, SimulatedCluster
+from repro.mapreduce.counters import Counters
+from repro.mapreduce.dfs import InMemoryDFS
+from repro.mapreduce.types import ExecutorPhaseStats
+from repro.obs.metrics import (
+    HIST_PREFIX,
+    MetricsRegistry,
+    bucket_bounds,
+    bucket_of,
+    hist_counter,
+    observe_into,
+)
+from repro.obs.report import (
+    build_span_forest,
+    digest_trace,
+    format_routing_comparison,
+    format_trace_report,
+    gini,
+    load_trace,
+    p99_over_median,
+    validate_trace,
+)
+from repro.obs.trace import NULL_SPAN, Tracer, trace_span
+
+from tests.conftest import random_records
+
+HAVE_FORK = "fork" in multiprocessing.get_all_start_methods()
+
+
+# ---------------------------------------------------------------------------
+# histogram encoding / metrics registry
+# ---------------------------------------------------------------------------
+
+
+class TestHistogramEncoding:
+    def test_bucket_of(self):
+        assert bucket_of(0) == 0
+        assert bucket_of(-5) == 0
+        assert bucket_of(1) == 1
+        assert bucket_of(2) == 2
+        assert bucket_of(3) == 2
+        assert bucket_of(4) == 3
+        assert bucket_of(255) == 8
+        assert bucket_of(256) == 9
+
+    def test_bucket_bounds_roundtrip(self):
+        for value in (0, 1, 2, 3, 7, 8, 1000, 2**30):
+            low, high = bucket_bounds(bucket_of(value))
+            assert low <= max(value, 0) < high
+
+    def test_hist_counter_key(self):
+        assert hist_counter("x", 5) == "hist.x.b3"
+        assert hist_counter("a.b", 0) == "hist.a.b.b0"
+
+    def test_observe_into_increments_three_keys(self):
+        counters = Counters()
+        observe_into(counters.increment, "groups", 5)
+        observe_into(counters.increment, "groups", 6)
+        observe_into(counters.increment, "groups", 0)
+        assert counters.as_dict() == {
+            "hist.groups.b0": 1,
+            "hist.groups.b3": 2,
+            "hist.groups.n": 3,
+            "hist.groups.sum": 11,
+        }
+
+    def test_merge_counters_roundtrip(self):
+        """Encoding through counters and decoding through the registry
+        reproduces direct driver-side observation."""
+        direct = MetricsRegistry()
+        counters = Counters()
+        for value in (0, 1, 1, 3, 9, 200):
+            direct.observe("v", value)
+            observe_into(counters.increment, "v", value)
+        decoded = MetricsRegistry()
+        decoded.merge_counters(counters.as_dict())
+        assert decoded.histograms()["v"].as_dict() == direct.histograms()["v"].as_dict()
+
+    def test_merge_keeps_plain_and_malformed_counters(self):
+        registry = MetricsRegistry()
+        registry.merge_counters(
+            {
+                "stage2.pairs": 7,
+                HIST_PREFIX + "x.n": 1,
+                HIST_PREFIX + "x.sum": 4,
+                HIST_PREFIX + "x.b3": 1,
+                HIST_PREFIX + "weird": 2,  # no name part: stays a counter
+                HIST_PREFIX + "y.bogus": 3,  # unknown field: stays a counter
+            }
+        )
+        assert registry.counters() == {
+            "hist.weird": 2,
+            "hist.y.bogus": 3,
+            "stage2.pairs": 7,
+        }
+        assert set(registry.histograms()) == {"x", "y"}
+
+    def test_quantiles_and_mean(self):
+        registry = MetricsRegistry()
+        for value in (1, 2, 4, 8):
+            registry.observe("v", value)
+        hist = registry.histograms()["v"]
+        assert hist.count == 4
+        assert hist.total == 15
+        assert hist.mean == pytest.approx(3.75)
+        assert hist.p50 == pytest.approx(2.5)  # midpoint of bucket [2, 4)
+        assert hist.max_bound == 16
+        empty = MetricsRegistry().observe  # noqa: F841 - just API presence
+        assert MetricsRegistry().histograms() == {}
+
+    def test_snapshot_is_sorted_and_deterministic(self):
+        registry = MetricsRegistry()
+        registry.increment("zeta", 2)
+        registry.increment("alpha")
+        registry.gauge("g2", 1.5)
+        registry.gauge("g1", 0.25)
+        registry.observe("h", 3)
+        snap = registry.snapshot()
+        assert list(snap["counters"]) == ["alpha", "zeta"]
+        assert list(snap["gauges"]) == ["g1", "g2"]
+        assert json.dumps(snap) == json.dumps(registry.snapshot())
+
+    def test_counters_as_dict_sorted(self):
+        counters = Counters()
+        counters.increment("zz")
+        counters.increment("aa")
+        counters.increment("mm")
+        assert list(counters.as_dict()) == ["aa", "mm", "zz"]
+
+
+class TestSkewStats:
+    def test_gini_even_and_degenerate(self):
+        assert gini([]) == 0.0
+        assert gini([0, 0, 0]) == 0.0
+        assert gini([5, 5, 5, 5]) == 0.0
+
+    def test_gini_concentrated(self):
+        # one reducer holds everything: (n-1)/n
+        assert gini([0, 0, 0, 9]) == pytest.approx(0.75)
+        assert gini([1, 9]) > gini([4, 6])
+
+    def test_p99_over_median(self):
+        assert p99_over_median([]) == 0.0
+        assert p99_over_median([0, 0, 5]) == 0.0  # median 0
+        assert p99_over_median([2, 2, 2, 2]) == 1.0
+        # nearest-rank on 1..100: p99 = 99th value, median = 51st value
+        assert p99_over_median(list(range(1, 101))) == pytest.approx(99 / 51)
+
+
+class TestUtilizationEdgeCases:
+    """Satellite fix: ``ExecutorPhaseStats.utilization`` boundaries."""
+
+    def test_inline_phase_is_zero(self):
+        stats = ExecutorPhaseStats(mode="inline", workers=4, wall_s=1.0, busy_s=2.0)
+        assert stats.utilization == 0.0
+
+    def test_zero_workers_is_zero_not_crash(self):
+        stats = ExecutorPhaseStats(mode="pool", workers=0, wall_s=1.0, busy_s=1.0)
+        assert stats.utilization == 0.0
+
+    def test_degenerate_wall_with_busy_work_is_full(self):
+        stats = ExecutorPhaseStats(mode="pool", workers=2, wall_s=0.0, busy_s=0.5)
+        assert stats.utilization == 1.0
+
+    def test_degenerate_wall_without_work_is_zero(self):
+        stats = ExecutorPhaseStats(mode="pool", workers=2, wall_s=0.0, busy_s=0.0)
+        assert stats.utilization == 0.0
+
+    def test_clamped_to_unit_interval(self):
+        over = ExecutorPhaseStats(mode="pool", workers=1, wall_s=1.0, busy_s=5.0)
+        assert over.utilization == 1.0
+        negative = ExecutorPhaseStats(mode="pool", workers=1, wall_s=1.0, busy_s=-1.0)
+        assert negative.utilization == 0.0
+
+    def test_normal_case(self):
+        stats = ExecutorPhaseStats(mode="pool", workers=4, wall_s=2.0, busy_s=4.0)
+        assert stats.utilization == pytest.approx(0.5)
+
+
+# ---------------------------------------------------------------------------
+# tracer / export
+# ---------------------------------------------------------------------------
+
+
+class TestTracer:
+    def test_nested_spans_export_and_validate(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("outer", "job", label="x"):
+            with tracer.span("inner", "task"):
+                pass
+        tracer.instant("marker", "pool")
+        path = tmp_path / "t.json"
+        tracer.export(str(path))
+        doc = load_trace(str(path))
+        assert validate_trace(doc) == []
+        names = [e["name"] for e in doc["traceEvents"] if e.get("ph") == "X"]
+        assert names == ["outer", "inner"]  # ts-sorted, outer starts first
+
+    def test_null_span_is_inert(self):
+        span = trace_span(None, "x", "task")
+        assert span is NULL_SPAN
+        with span as s:
+            assert s.set(a=1) is s
+        span.close()
+
+    def test_absorb_maps_worker_pids_to_lanes(self):
+        parent = Tracer()
+        with parent.span("driver-side", "job"):
+            pass
+        worker_events = [
+            {"name": "map:0", "cat": "task", "ph": "X", "ts": 1.0, "dur": 1.0,
+             "pid": parent.pid + 1, "tid": 0, "args": {}},
+            {"name": "map:1", "cat": "task", "ph": "X", "ts": 2.0, "dur": 1.0,
+             "pid": parent.pid + 2, "tid": 0, "args": {}},
+        ]
+        parent.absorb(worker_events)
+        doc = parent.to_json()
+        lanes = {
+            e["args"]["name"]
+            for e in doc["traceEvents"]
+            if e.get("ph") == "M" and e["name"] == "thread_name"
+        }
+        assert lanes == {
+            "driver",
+            f"worker-1 (pid {parent.pid + 1})",
+            f"worker-2 (pid {parent.pid + 2})",
+        }
+        tids = {e["tid"] for e in doc["traceEvents"] if e.get("ph") == "X"}
+        assert tids == {0, 1, 2}
+        # one unified logical process
+        assert {e["pid"] for e in doc["traceEvents"]} == {parent.pid}
+
+    def test_span_forest_nesting(self):
+        tracer = Tracer()
+        with tracer.span("job", "job"):
+            with tracer.span("map", "phase"):
+                with tracer.span("map:0", "task"):
+                    pass
+            with tracer.span("reduce", "phase"):
+                pass
+        roots = build_span_forest(tracer.to_json())
+        assert [r.name for r in roots] == ["job"]
+        assert [c.name for c in roots[0].children] == ["map", "reduce"]
+        assert roots[0].children[0].children[0].name == "map:0"
+
+    def test_validate_rejects_broken_documents(self):
+        assert validate_trace({}) == ["traceEvents: missing or not a list"]
+        assert validate_trace({"traceEvents": []}) == ["traceEvents: empty"]
+        bad_order = {
+            "traceEvents": [
+                {"name": "a", "cat": "", "ph": "X", "ts": 5.0, "dur": 1.0,
+                 "pid": 1, "tid": 0},
+                {"name": "b", "cat": "", "ph": "X", "ts": 2.0, "dur": 1.0,
+                 "pid": 1, "tid": 0},
+            ]
+        }
+        assert any("not monotonic" in p for p in validate_trace(bad_order))
+        missing = {"traceEvents": [{"ph": "X", "ts": 0.0, "dur": 1.0, "tid": 0}]}
+        problems = validate_trace(missing)
+        assert any("'name'" in p for p in problems)
+        assert any("'pid'" in p for p in problems)
+
+
+# ---------------------------------------------------------------------------
+# the observe-only guarantee (differential, both engines)
+# ---------------------------------------------------------------------------
+
+
+def _engine(kind: str):
+    cfg = ClusterConfig(
+        num_nodes=4, job_startup_s=0.0, task_startup_s=0.0,
+        cpu_scale=1.0, data_scale=1.0,
+    )
+    dfs = InMemoryDFS(num_nodes=4, block_bytes=512)
+    if kind == "persistent":
+        from repro.mapreduce.executor import PersistentParallelCluster
+
+        return PersistentParallelCluster(
+            cfg, dfs, workers=2, min_tasks_for_pool=1, assume_cores=2
+        )
+    return SimulatedCluster(cfg, dfs)
+
+
+def _run_self(kind: str, config: JoinConfig, records, traced: bool):
+    cluster = _engine(kind)
+    try:
+        if traced:
+            cluster.tracer = Tracer()
+        cluster.dfs.write("input", records)
+        report = ssjoin_self(cluster, "input", config)
+        pairs = sorted(cluster.dfs.read_all(report.output_file))
+        return pairs, report.counters(), cluster.tracer
+    finally:
+        if hasattr(cluster, "close"):
+            cluster.close()
+
+
+def _run_rs(kind: str, config: JoinConfig, r_records, s_records, traced: bool):
+    cluster = _engine(kind)
+    try:
+        if traced:
+            cluster.tracer = Tracer()
+        cluster.dfs.write("r", r_records)
+        cluster.dfs.write("s", s_records)
+        report = ssjoin_rs(cluster, "r", "s", config)
+        pairs = sorted(cluster.dfs.read_all(report.output_file))
+        return pairs, report.counters(), cluster.tracer
+    finally:
+        if hasattr(cluster, "close"):
+            cluster.close()
+
+
+ENGINES = ["sequential"] + (["persistent"] if HAVE_FORK else [])
+
+
+class TestObserveOnly:
+    @pytest.mark.parametrize("engine", ENGINES)
+    @pytest.mark.parametrize("kernel", ["bk", "pk"])
+    def test_self_join_bit_identical_with_tracing(self, rng, engine, kernel):
+        records = random_records(rng, 60)
+        config = JoinConfig(threshold=0.5, kernel=kernel)
+        plain_pairs, plain_counters, _ = _run_self(engine, config, records, False)
+        traced_pairs, traced_counters, tracer = _run_self(engine, config, records, True)
+        assert traced_pairs == plain_pairs
+        assert traced_counters == plain_counters
+        assert len(tracer) > 0
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_rs_join_bit_identical_with_tracing(self, rng, engine):
+        r_records = random_records(rng, 40)
+        s_records = random_records(rng, 40, rid_base=1000)
+        config = JoinConfig(threshold=0.5, kernel="pk")
+        plain = _run_rs(engine, config, r_records, s_records, False)
+        traced = _run_rs(engine, config, r_records, s_records, True)
+        assert traced[0] == plain[0]
+        assert traced[1] == plain[1]
+
+    @pytest.mark.skipif(not HAVE_FORK, reason="fork start method unavailable")
+    def test_engines_agree_on_histogram_counters(self, rng):
+        """The per-partition byte histogram (driver-side) and the task
+        histograms (worker-side) merge to the same totals on both
+        engines — the cross-engine determinism contract extends to the
+        ``hist.*`` namespace."""
+        records = random_records(rng, 60)
+        config = JoinConfig(threshold=0.5)
+        _, seq_counters, _ = _run_self("sequential", config, records, False)
+        _, pool_counters, _ = _run_self("persistent", config, records, False)
+        assert {k: v for k, v in seq_counters.items() if k.startswith(HIST_PREFIX)} == {
+            k: v for k, v in pool_counters.items() if k.startswith(HIST_PREFIX)
+        }
+
+
+# ---------------------------------------------------------------------------
+# end-to-end trace content + report
+# ---------------------------------------------------------------------------
+
+
+class TestTraceReport:
+    @pytest.fixture(scope="class")
+    def traced_digests(self, tmp_path_factory):
+        """One individual-routing and one grouped-routing traced join."""
+        import random as _random
+
+        records = random_records(_random.Random(0xC0FFEE), 80)
+        out = {}
+        for routing, num_groups in (("individual", None), ("grouped", 3)):
+            cluster = _engine("sequential")
+            cluster.tracer = Tracer()
+            cluster.dfs.write("input", records)
+            config = JoinConfig(
+                threshold=0.5, routing=routing, num_groups=num_groups
+            )
+            ssjoin_self(cluster, "input", config)
+            path = tmp_path_factory.mktemp("traces") / f"{routing}.json"
+            cluster.tracer.export(str(path))
+            doc = load_trace(str(path))
+            assert validate_trace(doc) == []
+            out[routing] = digest_trace(doc, path=str(path))
+        return out
+
+    def test_digest_covers_all_stages_and_jobs(self, traced_digests):
+        digest = traced_digests["individual"]
+        assert set(digest.stage_walls) == {"stage1", "stage2", "stage3"}
+        job_names = [job.name for job in digest.jobs]
+        assert "bto-count" in job_names
+        assert "stage2-pk-self" in job_names
+        assert "brj-fill" in job_names
+        for job in digest.jobs:
+            assert set(job.phases) == {"map", "shuffle", "reduce"}
+            for phase, (wall, tasks, busy, _straggler, straggler_us) in job.phases.items():
+                assert wall >= 0 and busy >= 0 and straggler_us >= 0
+                if phase in ("map", "reduce"):  # shuffle has no task spans
+                    assert tasks > 0
+
+    def test_skew_digest_distinguishes_routing(self, traced_digests):
+        ind = traced_digests["individual"].skew[0]
+        grp = traced_digests["grouped"].skew[0]
+        assert ind.routing == "individual"
+        assert ind.num_groups == "per-token"
+        assert grp.routing == "grouped"
+        assert grp.num_groups == "3"
+        # grouped routing dedups a record's routes, so it ships fewer
+        # replicas — but both runs shuffled real load
+        assert sum(ind.loads) >= sum(grp.loads) > 0
+        assert ind.hot_groups and grp.hot_groups
+        # fewer groups concentrate load into fewer, bigger reduce tasks
+        assert max(grp.loads) >= max(ind.loads)
+
+    def test_report_text_mentions_critical_path_and_skew(self, traced_digests):
+        text = format_trace_report(traced_digests["individual"])
+        assert "critical path" in text
+        assert "stage2" in text
+        assert "gini=" in text
+        assert "p99/median=" in text
+        assert "straggler" in text
+
+    def test_routing_comparison_lists_both_traces(self, traced_digests):
+        text = format_routing_comparison(
+            [traced_digests["individual"], traced_digests["grouped"]]
+        )
+        assert "routing=individual" in text
+        assert "routing=grouped" in text
+        assert text.count("gini=") == 2
+
+    def test_comparison_without_skew_data(self):
+        empty = digest_trace({"traceEvents": []})
+        assert "no stage-2 skew data" in format_routing_comparison([empty])
+        assert "no stage-2 spans" in format_trace_report(empty)
+
+
+class TestJoinReportMetrics:
+    def test_metrics_snapshot_has_all_three_kinds(self, rng):
+        records = random_records(rng, 50)
+        cluster = _engine("sequential")
+        cluster.dfs.write("input", records)
+        report = ssjoin_self(cluster, "input", JoinConfig(threshold=0.5))
+        registry = report.metrics()
+        snap = registry.snapshot()
+        assert "stage2.pairs_output" in snap["counters"]
+        assert "total.simulated_s" in snap["gauges"]
+        for name in (
+            "reduce.group_records",
+            "shuffle.partition_bytes",
+            "stage1.token_frequency",
+            "stage2.prefix_tokens",
+            "stage2.record_routes",
+            "stage2.group_records",
+        ):
+            assert name in snap["histograms"], name
+            assert snap["histograms"][name]["count"] > 0
+        # every histogram key decoded: none leak into plain counters
+        assert not any(k.startswith(HIST_PREFIX) for k in snap["counters"])
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+
+class TestTraceCli:
+    def test_selfjoin_trace_flag_and_trace_report(self, rng, tmp_path, capsys):
+        from repro.cli import main
+
+        records = random_records(rng, 50)
+        inp = tmp_path / "in.tsv"
+        inp.write_text("\n".join(records) + "\n", encoding="utf-8")
+        out = tmp_path / "pairs.tsv"
+        trace = tmp_path / "trace.json"
+        assert main([
+            "selfjoin", str(inp), "-o", str(out),
+            "--threshold", "0.5", "--trace", str(trace),
+        ]) == 0
+        assert validate_trace(load_trace(str(trace))) == []
+
+        assert main(["trace-report", "--validate-only", str(trace)]) == 0
+        assert main(["trace-report", str(trace)]) == 0
+        text = capsys.readouterr().out
+        assert "critical path" in text
+        assert "gini=" in text
+
+    def test_trace_report_rejects_invalid_file(self, tmp_path, capsys):
+        from repro.cli import main
+
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"traceEvents": [{"ph": "X", "ts": -3}]}', encoding="utf-8")
+        assert main(["trace-report", "--validate-only", str(bad)]) == 1
