@@ -33,6 +33,10 @@ MR005    Stage-2 ``emit()`` key is not an inline composite tuple of at
          least two components (``(group, length, ...)`` shape)
 MR006    MR function declares a mutable default argument (hidden
          cross-task state)
+MR007    silent exception swallowing in MR/kernel code (bare
+         ``except:`` or ``except Exception: pass``) — a swallowed task
+         failure looks like success, defeating the retry layer and
+         corrupting output silently
 =======  ==============================================================
 
 Function discovery is structural, not configured:
@@ -67,6 +71,7 @@ RULES: dict[str, str] = {
     "MR004": "MR closure captures an unpicklable object (handle/lock/pool)",
     "MR005": "Stage-2 emit key is not a composite (group, length, ...) tuple",
     "MR006": "MR function declares a mutable default argument",
+    "MR007": "MR/kernel code silently swallows exceptions (defeats retry layer)",
 }
 
 #: pseudo-rule for files that do not parse
@@ -609,6 +614,57 @@ def _check_mr006(fn: _Function, emit: "list[Finding]", path: str) -> None:
             )
 
 
+def _is_noop_body(body: list[ast.stmt]) -> bool:
+    """Whether an except body does nothing (``pass`` / ``...`` only)."""
+    for stmt in body:
+        if isinstance(stmt, ast.Pass):
+            continue
+        if (
+            isinstance(stmt, ast.Expr)
+            and isinstance(stmt.value, ast.Constant)
+            and stmt.value.value is Ellipsis
+        ):
+            continue
+        return False
+    return True
+
+
+def _check_mr007(fn: _Function, emit: "list[Finding]", path: str) -> None:
+    """Silent exception swallowing inside MR/kernel code.
+
+    Fires on a bare ``except:`` always (it also catches worker-control
+    exceptions like the fault injector's and ``KeyboardInterrupt``),
+    and on ``except Exception/BaseException`` whose body is only
+    ``pass``/``...`` — a failure absorbed there never reaches the retry
+    layer, so the task reports success over partial output.
+    """
+    for node in _shallow_nodes(fn.node):
+        if not isinstance(node, ast.ExceptHandler):
+            continue
+        if node.type is None:
+            what = "a bare 'except:'"
+        elif (
+            isinstance(node.type, ast.Name)
+            and node.type.id in ("Exception", "BaseException")
+            and _is_noop_body(node.body)
+        ):
+            what = f"'except {node.type.id}: pass'"
+        else:
+            continue
+        emit.append(
+            Finding(
+                "MR007",
+                path,
+                node.lineno,
+                node.col_offset,
+                fn.qualname,
+                f"{what} swallows task failures — the retry layer never "
+                "sees them and partial output is reported as success; "
+                "catch the specific exception or let it propagate",
+            )
+        )
+
+
 # ---------------------------------------------------------------------------
 # entry points
 # ---------------------------------------------------------------------------
@@ -647,6 +703,7 @@ def lint_source(source: str, path: str = "<string>") -> list[Finding]:
                 _check_mr005(fn, findings, path)
         if fn.is_mr or fn.is_kernel:
             _check_mr003(fn, module_imports, findings, path)
+            _check_mr007(fn, findings, path)
         if fn.is_kernel and not fn.is_mr:
             _check_mr002(fn, findings, path)
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))

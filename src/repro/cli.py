@@ -76,6 +76,29 @@ def _add_join_options(parser: argparse.ArgumentParser) -> None:
                              "write it as Chrome trace-event JSON (open in "
                              "Perfetto; analyze with 'repro trace-report'); "
                              "observe-only, output is unchanged")
+    parser.add_argument("--faults", default=None, metavar="SPEC",
+                        help="deterministic fault injection: a plan file "
+                             "(JSON) or inline spec list like "
+                             "'crash:*:map:1:0;sleep:*:reduce:0:0:0.3' "
+                             "(kind:job:phase:task:attempt[:sleep_s]); "
+                             "absorbable plans leave the output bit-identical")
+    parser.add_argument("--max-task-retries", type=int, default=None,
+                        metavar="N",
+                        help="attempts allowed per task before the join "
+                             "fails (default: 4)")
+    parser.add_argument("--speculate-after", type=float, default=None,
+                        metavar="SECONDS",
+                        help="launch a speculative duplicate attempt for "
+                             "tasks still running after this long "
+                             "(default: off; first completed attempt wins)")
+    parser.add_argument("--checkpoint", default=None, metavar="DIR",
+                        help="persist each completed stage's output (plus an "
+                             "identity manifest) under DIR so a killed join "
+                             "can be resumed with --resume DIR")
+    parser.add_argument("--resume", default=None, metavar="DIR",
+                        help="resume a checkpointed join from DIR: restore "
+                             "completed stages and re-run only the rest; "
+                             "refuses if the config or inputs changed")
 
 
 def _build_config(args: argparse.Namespace) -> JoinConfig:
@@ -100,6 +123,24 @@ def _build_config(args: argparse.Namespace) -> JoinConfig:
     )
 
 
+def _fault_options(args: argparse.Namespace) -> dict:
+    """``fault_plan``/``retry_policy`` kwargs shared by every engine."""
+    from repro.mapreduce.faults import DEFAULT_RETRY_POLICY, FaultPlan
+
+    fault_plan = FaultPlan.load(args.faults) if args.faults else None
+    retry_policy = None
+    if args.max_task_retries is not None or args.speculate_after is not None:
+        import dataclasses
+
+        changes: dict = {}
+        if args.max_task_retries is not None:
+            changes["max_attempts"] = args.max_task_retries
+        if args.speculate_after is not None:
+            changes["speculative_after_s"] = args.speculate_after
+        retry_policy = dataclasses.replace(DEFAULT_RETRY_POLICY, **changes)
+    return {"fault_plan": fault_plan, "retry_policy": retry_policy}
+
+
 def _make_cluster(args: argparse.Namespace) -> SimulatedCluster:
     num_nodes = args.nodes
     if args.dfs_dir is not None:
@@ -108,13 +149,28 @@ def _make_cluster(args: argparse.Namespace) -> SimulatedCluster:
         dfs = LocalDiskDFS(args.dfs_dir, num_nodes=num_nodes)
     else:
         dfs = InMemoryDFS(num_nodes=num_nodes)
+    faults = _fault_options(args)
     if args.parallel is not None:
         from repro.mapreduce.executor import PersistentParallelCluster
 
         return PersistentParallelCluster(
-            ClusterConfig(num_nodes=num_nodes), dfs, workers=args.parallel
+            ClusterConfig(num_nodes=num_nodes), dfs, workers=args.parallel,
+            **faults,
         )
-    return SimulatedCluster(ClusterConfig(num_nodes=num_nodes), dfs)
+    return SimulatedCluster(ClusterConfig(num_nodes=num_nodes), dfs, **faults)
+
+
+def _make_checkpoint(args: argparse.Namespace):
+    """A :class:`JoinCheckpoint` for ``--checkpoint``/``--resume``."""
+    if args.resume is not None:
+        from repro.join.checkpoint import JoinCheckpoint
+
+        return JoinCheckpoint(args.resume, resume=True)
+    if args.checkpoint is not None:
+        from repro.join.checkpoint import JoinCheckpoint
+
+        return JoinCheckpoint(args.checkpoint, resume=False)
+    return None
 
 
 def _attach_tracer(args: argparse.Namespace, cluster: SimulatedCluster):
@@ -145,6 +201,21 @@ def _emit(args: argparse.Namespace, pairs: list, report: JoinReport) -> None:
             )
     write_records(args.output, lines)
     print(f"{len(pairs)} pairs -> {args.output}", file=sys.stderr)
+    counters = report.counters()
+    if counters.get("fault.injected") or counters.get("task.retries"):
+        print(
+            "  faults: "
+            f"injected={counters.get('fault.injected', 0)}, "
+            f"retries={counters.get('task.retries', 0)}, "
+            f"speculative={counters.get('task.speculative', 0)}, "
+            f"lost={counters.get('task.lost', 0)}",
+            file=sys.stderr,
+        )
+    if counters.get("resume.stages_skipped"):
+        print(
+            f"  resume: stages_skipped={counters['resume.stages_skipped']}",
+            file=sys.stderr,
+        )
     if args.stats:
         for stage, seconds in report.stage_times().items():
             print(f"  {stage}: {seconds:.1f}s (simulated, "
@@ -168,7 +239,10 @@ def _cmd_selfjoin(args: argparse.Namespace) -> int:
     tracer = _attach_tracer(args, cluster)
     try:
         cluster.dfs.write("input", records)
-        report = ssjoin_self(cluster, "input", _build_config(args))
+        report = ssjoin_self(
+            cluster, "input", _build_config(args),
+            checkpoint=_make_checkpoint(args),
+        )
         _emit(args, sorted(cluster.dfs.read_all(report.output_file)), report)
         _export_trace(args, tracer)
     finally:
@@ -185,7 +259,10 @@ def _cmd_rsjoin(args: argparse.Namespace) -> int:
     try:
         cluster.dfs.write("r", r_records)
         cluster.dfs.write("s", s_records)
-        report = ssjoin_rs(cluster, "r", "s", _build_config(args))
+        report = ssjoin_rs(
+            cluster, "r", "s", _build_config(args),
+            checkpoint=_make_checkpoint(args),
+        )
         _emit(args, sorted(cluster.dfs.read_all(report.output_file)), report)
         _export_trace(args, tracer)
     finally:

@@ -11,6 +11,7 @@ End-to-end drivers live in :mod:`repro.join.driver`.
 
 from __future__ import annotations
 
+from repro.join.checkpoint import CheckpointMismatchError, JoinCheckpoint
 from repro.join.config import JoinConfig
 from repro.join.records import (
     RecordSchema,
@@ -30,6 +31,8 @@ from repro.join.driver import (
 )
 
 __all__ = [
+    "CheckpointMismatchError",
+    "JoinCheckpoint",
     "JoinConfig",
     "JoinReport",
     "RecordSchema",

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.join.checkpoint import JoinCheckpoint, checkpoint_identity
 from repro.join.config import JoinConfig
 from repro.join.stage1 import stage1_jobs
 from repro.join.stage2 import stage2_self_job
@@ -29,6 +30,7 @@ from repro.join.stage2_rs import stage2_rs_job
 from repro.join.stage3 import stage3_jobs
 from repro.mapreduce.cluster import ClusterConfig, SimulatedCluster
 from repro.mapreduce.dfs import InMemoryDFS
+from repro.mapreduce.faults import RESUME_STAGES_SKIPPED
 from repro.mapreduce.pipeline import run_pipeline
 from repro.mapreduce.types import JobStats, merge_executor_stats
 from repro.obs.metrics import MetricsRegistry
@@ -44,6 +46,10 @@ class JoinReport:
     stage1: JobStats = field(default_factory=JobStats)
     stage2: JobStats = field(default_factory=JobStats)
     stage3: JobStats = field(default_factory=JobStats)
+    #: driver-level counters with no owning job — today only
+    #: ``resume.stages_skipped``, bumped once per stage restored from a
+    #: checkpoint instead of re-run
+    extra_counters: dict[str, int] = field(default_factory=dict)
 
     @property
     def stages(self) -> dict[str, JobStats]:
@@ -64,6 +70,8 @@ class JoinReport:
         for stats in self.stages.values():
             for name, value in stats.counters().items():
                 merged[name] = merged.get(name, 0) + value
+        for name, value in self.extra_counters.items():
+            merged[name] = merged.get(name, 0) + value
         return merged
 
     def filter_counters(self) -> dict[str, int]:
@@ -169,16 +177,54 @@ def _prepare(cluster: SimulatedCluster, jobs: list) -> None:
         prepare(jobs)
 
 
+def _run_stages(
+    cluster: SimulatedCluster,
+    report: JoinReport,
+    tracer,
+    checkpoint: JoinCheckpoint | None,
+    done: list[str],
+    stages: list[tuple[str, list, list[str], dict]],
+) -> None:
+    """Run (or restore) the join's stages in order.
+
+    *stages* is ``[(name, jobs, output_files, span_args), ...]``.  A
+    stage already recorded in the checkpoint is restored into the
+    cluster DFS instead of re-run — its :class:`JobStats` stays empty
+    and ``resume.stages_skipped`` is bumped — and every freshly run
+    stage is checkpointed before the next one starts.
+    """
+    for name, jobs, outputs, span_args in stages:
+        with trace_span(tracer, name, "stage", **span_args):
+            if checkpoint is not None and name in done:
+                checkpoint.restore_stage(name, cluster.dfs)
+                report.extra_counters[RESUME_STAGES_SKIPPED] = (
+                    report.extra_counters.get(RESUME_STAGES_SKIPPED, 0) + 1
+                )
+                if tracer is not None:
+                    tracer.instant(
+                        "stage-resumed", "fault", stage=name, files=outputs
+                    )
+                continue
+            setattr(report, name, run_pipeline(cluster, jobs))
+            if checkpoint is not None:
+                checkpoint.save_stage(name, cluster.dfs, outputs)
+
+
 def ssjoin_self(
     cluster: SimulatedCluster,
     records_file: str,
     config: JoinConfig | None = None,
     prefix: str | None = None,
+    checkpoint: JoinCheckpoint | None = None,
 ) -> JoinReport:
     """Run the three-stage self-join on a DFS file.
 
     Returns a :class:`JoinReport`; the joined record pairs are in
     ``report.output_file`` as ``(line1, line2, similarity)`` records.
+    With a :class:`~repro.join.checkpoint.JoinCheckpoint`, completed
+    stage outputs are persisted as the join progresses; a checkpoint
+    opened with ``resume=True`` restores them and re-runs only the
+    remaining stages (identity-checked — see the checkpoint module).
     """
     config = config or JoinConfig()
     prefix = prefix or f"{records_file}.selfjoin"
@@ -198,6 +244,14 @@ def ssjoin_self(
     )
     _prepare(cluster, s1 + s2 + s3)
 
+    done: list[str] = []
+    if checkpoint is not None:
+        done = checkpoint.begin(
+            checkpoint_identity(
+                "self", config, prefix, cluster.dfs, [records_file], reducers
+            )
+        )
+
     report = JoinReport(combo=config.combo_name, output_file=output_file)
     tracer = getattr(cluster, "tracer", None)
     with trace_span(
@@ -205,16 +259,21 @@ def ssjoin_self(
         combo=config.combo_name, threshold=config.threshold,
         routing=config.routing, kernel=config.kernel,
     ):
-        with trace_span(tracer, "stage1", "stage", algorithm=config.stage1):
-            report.stage1 = run_pipeline(cluster, s1)
-        with trace_span(
-            tracer, "stage2", "stage",
-            kernel=config.kernel, routing=config.routing,
-            num_groups=config.num_groups or "per-token",
-        ):
-            report.stage2 = run_pipeline(cluster, s2)
-        with trace_span(tracer, "stage3", "stage", algorithm=config.stage3):
-            report.stage3 = run_pipeline(cluster, s3)
+        _run_stages(
+            cluster, report, tracer, checkpoint, done,
+            [
+                ("stage1", s1, [token_order_file], {"algorithm": config.stage1}),
+                (
+                    "stage2", s2, [pairs_file],
+                    {
+                        "kernel": config.kernel,
+                        "routing": config.routing,
+                        "num_groups": config.num_groups or "per-token",
+                    },
+                ),
+                ("stage3", s3, [output_file], {"algorithm": config.stage3}),
+            ],
+        )
     return report
 
 
@@ -224,6 +283,7 @@ def ssjoin_rs(
     s_file: str,
     config: JoinConfig | None = None,
     prefix: str | None = None,
+    checkpoint: JoinCheckpoint | None = None,
 ) -> JoinReport:
     """Run the three-stage R-S join on two DFS files.
 
@@ -251,6 +311,14 @@ def ssjoin_rs(
     )
     _prepare(cluster, s1 + s2 + s3)
 
+    done: list[str] = []
+    if checkpoint is not None:
+        done = checkpoint.begin(
+            checkpoint_identity(
+                "rs", config, prefix, cluster.dfs, [r_file, s_file], reducers
+            )
+        )
+
     report = JoinReport(combo=config.combo_name, output_file=output_file)
     tracer = getattr(cluster, "tracer", None)
     with trace_span(
@@ -258,16 +326,21 @@ def ssjoin_rs(
         combo=config.combo_name, threshold=config.threshold,
         routing=config.routing, kernel=config.kernel,
     ):
-        with trace_span(tracer, "stage1", "stage", algorithm=config.stage1):
-            report.stage1 = run_pipeline(cluster, s1)
-        with trace_span(
-            tracer, "stage2", "stage",
-            kernel=config.kernel, routing=config.routing,
-            num_groups=config.num_groups or "per-token",
-        ):
-            report.stage2 = run_pipeline(cluster, s2)
-        with trace_span(tracer, "stage3", "stage", algorithm=config.stage3):
-            report.stage3 = run_pipeline(cluster, s3)
+        _run_stages(
+            cluster, report, tracer, checkpoint, done,
+            [
+                ("stage1", s1, [token_order_file], {"algorithm": config.stage1}),
+                (
+                    "stage2", s2, [pairs_file],
+                    {
+                        "kernel": config.kernel,
+                        "routing": config.routing,
+                        "num_groups": config.num_groups or "per-token",
+                    },
+                ),
+                ("stage3", s3, [output_file], {"algorithm": config.stage3}),
+            ],
+        )
     return report
 
 

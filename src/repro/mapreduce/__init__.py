@@ -22,6 +22,12 @@ from repro.mapreduce.types import (
     approx_bytes,
 )
 from repro.mapreduce.counters import Counters
+from repro.mapreduce.faults import (
+    FaultPlan,
+    FaultSpec,
+    RetryPolicy,
+    TaskError,
+)
 from repro.mapreduce.hashing import stable_hash
 from repro.mapreduce.dfs import InMemoryDFS
 from repro.mapreduce.diskdfs import LocalDiskDFS
@@ -41,6 +47,8 @@ __all__ = [
     "Counters",
     "ExecutorPhaseStats",
     "ExecutorStats",
+    "FaultPlan",
+    "FaultSpec",
     "ForkParallelCluster",
     "InMemoryDFS",
     "InsufficientMemoryError",
@@ -50,7 +58,9 @@ __all__ = [
     "PersistentExecutor",
     "PersistentParallelCluster",
     "PhaseStats",
+    "RetryPolicy",
     "SimulatedCluster",
+    "TaskError",
     "approx_bytes",
     "run_pipeline",
     "stable_hash",

@@ -34,7 +34,7 @@ import heapq
 import time
 from dataclasses import dataclass, replace
 from itertools import groupby
-from typing import Iterator
+from typing import Callable, Iterator, TypeVar
 
 from repro.mapreduce.counters import (
     COMBINE_INPUT_RECORDS,
@@ -49,11 +49,25 @@ from repro.mapreduce.counters import (
     Counters,
 )
 from repro.mapreduce.dfs import InMemoryDFS
+from repro.mapreduce.faults import (
+    DEFAULT_RETRY_POLICY,
+    NON_RETRYABLE,
+    TASK_RETRIES,
+    CorruptOutputError,
+    FaultPlan,
+    RetryPolicy,
+    TaskError,
+    apply_fault,
+    count_fault,
+    task_error_from,
+)
 from repro.mapreduce.hashing import stable_hash
 from repro.mapreduce.job import Context, MapReduceJob
 from repro.mapreduce.types import PhaseStats, TaskStats, approx_bytes
 from repro.obs.metrics import observe_into
 from repro.obs.trace import Tracer, trace_span
+
+_TaskResult = TypeVar("_TaskResult", bound=tuple)
 
 
 @dataclass
@@ -165,10 +179,18 @@ def execute_map_task(
     if job.map_setup is not None:
         job.map_setup(ctx)
     setup_cpu = time.perf_counter() - t0
-    for record in records:
-        job.mapper(record, ctx)
-    if job.map_teardown is not None:
-        job.map_teardown(ctx)
+    record = None
+    try:
+        for record in records:
+            job.mapper(record, ctx)
+        if job.map_teardown is not None:
+            job.map_teardown(ctx)
+    except NON_RETRYABLE:
+        raise
+    except Exception as exc:
+        raise task_error_from(
+            job.name, "map", task_id, exc, key_sample=record
+        ) from exc
     ctx.counters.increment(MAP_INPUT_RECORDS, len(records))
     ctx.counters.increment(MAP_OUTPUT_RECORDS, len(ctx._emitted))
 
@@ -255,15 +277,25 @@ def execute_reduce_task(
     if job.reduce_setup is not None:
         job.reduce_setup(ctx)
     groups = 0
-    for group_key, group in groupby(bucket, key=lambda pair: job.group_key(pair[0])):
-        groups += 1
-        ctx.current_key = group_key
-        values = _value_iterator(ctx, group)
-        job.reducer(group_key, values, ctx)
-        for _ in values:  # drain whatever the reducer did not consume
-            pass
-    if job.reduce_teardown is not None:
-        job.reduce_teardown(ctx)
+    try:
+        for group_key, group in groupby(
+            bucket, key=lambda pair: job.group_key(pair[0])
+        ):
+            groups += 1
+            ctx.current_key = group_key
+            values = _value_iterator(ctx, group)
+            job.reducer(group_key, values, ctx)
+            for _ in values:  # drain whatever the reducer did not consume
+                pass
+        if job.reduce_teardown is not None:
+            job.reduce_teardown(ctx)
+    except NON_RETRYABLE:
+        raise
+    except Exception as exc:
+        raise task_error_from(
+            job.name, "reduce", partition_index, exc,
+            key_sample=getattr(ctx, "current_key", None),
+        ) from exc
     cpu = time.perf_counter() - t0
 
     # Observability bookkeeping on the already-sorted bucket: group-size
@@ -318,12 +350,22 @@ def _value_iterator(ctx: Context, group: Iterator[tuple]) -> Iterator:
 class SimulatedCluster:
     """Executes MapReduce jobs against a DFS under a cost model."""
 
-    def __init__(self, config: ClusterConfig | None = None, dfs: InMemoryDFS | None = None) -> None:
+    def __init__(
+        self,
+        config: ClusterConfig | None = None,
+        dfs: InMemoryDFS | None = None,
+        fault_plan: FaultPlan | None = None,
+        retry_policy: RetryPolicy | None = None,
+    ) -> None:
         self.config = config or ClusterConfig()
         self.dfs = dfs or InMemoryDFS(num_nodes=self.config.num_nodes)
         #: attach a :class:`repro.obs.trace.Tracer` to record job,
         #: phase and task spans (observe-only; ``None`` = no tracing)
         self.tracer: Tracer | None = None
+        #: deterministic fault-injection schedule (``None`` = no faults)
+        self.fault_plan = fault_plan
+        #: retry/speculation knobs; ``None`` = :data:`DEFAULT_RETRY_POLICY`
+        self.retry_policy = retry_policy
 
     # -- public API ---------------------------------------------------------
 
@@ -404,6 +446,81 @@ class SimulatedCluster:
 
     # -- execution hooks (overridden by the parallel executor) -----------
 
+    def _attempt_task(
+        self,
+        job: MapReduceJob,
+        phase: str,
+        task_id: int,
+        run_once: Callable[[], _TaskResult],
+    ) -> _TaskResult:
+        """Run one task under the cluster's fault plan and retry policy.
+
+        Injected faults and genuine failures are retried up to the
+        policy's attempt budget with deterministic backoff; fault and
+        retry tallies are merged into the winning attempt's counter
+        dict (index 2 of every task-result tuple), so they ride the
+        existing counter path.  Non-retryable errors (the simulated
+        memory budget) propagate raw; an exhausted budget raises the
+        last attempt's :class:`TaskError`.
+        """
+        plan = self.fault_plan
+        policy = self.retry_policy or DEFAULT_RETRY_POLICY
+        extra: dict[str, int] = {}
+        attempt = 0
+        while True:
+            spec = (
+                None
+                if plan is None
+                else plan.lookup(job.name, phase, task_id, attempt)
+            )
+            try:
+                if spec is not None:
+                    count_fault(extra, spec)
+                    if self.tracer is not None:
+                        self.tracer.instant(
+                            "fault-injected", "fault", job=job.name,
+                            phase=phase, task=task_id, attempt=attempt,
+                            kind=spec.kind,
+                        )
+                    apply_fault(spec, job.name, phase, task_id, attempt)
+                result = run_once()
+                if spec is not None and spec.kind == "corrupt":
+                    raise CorruptOutputError(job.name, phase, task_id, attempt)
+            except NON_RETRYABLE:
+                raise
+            except Exception as exc:
+                error = (
+                    exc
+                    if isinstance(exc, TaskError)
+                    else task_error_from(job.name, phase, task_id, exc)
+                )
+                error.attempt = attempt
+                attempt += 1
+                if attempt >= policy.max_attempts:
+                    raise error from exc
+                extra[TASK_RETRIES] = extra.get(TASK_RETRIES, 0) + 1
+                if self.tracer is not None:
+                    self.tracer.instant(
+                        "task-retry", "fault", job=job.name, phase=phase,
+                        task=task_id, attempt=attempt,
+                    )
+                if policy.backoff_s > 0:
+                    time.sleep(policy.backoff_s * attempt)
+                continue
+            if attempt > 0:
+                observe_into(
+                    lambda name, value: extra.__setitem__(
+                        name, extra.get(name, 0) + value
+                    ),
+                    "task.attempts",
+                    attempt + 1,
+                )
+            if extra:
+                counters = result[2]
+                for name, value in extra.items():
+                    counters[name] = counters.get(name, 0) + value
+            return result
+
     def _execute_map_tasks(
         self,
         job: MapReduceJob,
@@ -415,20 +532,34 @@ class SimulatedCluster:
         limit = self.config.memory_per_task_bytes
         slots = self.config.map_slots
         for task_id, input_name, records in map_inputs:
-            yield execute_map_task(
-                job, task_id, input_name, records,
-                broadcast_data, broadcast_bytes, broadcast_cpu, limit, slots,
-                tracer=self.tracer,
-            )
+
+            def run_once(
+                task_id: int = task_id,
+                input_name: str = input_name,
+                records: list = records,
+            ) -> tuple[TaskStats, list[tuple[int, tuple, tuple]], dict[str, int]]:
+                return execute_map_task(
+                    job, task_id, input_name, records,
+                    broadcast_data, broadcast_bytes, broadcast_cpu, limit, slots,
+                    tracer=self.tracer,
+                )
+
+            yield self._attempt_task(job, "map", task_id, run_once)
 
     def _execute_reduce_tasks(
         self, job: MapReduceJob, reduce_inputs: list[tuple[int, list]]
     ) -> Iterator[tuple[TaskStats, list, dict[str, int]]]:
         limit = self.config.memory_per_task_bytes
         for partition_index, bucket in reduce_inputs:
-            yield execute_reduce_task(
-                job, partition_index, bucket, limit, tracer=self.tracer
-            )
+
+            def run_once(
+                partition_index: int = partition_index, bucket: list = bucket
+            ) -> tuple[TaskStats, list, dict[str, int]]:
+                return execute_reduce_task(
+                    job, partition_index, bucket, limit, tracer=self.tracer
+                )
+
+            yield self._attempt_task(job, "reduce", partition_index, run_once)
 
     # -- broadcast (distributed cache) ------------------------------------
 

@@ -54,6 +54,7 @@ import tempfile
 import time
 import weakref
 from dataclasses import dataclass, field
+from multiprocessing.pool import AsyncResult
 from typing import Callable, Iterable, Sequence
 
 from repro.analysis.sanitize import env_sanitize
@@ -65,6 +66,21 @@ from repro.mapreduce.cluster import (
 )
 from repro.mapreduce.counters import SHUFFLE_BYTES, Counters
 from repro.mapreduce.dfs import InMemoryDFS
+from repro.mapreduce.faults import (
+    DEFAULT_RETRY_POLICY,
+    NON_RETRYABLE,
+    TASK_LOST,
+    TASK_RETRIES,
+    TASK_SPECULATIVE,
+    CorruptOutputError,
+    FaultPlan,
+    RetryPolicy,
+    TaskError,
+    apply_fault,
+    count_fault,
+    mark_worker_process,
+    task_error_from,
+)
 from repro.mapreduce.job import MapReduceJob
 from repro.mapreduce.types import (
     ExecutorPhaseStats,
@@ -102,11 +118,19 @@ _W_DFS: InMemoryDFS | None = None
 _W_BCAST_CACHE: dict[str, dict] = {}
 
 
-def _worker_init(jobs: Sequence[MapReduceJob], dfs: InMemoryDFS | None) -> None:
+def _set_worker_globals(jobs: Sequence[MapReduceJob], dfs: InMemoryDFS | None) -> None:
     global _W_JOBS, _W_DFS
     _W_JOBS = jobs
     _W_DFS = dfs
     _W_BCAST_CACHE.clear()
+
+
+def _worker_init(jobs: Sequence[MapReduceJob], dfs: InMemoryDFS | None) -> None:
+    _set_worker_globals(jobs, dfs)
+    # lets 'crash' faults really kill the process; the parent uses
+    # _set_worker_globals directly for degraded inline execution, where
+    # a crash fault must raise instead
+    mark_worker_process()
 
 
 def _resolve_records(spec: tuple) -> list:
@@ -142,13 +166,16 @@ def _broadcast_for(path: str | None) -> dict:
 
 
 def _spill_map_output(
-    phase_dir: str, task_id: int, partitioned: list, num_reducers: int
+    phase_dir: str, stem: str, partitioned: list, num_reducers: int
 ) -> tuple[str, dict[int, tuple[int, int]], dict[int, int]]:
     """Write one map task's partitioned output to a single spill file.
 
-    Returns ``(path, segments, part_bytes)`` where ``segments`` maps
-    partition index to its ``(offset, length)`` in the file and
-    ``part_bytes`` to its :func:`approx_bytes` shuffle volume.
+    ``stem`` names the attempt (``m<task>a<attempt>``) so concurrent
+    attempts of the same task — speculation, retries racing a straggler
+    — never collide on a file.  Returns ``(path, segments, part_bytes)``
+    where ``segments`` maps partition index to its ``(offset, length)``
+    in the file and ``part_bytes`` to its :func:`approx_bytes` shuffle
+    volume.
     """
     buckets: list[list] = [[] for _ in range(num_reducers)]
     part_bytes: dict[int, int] = {}
@@ -156,7 +183,7 @@ def _spill_map_output(
         buckets[p].append((key, value))
         part_bytes[p] = part_bytes.get(p, 0) + approx_bytes((key, value))
     os.makedirs(phase_dir, exist_ok=True)
-    path = os.path.join(phase_dir, f"m{task_id}.spill")
+    path = os.path.join(phase_dir, f"{stem}.spill")
     segments: dict[int, tuple[int, int]] = {}
     offset = 0
     with open(path, "wb") as handle:
@@ -183,6 +210,14 @@ def _read_segments(refs: list[tuple[str, int, int]]) -> list:
 
 
 def _run_map_chunk(args: tuple) -> tuple:
+    """Run one chunk of map task attempts.
+
+    Each entry is ``(task_id, attempt, input_name, spec)``.  Per-task
+    failures never poison the chunk: the return value separates
+    successful attempts (``oks``) from failed ones (``errs``), each
+    tagged with its task id and attempt, so the parent's retry engine
+    can act per task.
+    """
     chunk_index, jid, common, tasks = args
     (
         phase_dir,
@@ -193,6 +228,7 @@ def _run_map_chunk(args: tuple) -> tuple:
         map_slots,
         num_reducers,
         trace,
+        plan,
     ) = common
     job = _W_JOBS[jid]
     broadcast = _broadcast_for(bcast_path)
@@ -200,48 +236,104 @@ def _run_map_chunk(args: tuple) -> tuple:
     # worker-local tracer whose raw events ride back with the results
     # (perf_counter is CLOCK_MONOTONIC, shared across the fork).
     tracer = Tracer() if trace else None
-    results = []
-    for task_id, input_name, spec in tasks:
-        records = _resolve_records(spec)
-        stats, partitioned, counters = execute_map_task(
-            job,
-            task_id,
-            input_name,
-            records,
-            broadcast,
-            broadcast_bytes,
-            broadcast_cpu,
-            memory_limit,
-            map_slots,
-            tracer=tracer,
-        )
-        path, segments, part_bytes = _spill_map_output(
-            phase_dir, task_id, partitioned, num_reducers
-        )
-        results.append((stats, counters, path, segments, part_bytes))
+    oks: list[tuple[int, int, tuple]] = []
+    errs: list[tuple[int, int, BaseException, bool]] = []
+    for task_id, attempt, input_name, spec in tasks:
+        try:
+            fault = (
+                None
+                if plan is None
+                else plan.lookup(job.name, "map", task_id, attempt)
+            )
+            if fault is not None:
+                apply_fault(fault, job.name, "map", task_id, attempt)
+            records = _resolve_records(spec)
+            stats, partitioned, counters = execute_map_task(
+                job,
+                task_id,
+                input_name,
+                records,
+                broadcast,
+                broadcast_bytes,
+                broadcast_cpu,
+                memory_limit,
+                map_slots,
+                tracer=tracer,
+            )
+            if fault is not None and fault.kind == "corrupt":
+                raise CorruptOutputError(job.name, "map", task_id, attempt)
+            path, segments, part_bytes = _spill_map_output(
+                phase_dir, f"m{task_id}a{attempt}", partitioned, num_reducers
+            )
+            oks.append((task_id, attempt, (stats, counters, path, segments, part_bytes)))
+        except NON_RETRYABLE as exc:
+            errs.append((task_id, attempt, exc, False))
+        except Exception as exc:
+            error = (
+                exc
+                if isinstance(exc, TaskError)
+                else task_error_from(job.name, "map", task_id, exc)
+            )
+            error.attempt = attempt
+            errs.append((task_id, attempt, error, True))
     events = tracer.raw_events() if tracer is not None else []
-    return chunk_index, results, events
+    return chunk_index, oks, errs, events
 
 
 def _run_reduce_chunk(args: tuple) -> tuple:
-    chunk_index, jid, memory_limit, trace, tasks = args
+    """Run one chunk of reduce task attempts; entries are
+    ``(partition_index, attempt, segment_refs)``.  Same ok/err contract
+    as :func:`_run_map_chunk`."""
+    chunk_index, jid, common, tasks = args
+    memory_limit, trace, plan = common
     job = _W_JOBS[jid]
     tracer = Tracer() if trace else None
-    results = []
-    for partition_index, refs in tasks:
-        bucket = _read_segments(refs)
-        results.append(
-            execute_reduce_task(
+    oks: list[tuple[int, int, tuple]] = []
+    errs: list[tuple[int, int, BaseException, bool]] = []
+    for partition_index, attempt, refs in tasks:
+        try:
+            fault = (
+                None
+                if plan is None
+                else plan.lookup(job.name, "reduce", partition_index, attempt)
+            )
+            if fault is not None:
+                apply_fault(fault, job.name, "reduce", partition_index, attempt)
+            bucket = _read_segments(refs)
+            result = execute_reduce_task(
                 job, partition_index, bucket, memory_limit, tracer=tracer
             )
-        )
+            if fault is not None and fault.kind == "corrupt":
+                raise CorruptOutputError(job.name, "reduce", partition_index, attempt)
+            oks.append((partition_index, attempt, result))
+        except NON_RETRYABLE as exc:
+            errs.append((partition_index, attempt, exc, False))
+        except Exception as exc:
+            error = (
+                exc
+                if isinstance(exc, TaskError)
+                else task_error_from(job.name, "reduce", partition_index, exc)
+            )
+            error.attempt = attempt
+            errs.append((partition_index, attempt, error, True))
     events = tracer.raw_events() if tracer is not None else []
-    return chunk_index, results, events
+    return chunk_index, oks, errs, events
 
 
 # ---------------------------------------------------------------------------
 # parent side
 # ---------------------------------------------------------------------------
+
+
+@dataclass
+class _Flight:
+    """One in-flight chunk: its pool handle and the task attempts it
+    carries, plus the submit time that drives speculation."""
+
+    handle: AsyncResult
+    tasks: list[tuple[int, int]]  # (task_id, attempt)
+    started: float = field(default_factory=time.perf_counter)
+    speculated: bool = False
 
 
 @dataclass
@@ -258,6 +350,16 @@ class ExecutorStats:
     bytes_from_workers: int = 0
     spill_bytes_written: int = 0
     spill_bytes_read: int = 0
+    #: task attempts re-dispatched after a retryable failure
+    tasks_retried: int = 0
+    #: speculative duplicate attempts launched against stragglers
+    tasks_speculated: int = 0
+    #: in-flight attempts abandoned when a worker process died
+    tasks_lost: int = 0
+    #: pools re-forked after detecting a dead worker
+    pool_respawns: int = 0
+    #: worker processes found dead and blacklisted (never reused)
+    workers_blacklisted: int = 0
 
 
 class MapShuffle:
@@ -362,6 +464,13 @@ class PersistentExecutor:
         #: attach a :class:`repro.obs.trace.Tracer` to collect worker
         #: task spans (set by the owning cluster; observe-only)
         self.tracer: Tracer | None = None
+        #: deterministic fault-injection schedule (set by the cluster)
+        self.fault_plan: FaultPlan | None = None
+        #: retry/speculation knobs (set by the cluster; None = defaults)
+        self.retry_policy: RetryPolicy | None = None
+        #: True once repeated pool deaths exhausted the respawn budget;
+        #: the engine then runs everything inline (sequential fallback)
+        self.degraded = False
         self._jobs: list[MapReduceJob] = []
         self._job_ids: dict[int, int] = {}
         self._dfs = dfs
@@ -373,6 +482,7 @@ class PersistentExecutor:
         self._block_refs: dict[int, tuple[str, int]] = {}
         self._snapshot_files: list = []
         self._pool = None
+        self._worker_pids: set[int] = set()
         self._stale = False
         self._spill_root: str | None = None
         self._phase_seq = 0
@@ -454,6 +564,11 @@ class PersistentExecutor:
             initargs=(tuple(self._jobs), self._dfs),
         )
         self._holder["pool"] = self._pool
+        self._worker_pids = {
+            proc.pid
+            for proc in getattr(self._pool, "_pool", None) or []
+            if proc.pid is not None
+        }
         self._stale = False
         self.stats.pools_created += 1
         self.stats.pool_generation += 1
@@ -464,7 +579,24 @@ class PersistentExecutor:
             self._pool.terminate()
             self._pool.join()
             self._pool = None
+            self._worker_pids = set()
             self._holder["pool"] = None
+
+    def _dead_workers(self) -> set[int]:
+        """PIDs from the fork-time snapshot that are no longer alive.
+
+        ``multiprocessing.Pool`` replaces dead workers transparently,
+        but an attempt consumed by the dead worker is simply gone — its
+        ``AsyncResult`` never completes.  Comparing the snapshot against
+        the pool's live workers detects that silent loss."""
+        if self._pool is None:
+            return set()
+        alive = {
+            proc.pid
+            for proc in getattr(self._pool, "_pool", None) or []
+            if proc.exitcode is None
+        }
+        return {pid for pid in self._worker_pids if pid not in alive}
 
     def close(self) -> None:
         """Terminate the pool and remove all spill files (idempotent)."""
@@ -482,37 +614,280 @@ class PersistentExecutor:
         size = max(1, -(-len(tasks) // target))
         return [tasks[i : i + size] for i in range(0, len(tasks), size)]
 
-    def _dispatch(self, func: Callable, payloads: list) -> list:
-        """Run chunk payloads on the pool, reassembling results in
-        deterministic chunk order regardless of completion order.
+    def _dispatch(
+        self,
+        func: Callable,
+        jid: int,
+        common: tuple,
+        order: list[int],
+        task_payloads: dict[int, tuple],
+        *,
+        job: MapReduceJob,
+        phase: str,
+        counters_index: int,
+    ) -> tuple[list[tuple], int]:
+        """Run every task of one phase on the pool, fault-tolerantly.
 
-        Under ``REPRO_SANITIZE=1`` the reassembly is cross-checked: a
-        duplicate or missing chunk index means ``imap_unordered``
-        delivered a corrupt stream — silent reordering here is exactly
-        the failure mode that breaks byte-identical output, so it is an
-        error, not a counter.
+        The engine dispatches contiguous task chunks as ``apply_async``
+        calls and polls for completion, which — unlike the blocking
+        ``imap_unordered`` it replaces — lets it react while attempts
+        are still in flight:
+
+        * **retries**: a failed attempt is re-dispatched (bounded by
+          the :class:`RetryPolicy` attempt budget, with deterministic
+          backoff); the budget exhausting raises the last attempt's
+          :class:`TaskError`.
+        * **speculation**: when a chunk outlives the policy's
+          speculation window, its unfinished tasks get one duplicate
+          attempt each; the first completed attempt wins.  Attempts are
+          deterministic functions of their task, so either winner
+          yields byte-identical output.
+        * **pool-death recovery**: a worker found dead (``crash``
+          faults, real segfaults) blacklists its PID, abandons the
+          in-flight attempts, re-forks the pool and re-dispatches every
+          unsatisfied task.  Exhausting the respawn budget degrades the
+          engine to inline execution in the parent — the sequential
+          fallback — for the rest of its life.
+
+        Results come back in *order* (task order), each with the task's
+        fault/retry tallies merged into the counters element at
+        ``counters_index``, so chaos bookkeeping rides the existing
+        counter path.  Under ``REPRO_SANITIZE=1`` the reassembly is
+        cross-checked: every task must be satisfied exactly once.
         """
-        sanitize = env_sanitize()
-        collected: list = [None] * len(payloads)
-        seen: set[int] = set()
-        for chunk_index, results, events in self._pool.imap_unordered(
-            func, payloads
-        ):
-            if sanitize:
-                if chunk_index in seen or not 0 <= chunk_index < len(payloads):
-                    raise RuntimeError(
-                        f"pool delivered chunk {chunk_index} twice or out of "
-                        f"range (expected {len(payloads)} distinct chunks)"
-                    )
-                seen.add(chunk_index)
+        policy = self.retry_policy or DEFAULT_RETRY_POLICY
+        plan = self.fault_plan
+        results: dict[int, tuple] = {}
+        won_attempt: dict[int, int] = {}
+        next_attempt: dict[int, int] = {t: 0 for t in order}
+        pending: dict[int, int] = {t: 0 for t in order}
+        extras: dict[int, dict[str, int]] = {}
+        failures: dict[int, TaskError] = {}
+        flights: list[_Flight] = []
+        chunk_seq = 0
+        inline_mode = self.degraded
+
+        def build_payload(batch: list[int]) -> tuple:
+            nonlocal chunk_seq
+            entries = []
+            for t in batch:
+                attempt = next_attempt[t]
+                next_attempt[t] = attempt + 1
+                pending[t] += 1
+                if plan is not None:
+                    fault = plan.lookup(job.name, phase, t, attempt)
+                    if fault is not None:
+                        count_fault(extras.setdefault(t, {}), fault)
+                        if self.tracer is not None:
+                            self.tracer.instant(
+                                "fault-injected", "fault", job=job.name,
+                                phase=phase, task=t, attempt=attempt,
+                                kind=fault.kind,
+                            )
+                entries.append((t, attempt, *task_payloads[t]))
+            payload = (chunk_seq, jid, common, entries)
+            chunk_seq += 1
+            return payload
+
+        def submit(batch: list[int]) -> None:
+            if inline_mode:
+                absorb(func(build_payload(batch)))
+                return
+            payload = build_payload(batch)
+            handle = self._pool.apply_async(func, (payload,))
+            flights.append(
+                _Flight(handle, [(e[0], e[1]) for e in payload[3]])
+            )
+
+        def absorb(result: tuple) -> None:
+            _chunk_index, oks, errs, events = result
             if events and self.tracer is not None:
                 self.tracer.absorb(events)
-            collected[chunk_index] = results
-        if sanitize and len(seen) != len(payloads):
-            raise RuntimeError(
-                f"pool delivered {len(seen)} of {len(payloads)} chunks"
+            for t, attempt, core in oks:
+                if pending.get(t, 0) > 0:
+                    pending[t] -= 1
+                if t in results:
+                    continue  # a duplicate attempt lost the race
+                results[t] = core
+                won_attempt[t] = attempt
+            for t, _attempt, exc, retryable in errs:
+                if pending.get(t, 0) > 0:
+                    pending[t] -= 1
+                if t in results:
+                    continue
+                handle_failure(t, exc, retryable)
+
+        def handle_failure(t: int, exc: BaseException, retryable: bool) -> None:
+            if not retryable:
+                raise exc  # e.g. InsufficientMemoryError, raw by contract
+            error = (
+                exc
+                if isinstance(exc, TaskError)
+                else task_error_from(job.name, phase, t, exc)
             )
-        return [result for results in collected for result in results]
+            failures[t] = error
+            if next_attempt[t] < policy.max_attempts:
+                extra = extras.setdefault(t, {})
+                extra[TASK_RETRIES] = extra.get(TASK_RETRIES, 0) + 1
+                self.stats.tasks_retried += 1
+                if self.tracer is not None:
+                    self.tracer.instant(
+                        "task-retry", "fault", job=job.name, phase=phase,
+                        task=t, attempt=next_attempt[t],
+                    )
+                if policy.backoff_s > 0:
+                    time.sleep(policy.backoff_s * next_attempt[t])
+                submit([t])
+            elif pending[t] == 0:
+                raise error
+
+        def recover_pool_death(dead: set[int]) -> None:
+            nonlocal inline_mode
+            self.stats.workers_blacklisted += len(dead)
+            self.stats.pool_respawns += 1
+            if self.tracer is not None:
+                self.tracer.instant(
+                    "pool-respawn", "fault", job=job.name, phase=phase,
+                    dead_workers=sorted(dead),
+                    respawns=self.stats.pool_respawns,
+                )
+            lost = [
+                t for t in order if t not in results and pending.get(t, 0) > 0
+            ]
+            for t in lost:
+                pending[t] = 0
+                extra = extras.setdefault(t, {})
+                extra[TASK_LOST] = extra.get(TASK_LOST, 0) + 1
+                self.stats.tasks_lost += 1
+            flights.clear()
+            self._teardown_pool()
+            unsatisfied = [t for t in order if t not in results]
+            exhausted = [
+                t for t in unsatisfied if next_attempt[t] >= policy.max_attempts
+            ]
+            if exhausted:
+                t = exhausted[0]
+                raise failures.get(t) or TaskError(
+                    job.name, phase, t, attempt=next_attempt[t] - 1,
+                    cause="attempt lost to a dead worker, retry budget spent",
+                )
+            if self.stats.pool_respawns > policy.max_pool_respawns:
+                inline_mode = True
+                self.degraded = True
+                if self.tracer is not None:
+                    self.tracer.instant(
+                        "executor-degraded", "fault", job=job.name,
+                        phase=phase, respawns=self.stats.pool_respawns,
+                    )
+                _set_worker_globals(tuple(self._jobs), self._dfs)
+            else:
+                self._ensure_pool()
+            for chunk in self._chunk(unsatisfied):
+                submit(chunk)
+
+        if inline_mode:
+            _set_worker_globals(tuple(self._jobs), self._dfs)
+        for chunk in self._chunk(order):
+            submit(chunk)
+
+        while len(results) < len(order):
+            if not flights:
+                if inline_mode:
+                    # inline submits are synchronous; anything still
+                    # unsatisfied here exhausted its budget en route
+                    missing = [t for t in order if t not in results]
+                    t = missing[0]
+                    raise failures.get(t) or TaskError(
+                        job.name, phase, t, cause="task never completed"
+                    )
+                missing = [t for t in order if t not in results]
+                t = missing[0]
+                raise failures.get(t) or TaskError(
+                    job.name, phase, t,
+                    attempt=max(0, next_attempt[t] - 1),
+                    cause="every attempt was lost in flight",
+                )
+            progressed = False
+            for flight in list(flights):
+                if not flight.handle.ready():
+                    continue
+                flights.remove(flight)
+                progressed = True
+                try:
+                    result = flight.handle.get()
+                except NON_RETRYABLE:
+                    raise
+                except Exception as exc:
+                    # the chunk failed structurally (result would not
+                    # pickle, pool torn down under it); retry its tasks
+                    for t, _attempt in flight.tasks:
+                        if pending.get(t, 0) > 0:
+                            pending[t] -= 1
+                        if t in results:
+                            continue
+                        handle_failure(
+                            t, task_error_from(job.name, phase, t, exc), True
+                        )
+                    continue
+                absorb(result)
+            if len(results) >= len(order):
+                break
+            if progressed:
+                continue
+            dead = self._dead_workers()
+            if dead:
+                recover_pool_death(dead)
+                continue
+            if policy.speculative_after_s is not None:
+                now = time.perf_counter()
+                for flight in flights:
+                    if (
+                        flight.speculated
+                        or now - flight.started < policy.speculative_after_s
+                    ):
+                        continue
+                    flight.speculated = True
+                    for t, _attempt in flight.tasks:
+                        if (
+                            t in results
+                            or pending.get(t, 0) != 1
+                            or next_attempt[t] >= policy.max_attempts
+                        ):
+                            continue
+                        extra = extras.setdefault(t, {})
+                        extra[TASK_SPECULATIVE] = extra.get(TASK_SPECULATIVE, 0) + 1
+                        self.stats.tasks_speculated += 1
+                        if self.tracer is not None:
+                            self.tracer.instant(
+                                "task-speculative", "fault", job=job.name,
+                                phase=phase, task=t, attempt=next_attempt[t],
+                            )
+                        submit([t])
+            if flights:
+                flights[0].handle.wait(policy.poll_interval_s)
+
+        if env_sanitize() and set(results) != set(order):
+            raise RuntimeError(
+                f"dispatch satisfied {len(results)} of {len(order)} tasks"
+            )
+        cores: list[tuple] = []
+        for t in order:
+            core = results[t]
+            extra = extras.get(t)
+            if extra:
+                if won_attempt.get(t, 0) > 0:
+                    observe_into(
+                        lambda name, value: extra.__setitem__(
+                            name, extra.get(name, 0) + value
+                        ),
+                        "task.attempts",
+                        won_attempt[t] + 1,
+                    )
+                counters = core[counters_index]
+                for name, value in extra.items():
+                    counters[name] = counters.get(name, 0) + value
+            cores.append(core)
+        return cores, chunk_seq
 
     def run_map_phase(
         self,
@@ -561,35 +936,50 @@ class PersistentExecutor:
             map_slots,
             num_reducers,
             self.tracer is not None,
+            self.fault_plan,
         )
-        tasks = []
+        order: list[int] = []
+        task_payloads: dict[int, tuple] = {}
         for task_id, input_name, records in map_inputs:
             ref = self._block_refs.get(id(records))
             if ref is not None and ref[0] == input_name:
                 # the block is part of the workers' fork-inherited DFS
                 # snapshot — ship a reference, not the records
-                tasks.append((task_id, input_name, ("ref", ref[0], ref[1])))
+                spec: tuple = ("ref", ref[0], ref[1])
                 ex.bytes_to_workers += 24
             else:
-                tasks.append((task_id, input_name, ("data", records)))
+                spec = ("data", records)
                 ex.bytes_to_workers += 8 + sum(approx_bytes(r) for r in records)
-        chunks = self._chunk(tasks)
-        payloads = [(i, jid, common, chunk) for i, chunk in enumerate(chunks)]
-        ex.chunks = len(payloads)
+            order.append(task_id)
+            task_payloads[task_id] = (input_name, spec)
 
         shuffle = MapShuffle(num_reducers, phase_dir, bcast_path)
         task_results = []
-        with trace_span(
-            self.tracer, f"dispatch-map:{job.name}", "dispatch",
-            job=job.name, chunks=len(payloads), workers=self.workers,
-        ):
-            for stats, counters, path, segments, part_bytes in self._dispatch(
-                _run_map_chunk, payloads
-            ):
-                shuffle.add_task(path, segments, part_bytes)
-                ex.busy_s += stats.cpu_seconds
-                ex.bytes_from_workers += approx_bytes(counters) + 96
-                task_results.append((stats, counters))
+        try:
+            span = trace_span(
+                self.tracer, f"dispatch-map:{job.name}", "dispatch",
+                job=job.name, workers=self.workers,
+            )
+            try:
+                cores, ex.chunks = self._dispatch(
+                    _run_map_chunk, jid, common, order, task_payloads,
+                    job=job, phase="map", counters_index=1,
+                )
+                for stats, counters, path, segments, part_bytes in cores:
+                    shuffle.add_task(path, segments, part_bytes)
+                    ex.busy_s += stats.cpu_seconds
+                    ex.bytes_from_workers += approx_bytes(counters) + 96
+                    task_results.append((stats, counters))
+                span.set(chunks=ex.chunks)
+            finally:
+                span.close()
+        except BaseException:
+            # leak fix: a failing phase must not orphan the spill files
+            # of its completed attempts, nor leave workers (possibly
+            # mid-straggler-sleep) holding the fork pool
+            shuffle.cleanup()
+            self._teardown_pool()
+            raise
         ex.spill_bytes_written = shuffle.spilled_bytes
         ex.wall_s = time.perf_counter() - t0
         self._account(ex)
@@ -621,26 +1011,36 @@ class PersistentExecutor:
         for _p, refs in reduce_tasks:
             ex.spill_bytes_read += sum(length for _pp, _o, length in refs)
             ex.bytes_to_workers += 24 * len(refs)
-        chunks = self._chunk(reduce_tasks)
-        trace = self.tracer is not None
-        payloads = [
-            (i, jid, memory_limit, trace, chunk) for i, chunk in enumerate(chunks)
-        ]
-        ex.chunks = len(payloads)
+        common = (memory_limit, self.tracer is not None, self.fault_plan)
+        order = [p for p, _refs in reduce_tasks]
+        task_payloads: dict[int, tuple] = {p: (refs,) for p, refs in reduce_tasks}
 
         task_results = []
-        with trace_span(
-            self.tracer, f"dispatch-reduce:{job.name}", "dispatch",
-            job=job.name, chunks=len(payloads), workers=self.workers,
-        ):
-            for stats, written, counters in self._dispatch(
-                _run_reduce_chunk, payloads
-            ):
-                ex.busy_s += stats.cpu_seconds
-                ex.bytes_from_workers += (
-                    approx_bytes(counters) + stats.output_bytes + 96
+        try:
+            span = trace_span(
+                self.tracer, f"dispatch-reduce:{job.name}", "dispatch",
+                job=job.name, workers=self.workers,
+            )
+            try:
+                cores, ex.chunks = self._dispatch(
+                    _run_reduce_chunk, jid, common, order, task_payloads,
+                    job=job, phase="reduce", counters_index=2,
                 )
-                task_results.append((stats, written, counters))
+                for stats, written, counters in cores:
+                    ex.busy_s += stats.cpu_seconds
+                    ex.bytes_from_workers += (
+                        approx_bytes(counters) + stats.output_bytes + 96
+                    )
+                    task_results.append((stats, written, counters))
+                span.set(chunks=ex.chunks)
+            finally:
+                span.close()
+        except BaseException:
+            # the map spill files feeding this phase are cleaned by the
+            # caller's shuffle handle; the pool still holds straggler
+            # attempts, so release it
+            self._teardown_pool()
+            raise
         ex.wall_s = time.perf_counter() - t0
         self._account(ex)
         return task_results, ex
@@ -689,8 +1089,12 @@ class PersistentParallelCluster(SimulatedCluster):
         min_tasks_for_pool: int = 4,
         chunks_per_worker: int = 2,
         assume_cores: int | None = None,
+        fault_plan: FaultPlan | None = None,
+        retry_policy: RetryPolicy | None = None,
     ) -> None:
-        super().__init__(config, dfs)
+        super().__init__(
+            config, dfs, fault_plan=fault_plan, retry_policy=retry_policy
+        )
         self.executor = PersistentExecutor(
             workers=workers, chunks_per_worker=chunks_per_worker, dfs=self.dfs
         )
@@ -723,7 +1127,8 @@ class PersistentParallelCluster(SimulatedCluster):
         task payloads instead, shipping costs more than the cores earn
         (the seed executor's failure mode this engine exists to fix)."""
         return (
-            self.workers > 1
+            not self.executor.degraded
+            and self.workers > 1
             and self.effective_cores > 1
             and len(map_inputs) >= self.min_tasks_for_pool
             and self.executor.map_ref_fraction(map_inputs) >= 0.5
@@ -736,6 +1141,7 @@ class PersistentParallelCluster(SimulatedCluster):
         memory and shipping them out is pure overhead."""
         return (
             shuffle is not None
+            and not self.executor.degraded
             and self.workers > 1
             and num_tasks >= self.min_tasks_for_pool
         )
@@ -747,6 +1153,8 @@ class PersistentParallelCluster(SimulatedCluster):
         job_counters = Counters()
         limit = cfg.memory_per_task_bytes
         self.executor.tracer = self.tracer
+        self.executor.fault_plan = self.fault_plan
+        self.executor.retry_policy = self.retry_policy
         job_span = trace_span(
             self.tracer, job.name, "job", reducers=job.num_reducers
         )
@@ -839,8 +1247,13 @@ class PersistentParallelCluster(SimulatedCluster):
                     else:
                         assert partitions is not None
                         bucket = partitions[p]
-                    task_stats, written, counters = execute_reduce_task(
-                        job, p, bucket, limit, tracer=self.tracer
+                    def run_once(p: int = p, bucket: list = bucket) -> tuple:
+                        return execute_reduce_task(
+                            job, p, bucket, limit, tracer=self.tracer
+                        )
+
+                    task_stats, written, counters = self._attempt_task(
+                        job, "reduce", p, run_once
                     )
                     stats.reduce_tasks.append(task_stats)
                     output_records.extend(written)

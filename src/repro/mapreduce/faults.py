@@ -1,0 +1,467 @@
+"""Deterministic fault injection and the task-retry vocabulary.
+
+The paper's pipeline ran on Hadoop and inherited its task-level fault
+tolerance for free: failed task attempts are retried a bounded number
+of times, straggling attempts get speculative duplicates, and dead
+TaskTrackers are blacklisted.  This module supplies the *vocabulary*
+both engines use to reproduce that behaviour — and, crucially, a way
+to test it deterministically.
+
+A :class:`FaultPlan` is a seeded, fully explicit schedule of faults
+keyed by ``(job, phase, task, attempt)``.  Running the same plan twice
+injects exactly the same faults at exactly the same points, so chaos
+tests can assert the hard invariant: any plan the retry budget can
+absorb yields bit-identical join output versus a fault-free run.
+
+Fault kinds (:data:`FAULT_KINDS`):
+
+``raise``
+    the attempt raises :class:`FaultInjected` before running.
+``crash``
+    the worker process hosting the attempt dies abruptly
+    (``os._exit``); inline/sequential attempts raise
+    :class:`WorkerCrashError` instead so the driver survives.
+``corrupt``
+    the attempt runs to completion but its output is declared corrupt
+    (:class:`CorruptOutputError`) and discarded — models a bad disk or
+    a poisoned pickle detected by checksum.
+``sleep``
+    the attempt stalls for ``sleep_s`` seconds first (straggler);
+    with a :class:`RetryPolicy` speculation window this exercises
+    speculative duplicate attempts.
+
+Retry semantics live in :class:`RetryPolicy`; genuine task failures
+are wrapped in :class:`TaskError` (job, phase, task, attempt, input
+key sample) so an exhausted budget surfaces an actionable error, not a
+bare pool traceback.  :data:`NON_RETRYABLE` exceptions (the simulated
+memory budget) always propagate raw.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import json
+import os
+import random
+import time
+from dataclasses import dataclass
+
+from repro.mapreduce.types import InsufficientMemoryError
+
+__all__ = [
+    "FAULT_KINDS",
+    "FAULT_COUNTER_PREFIXES",
+    "FAULT_INJECTED",
+    "TASK_RETRIES",
+    "TASK_SPECULATIVE",
+    "TASK_LOST",
+    "RESUME_STAGES_SKIPPED",
+    "NON_RETRYABLE",
+    "CorruptOutputError",
+    "FaultInjected",
+    "FaultPlan",
+    "FaultSpec",
+    "RetryPolicy",
+    "TaskError",
+    "WorkerCrashError",
+    "apply_fault",
+    "count_fault",
+    "mark_worker_process",
+    "strip_fault_counters",
+    "task_error_from",
+]
+
+#: recognized fault kinds (see module docstring)
+FAULT_KINDS = ("raise", "crash", "corrupt", "sleep")
+
+# -- counter names (merged into the winning attempt's task counters) -------
+FAULT_INJECTED = "fault.injected"
+TASK_RETRIES = "task.retries"
+TASK_SPECULATIVE = "task.speculative"
+TASK_LOST = "task.lost"
+RESUME_STAGES_SKIPPED = "resume.stages_skipped"
+
+#: counter-key prefixes that only fault-tolerance machinery produces —
+#: excluded when comparing a faulted run's counters against a clean run
+FAULT_COUNTER_PREFIXES = ("fault.", "task.", "resume.")
+
+#: exceptions the retry layer must never absorb: they describe the
+#: *workload* (the simulated memory budget), not a transient failure,
+#: and tests pin that they propagate raw with their fields intact
+NON_RETRYABLE = (InsufficientMemoryError,)
+
+#: True only inside pool worker processes (set by the pool initializer);
+#: decides whether a ``crash`` fault may really ``os._exit``
+_IN_WORKER = False
+
+
+def mark_worker_process() -> None:
+    """Flag this process as a pool worker (called by pool initializers);
+    ``crash`` faults will then terminate the process for real."""
+    global _IN_WORKER
+    _IN_WORKER = True
+
+
+# ---------------------------------------------------------------------------
+# exceptions
+# ---------------------------------------------------------------------------
+
+
+class FaultInjected(RuntimeError):
+    """An attempt failed because a ``raise`` fault matched it."""
+
+    def __init__(self, job: str, phase: str, task: int, attempt: int) -> None:
+        super().__init__(
+            f"injected fault: job {job!r} {phase} task {task} attempt {attempt}"
+        )
+
+    def __reduce__(self) -> tuple:
+        return (RuntimeError, (str(self),))
+
+
+class WorkerCrashError(RuntimeError):
+    """A ``crash`` fault hit an attempt running inline (no worker
+    process to kill), or a lost attempt was charged to a dead worker."""
+
+
+class CorruptOutputError(RuntimeError):
+    """An attempt completed but its output was declared corrupt
+    (``corrupt`` fault) and must be discarded and re-run."""
+
+    def __init__(self, job: str, phase: str, task: int, attempt: int) -> None:
+        super().__init__(
+            f"corrupt output: job {job!r} {phase} task {task} attempt {attempt}"
+        )
+
+    def __reduce__(self) -> tuple:
+        return (RuntimeError, (str(self),))
+
+
+class TaskError(RuntimeError):
+    """A task attempt failed; carries everything needed to act on it.
+
+    ``cause`` is the textual rendering of the original exception (the
+    exception object itself may not survive pickling back from a
+    worker).  ``attempt`` is filled in by the retry layer.  The error
+    raised after budget exhaustion is the *last* attempt's TaskError.
+    """
+
+    def __init__(
+        self,
+        job: str,
+        phase: str,
+        task: int,
+        attempt: int = 0,
+        key_sample: str | None = None,
+        cause: str = "",
+        retryable: bool = True,
+    ) -> None:
+        super().__init__(cause)
+        self.job = job
+        self.phase = phase
+        self.task = task
+        self.attempt = attempt
+        self.key_sample = key_sample
+        self.cause = cause
+        self.retryable = retryable
+
+    def __str__(self) -> str:
+        where = (
+            f"job {self.job!r} {self.phase} task {self.task} "
+            f"attempt {self.attempt}"
+        )
+        sample = f" (input key sample: {self.key_sample})" if self.key_sample else ""
+        return f"{where} failed: {self.cause}{sample}"
+
+    def __reduce__(self) -> tuple:
+        return (
+            type(self),
+            (
+                self.job,
+                self.phase,
+                self.task,
+                self.attempt,
+                self.key_sample,
+                self.cause,
+                self.retryable,
+            ),
+        )
+
+
+def task_error_from(
+    job: str,
+    phase: str,
+    task: int,
+    exc: BaseException,
+    key_sample: object = None,
+) -> TaskError:
+    """Wrap a genuine task exception, sampling the offending input key."""
+    sample = None
+    if key_sample is not None:
+        text = repr(key_sample)
+        sample = text if len(text) <= 120 else text[:117] + "..."
+    return TaskError(
+        job,
+        phase,
+        task,
+        key_sample=sample,
+        cause=f"{type(exc).__name__}: {exc}",
+    )
+
+
+# ---------------------------------------------------------------------------
+# fault plans
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault rule: which attempts it matches and what happens.
+
+    ``job`` is an ``fnmatch`` pattern against the job name; ``task``
+    and ``attempt`` are exact integers or ``"*"``.
+    """
+
+    kind: str
+    job: str = "*"
+    phase: str = "*"
+    task: int | str = "*"
+    attempt: int | str = 0
+    sleep_s: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; expected one of {FAULT_KINDS}"
+            )
+        if self.phase not in ("map", "reduce", "*"):
+            raise ValueError(f"phase must be 'map', 'reduce' or '*', got {self.phase!r}")
+
+    def matches(self, job: str, phase: str, task: int, attempt: int) -> bool:
+        return (
+            fnmatch.fnmatchcase(job, self.job)
+            and self.phase in ("*", phase)
+            and self.task in ("*", task)
+            and self.attempt in ("*", attempt)
+        )
+
+    def compact(self) -> str:
+        """The ``kind:job:phase:task:attempt[:sleep_s]`` form."""
+        parts = [self.kind, self.job, self.phase, str(self.task), str(self.attempt)]
+        if self.kind == "sleep":
+            parts.append(repr(self.sleep_s))
+        return ":".join(parts)
+
+
+def _parse_int_or_star(text: str, what: str) -> int | str:
+    if text == "*":
+        return "*"
+    try:
+        return int(text)
+    except ValueError:
+        raise ValueError(f"{what} must be an integer or '*', got {text!r}") from None
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An ordered set of :class:`FaultSpec` rules (first match wins).
+
+    Plans are immutable and picklable, so one plan object travels to
+    pool workers inside chunk payloads and every attempt — parent or
+    worker side — consults the same schedule.
+    """
+
+    specs: tuple[FaultSpec, ...] = ()
+
+    def lookup(self, job: str, phase: str, task: int, attempt: int) -> FaultSpec | None:
+        """The first spec matching this attempt, or None."""
+        for spec in self.specs:
+            if spec.matches(job, phase, task, attempt):
+                return spec
+        return None
+
+    def __bool__(self) -> bool:
+        return bool(self.specs)
+
+    # -- serialization -----------------------------------------------------
+
+    @classmethod
+    def parse(cls, text: str) -> "FaultPlan":
+        """Parse the compact CLI form: ``;``-separated
+        ``kind:job:phase:task:attempt[:sleep_s]`` items
+        (e.g. ``crash:*:map:1:0;sleep:stage2-*:reduce:*:0:0.3``)."""
+        specs: list[FaultSpec] = []
+        for item in text.replace("\n", ";").split(";"):
+            item = item.strip()
+            if not item:
+                continue
+            parts = item.split(":")
+            if not 2 <= len(parts) <= 6:
+                raise ValueError(
+                    f"bad fault spec {item!r}: expected "
+                    "kind:job[:phase[:task[:attempt[:sleep_s]]]]"
+                )
+            parts += ["*"] * (5 - len(parts)) if len(parts) < 5 else []
+            kind, job, phase, task, attempt = parts[:5]
+            specs.append(
+                FaultSpec(
+                    kind=kind,
+                    job=job,
+                    phase=phase,
+                    task=_parse_int_or_star(task, "task"),
+                    attempt=_parse_int_or_star(attempt, "attempt"),
+                    sleep_s=float(parts[5]) if len(parts) == 6 else 0.05,
+                )
+            )
+        return cls(tuple(specs))
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "faults": [
+                    {
+                        "kind": s.kind,
+                        "job": s.job,
+                        "phase": s.phase,
+                        "task": s.task,
+                        "attempt": s.attempt,
+                        "sleep_s": s.sleep_s,
+                    }
+                    for s in self.specs
+                ]
+            },
+            indent=2,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        doc = json.loads(text)
+        return cls(
+            tuple(
+                FaultSpec(
+                    kind=entry["kind"],
+                    job=entry.get("job", "*"),
+                    phase=entry.get("phase", "*"),
+                    task=entry.get("task", "*"),
+                    attempt=entry.get("attempt", 0),
+                    sleep_s=entry.get("sleep_s", 0.05),
+                )
+                for entry in doc["faults"]
+            )
+        )
+
+    @classmethod
+    def load(cls, spec: str) -> "FaultPlan":
+        """Load a plan from a JSON file path or the compact inline form."""
+        if os.path.exists(spec):
+            with open(spec, "r", encoding="utf-8") as handle:
+                return cls.from_json(handle.read())
+        return cls.parse(spec)
+
+    # -- generation --------------------------------------------------------
+
+    @classmethod
+    def random(
+        cls,
+        seed: int,
+        num_faults: int = 3,
+        kinds: tuple[str, ...] = FAULT_KINDS,
+        max_task: int = 4,
+        sleep_s: float = 0.02,
+    ) -> "FaultPlan":
+        """A seeded, *absorbable* plan: every fault targets attempt 0
+        only, so a retry budget of two attempts already survives it.
+        Same seed, same plan — the differential chaos tests sweep
+        seeds and assert output identity."""
+        rng = random.Random(seed)
+        specs = tuple(
+            FaultSpec(
+                kind=rng.choice(kinds),
+                job="*",
+                phase=rng.choice(("map", "reduce")),
+                task=rng.randrange(max_task),
+                attempt=0,
+                sleep_s=sleep_s,
+            )
+            for _ in range(num_faults)
+        )
+        return cls(specs)
+
+
+# ---------------------------------------------------------------------------
+# applying faults
+# ---------------------------------------------------------------------------
+
+
+def apply_fault(spec: FaultSpec, job: str, phase: str, task: int, attempt: int) -> None:
+    """Apply the pre-task effect of *spec* to the current attempt.
+
+    ``corrupt`` has no pre-task effect: the caller runs the task and
+    raises :class:`CorruptOutputError` afterwards, discarding the
+    output.  ``crash`` kills the process only inside pool workers;
+    inline attempts raise :class:`WorkerCrashError` so the driver
+    process survives and treats it as any retryable failure.
+    """
+    if spec.kind == "sleep":
+        time.sleep(spec.sleep_s)
+    elif spec.kind == "raise":
+        raise FaultInjected(job, phase, task, attempt)
+    elif spec.kind == "crash":
+        if _IN_WORKER:
+            os._exit(3)
+        raise WorkerCrashError(
+            f"injected worker crash: job {job!r} {phase} task {task} "
+            f"attempt {attempt}"
+        )
+
+
+def count_fault(sink: dict[str, int], spec: FaultSpec) -> None:
+    """Tally one injected fault into a counter dict."""
+    for key in (FAULT_INJECTED, f"fault.{spec.kind}"):
+        sink[key] = sink.get(key, 0) + 1
+
+
+def strip_fault_counters(counters: dict[str, int]) -> dict[str, int]:
+    """Counters without fault-tolerance bookkeeping keys — what must be
+    identical between a faulted (absorbed) run and a clean run."""
+    excluded = FAULT_COUNTER_PREFIXES + tuple(
+        f"hist.{prefix}" for prefix in FAULT_COUNTER_PREFIXES
+    )
+    return {
+        name: value
+        for name, value in counters.items()
+        if not name.startswith(excluded)
+    }
+
+
+# ---------------------------------------------------------------------------
+# retry policy
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded-retry and speculation knobs shared by both engines."""
+
+    #: total attempts per task (first run + retries)
+    max_attempts: int = 4
+    #: deterministic backoff before retry N: ``backoff_s * N`` seconds
+    backoff_s: float = 0.0
+    #: launch a speculative duplicate of a still-running task after this
+    #: many seconds (None disables speculation); pooled phases only
+    speculative_after_s: float | None = None
+    #: pool respawns tolerated before degrading to inline execution
+    max_pool_respawns: int = 2
+    #: completion-poll interval of the pooled dispatch loop
+    poll_interval_s: float = 0.01
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.poll_interval_s <= 0:
+            raise ValueError(
+                f"poll_interval_s must be > 0, got {self.poll_interval_s}"
+            )
+
+
+DEFAULT_RETRY_POLICY = RetryPolicy()

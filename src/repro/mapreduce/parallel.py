@@ -47,6 +47,7 @@ from repro.mapreduce.cluster import (
     execute_reduce_task,
 )
 from repro.mapreduce.dfs import InMemoryDFS
+from repro.mapreduce.faults import FaultPlan, RetryPolicy
 from repro.mapreduce.types import TaskStats
 from repro.mapreduce.job import MapReduceJob
 from repro.obs.trace import Tracer
@@ -104,13 +105,17 @@ class ForkParallelCluster(SimulatedCluster):
         dfs: InMemoryDFS | None = None,
         workers: int | None = None,
         min_tasks_for_pool: int = 4,
+        fault_plan: FaultPlan | None = None,
+        retry_policy: RetryPolicy | None = None,
     ) -> None:
         if "fork" not in multiprocessing.get_all_start_methods():
             raise RuntimeError(
                 "ForkParallelCluster requires the 'fork' start method; "
                 "use SimulatedCluster on this platform"
             )
-        super().__init__(config, dfs)
+        super().__init__(
+            config, dfs, fault_plan=fault_plan, retry_policy=retry_policy
+        )
         self.workers = workers or os.cpu_count() or 2
         self.min_tasks_for_pool = min_tasks_for_pool
 
@@ -129,7 +134,14 @@ class ForkParallelCluster(SimulatedCluster):
         broadcast_bytes: int,
         broadcast_cpu: float,
     ) -> Iterator[tuple[TaskStats, list[tuple[int, tuple, tuple]], dict[str, int]]]:
-        if len(map_inputs) < self.min_tasks_for_pool or self.workers <= 1:
+        # fault plans need the retrying inline path: this legacy engine
+        # has no attempt management of its own (Pool.map would surface
+        # the first failure and abort the phase)
+        if (
+            len(map_inputs) < self.min_tasks_for_pool
+            or self.workers <= 1
+            or self.fault_plan is not None
+        ):
             yield from super()._execute_map_tasks(
                 job, map_inputs, broadcast_data, broadcast_bytes, broadcast_cpu
             )
@@ -152,7 +164,11 @@ class ForkParallelCluster(SimulatedCluster):
     def _execute_reduce_tasks(
         self, job: MapReduceJob, reduce_inputs: list[tuple[int, list]]
     ) -> Iterator[tuple[TaskStats, list, dict[str, int]]]:
-        if len(reduce_inputs) < self.min_tasks_for_pool or self.workers <= 1:
+        if (
+            len(reduce_inputs) < self.min_tasks_for_pool
+            or self.workers <= 1
+            or self.fault_plan is not None
+        ):
             yield from super()._execute_reduce_tasks(job, reduce_inputs)
             return
         registry = dict(

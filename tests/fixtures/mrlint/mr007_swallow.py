@@ -1,0 +1,21 @@
+"""MR007 fixture: silent exception swallowing in an MR function.
+
+Exactly one violation: the ``except Exception: pass`` in ``mapper``.
+The reducer's specific, handled exception is the sanctioned form.
+"""
+
+
+def mapper(line, ctx):
+    try:
+        rid, value = line.split("\t", 1)
+        ctx.emit((value, len(value)), rid)
+    except Exception:  # MR007: the task reports success over lost records
+        pass
+
+
+def reducer(key, values, ctx):
+    for value in values:
+        try:
+            ctx.emit(key, int(value))
+        except ValueError:
+            ctx.emit(key, 0)  # handled, specific — not a violation

@@ -59,6 +59,39 @@ class TestRuleFixtures:
         assert rules_fired(findings) == ["MR006"]
         assert findings[0].function == "combiner"
 
+    def test_mr007_swallowed_exception(self):
+        findings = lint_file(FIXTURES / "mr007_swallow.py")
+        assert rules_fired(findings) == ["MR007"]
+        assert findings[0].function == "mapper"
+        assert "except Exception" in findings[0].message
+
+    def test_mr007_bare_except_fires_even_with_a_body(self):
+        source = textwrap.dedent(
+            """
+            def mapper(line, ctx):
+                try:
+                    ctx.emit((line, 1), line)
+                except:
+                    ctx.counter("errors")
+            """
+        )
+        findings = lint_source(source, "jobs.py")
+        assert rules_fired(findings) == ["MR007"]
+        assert "bare" in findings[0].message
+
+    def test_mr007_reraise_is_sanctioned(self):
+        source = textwrap.dedent(
+            """
+            def mapper(line, ctx):
+                try:
+                    ctx.emit((line, 1), line)
+                except Exception:
+                    ctx.counter("errors")
+                    raise
+            """
+        )
+        assert lint_source(source, "jobs.py") == []
+
     def test_clean_module_passes(self):
         assert lint_file(FIXTURES / "clean_module.py") == []
 
@@ -142,6 +175,6 @@ class TestCli:
         assert main(["lint", str(FIXTURES)]) == 1
         out = capsys.readouterr().out
         # one finding per violation fixture, none from the clean module
-        for rule in ("MR001", "MR002", "MR003", "MR004", "MR005", "MR006"):
+        for rule in ("MR001", "MR002", "MR003", "MR004", "MR005", "MR006", "MR007"):
             assert rule in out
         assert "clean_module" not in out

@@ -9,6 +9,7 @@ from repro.join.stage3 import (
     RECORD_PAIRS_OUTPUT,
     stage3_jobs,
 )
+from repro.mapreduce.faults import TaskError
 from repro.mapreduce.pipeline import run_pipeline
 
 from tests.conftest import make_cluster
@@ -91,7 +92,9 @@ class TestRSRecordJoin:
 
 class TestErrorPaths:
     def test_brj_dangling_rid(self):
-        with pytest.raises(ValueError, match="no record"):
+        # kernel bugs now surface as TaskError (job/phase/task context
+        # attached) once the retry budget is spent
+        with pytest.raises(TaskError, match="ValueError.*no record"):
             run_stage3(RECORDS, [(1, 999, 0.9)], "brj")
 
     def test_jobs_dispatch(self):
