@@ -47,7 +47,8 @@ def format_executor_summary(summary: dict, title: str = "executor") -> str:
         util = summary["busy_s"] / (summary["pool_wall_s"] or 1.0)
     headers = [
         "pools", "pooled", "inline", "tasks", "chunks",
-        "to_workers_kb", "from_workers_kb", "spill_kb", "util",
+        "to_workers_kb", "from_workers_kb", "spill_kb", "shm_kb",
+        "fallbacks", "util",
     ]
     row = [
         summary.get("pools_created", 0),
@@ -58,6 +59,8 @@ def format_executor_summary(summary: dict, title: str = "executor") -> str:
         summary.get("bytes_to_workers", 0) / 1024.0,
         summary.get("bytes_from_workers", 0) / 1024.0,
         summary.get("spill_bytes_written", 0) / 1024.0,
+        summary.get("shm_bytes", 0) / 1024.0,
+        summary.get("shm_fallbacks", 0),
         util,
     ]
     return format_table(headers, [row], title=title)

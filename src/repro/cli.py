@@ -64,6 +64,18 @@ def _add_join_options(parser: argparse.ArgumentParser) -> None:
                              "(on by default; output is identical either way)")
     parser.add_argument("--bitmap-width", type=int, default=64,
                         help="bitmap signature width in bits (default: 64)")
+    parser.add_argument("--batch-size", type=int, default=64, metavar="N",
+                        help="columnar batch size for the Stage-2 kernels "
+                             "(default: 64); 0 selects the scalar "
+                             "pair-at-a-time path — output is identical "
+                             "either way")
+    parser.add_argument("--shuffle-transport", default="shm",
+                        choices=["shm", "disk"],
+                        help="intermediate-data transport of --parallel runs: "
+                             "zero-copy shared-memory segments (default) or "
+                             "disk spill files; shm falls back to disk "
+                             "automatically when /dev/shm is unavailable; "
+                             "output is byte-identical either way")
     parser.add_argument("--dfs-dir", default=None, metavar="PATH",
                         help="back the DFS with this directory instead of RAM")
     parser.add_argument("--sanitize", action="store_true",
@@ -119,6 +131,8 @@ def _build_config(args: argparse.Namespace) -> JoinConfig:
         token_encoding=args.token_encoding,
         bitmap_filter=not args.no_bitmap_filter,
         bitmap_width=args.bitmap_width,
+        batch_size=args.batch_size or None,
+        shuffle_transport=args.shuffle_transport,
         sanitize=args.sanitize,
     )
 
@@ -155,7 +169,7 @@ def _make_cluster(args: argparse.Namespace) -> SimulatedCluster:
 
         return PersistentParallelCluster(
             ClusterConfig(num_nodes=num_nodes), dfs, workers=args.parallel,
-            **faults,
+            transport=args.shuffle_transport, **faults,
         )
     return SimulatedCluster(ClusterConfig(num_nodes=num_nodes), dfs, **faults)
 

@@ -37,11 +37,13 @@ from __future__ import annotations
 
 from array import array
 from bisect import bisect_left
-from typing import TYPE_CHECKING, Iterable, Sequence
+from typing import TYPE_CHECKING, Callable, Iterable, Sequence
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (analysis -> core)
     from repro.analysis.sanitize import Sanitizer
+    from repro.core.batch import TokenBatch
 
+from repro.core.batch import REL_R
 from repro.core.bitmaps import signature as bitmap_signature
 from repro.core.filters import (
     positional_filter_passes,
@@ -193,9 +195,14 @@ class PPJoinIndex:
             return
         entry_id = len(self._rids)
         self._rids.append(rid)
-        # tuples and array('i') are kept as-is (both immutable-enough and
-        # slice cheaply); only mutable lists are defensively copied
-        self._tokens.append(tokens if isinstance(tokens, (tuple, array)) else tuple(tokens))
+        # tuples, array('i') and flat-batch memoryviews are kept as-is
+        # (all slice cheaply without copying the payload); only mutable
+        # lists are defensively copied
+        self._tokens.append(
+            tokens
+            if isinstance(tokens, (tuple, array, memoryview))
+            else tuple(tokens)
+        )
         self._sizes.append(n)
         if self.mode == "self":
             plen = self.sim.index_prefix_length(n, self.threshold)
@@ -400,6 +407,55 @@ class PPJoinIndex:
                 similarity = sim.similarity_from_overlap(n_true, ny, total)
                 results.append((self._rids[entry_id], similarity))
         return results
+
+    # -- batch driving -------------------------------------------------
+
+    def probe_batch(
+        self,
+        batch: "TokenBatch",
+        start: int,
+        stop: int,
+        emit: "Callable[[int, int, float], None]",
+        meter: "Callable[[], None] | None" = None,
+    ) -> None:
+        """Drive the index with rows ``[start, stop)`` of a columnar
+        :class:`~repro.core.batch.TokenBatch`.
+
+        Rows are processed in batch order against zero-copy views of
+        the flat token array — no per-record tuple is materialized on
+        either the probe or the index side.  Semantics per row follow
+        the index mode exactly:
+
+        * ``self`` — probe then add (the record joins the index for
+          every later row, matching the scalar probe/add loop);
+        * ``rs`` — rows tagged ``REL_R`` are added, others probe with
+          their recorded true set size (S-side token dropping).
+
+        ``emit(row, other_rid, similarity)`` receives each match;
+        ``meter()`` (if given) runs after every row so callers can keep
+        the scalar kernels' per-record memory accounting and OOM
+        timing.  Results, filter stats and eviction behavior are
+        bit-identical to calling :meth:`probe`/:meth:`add` row by row —
+        this method *is* that loop, minus the per-record allocation.
+        """
+        rels = batch.rels
+        rids = batch.rids
+        true_sizes = batch.true_sizes
+        sigs = batch.sigs
+        self_mode = self.mode == "self"
+        for row in range(start, stop):
+            tokens = batch.view(row)
+            rid = rids[row]
+            sig = sigs[row]
+            if self_mode or rels[row] != REL_R:
+                for other_rid, similarity in self.probe(
+                    rid, tokens, true_size=true_sizes[row], signature=sig
+                ):
+                    emit(row, other_rid, similarity)
+            if self_mode or rels[row] == REL_R:
+                self.add(rid, tokens, signature=sig)
+            if meter is not None:
+                meter()
 
 
 def _sorted_by_size(projections: Iterable[Projection]) -> list[Projection]:

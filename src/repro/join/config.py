@@ -35,6 +35,7 @@ KERNELS = ("bk", "pk")
 ROUTINGS = ("individual", "grouped")
 STAGE3_ALGORITHMS = ("brj", "oprj")
 TOKEN_ENCODINGS = ("rank", "string")
+SHUFFLE_TRANSPORTS = ("shm", "disk")
 
 
 @dataclass
@@ -81,6 +82,24 @@ class JoinConfig:
     #: signature width in bits for ``bitmap_filter`` (wider = fewer
     #: collisions = more pruning, slightly larger shuffle records)
     bitmap_width: int = 64
+    #: columnar batch size for the Stage-2 kernels: the main BK/PK
+    #: reducers pack this many projections into one contiguous
+    #: :class:`repro.core.batch.TokenBatch` block and verify against
+    #: zero-copy views of the flat token array.  ``None`` selects the
+    #: scalar pair-at-a-time path, which produces bit-identical pairs
+    #: and filter counters (differential-tested) and serves as the
+    #: oracle.  Section-5 block/length-class reducers always run scalar.
+    batch_size: int | None = 64
+    #: transport of map->reduce intermediate data on the persistent
+    #: parallel engine: ``"shm"`` routes partition buckets through
+    #: ``multiprocessing.shared_memory`` segments (serialized once in
+    #: the map worker, attached read-only by reduce workers — the
+    #: parent only moves segment names and offsets), ``"disk"`` keeps
+    #: the spill-file shuffle.  shm automatically falls back to disk
+    #: per task when ``/dev/shm`` is unavailable or segment creation
+    #: fails, and engine-wide after fault degradation; outputs are
+    #: byte-identical either way.  Ignored by the other engines.
+    shuffle_transport: str = "shm"
     #: runtime sanitizer mode (see :mod:`repro.analysis.sanitize`):
     #: wraps the Stage-2 kernels and shuffle with observe-only invariant
     #: checks — reduce-input length sortedness, a sampled filter
@@ -117,6 +136,15 @@ class JoinConfig:
         if self.length_class_width is not None and self.length_class_width < 1:
             raise ValueError(
                 f"length_class_width must be >= 1, got {self.length_class_width}"
+            )
+        if self.batch_size is not None and self.batch_size < 1:
+            raise ValueError(
+                f"batch_size must be >= 1 or None, got {self.batch_size}"
+            )
+        if self.shuffle_transport not in SHUFFLE_TRANSPORTS:
+            raise ValueError(
+                f"shuffle_transport must be one of {SHUFFLE_TRANSPORTS}, "
+                f"got {self.shuffle_transport!r}"
             )
         if self.length_class_width is not None and self.blocks is not None:
             raise ValueError(

@@ -124,9 +124,17 @@ class JoinReport:
             registry.gauge(f"{name}.simulated_s", stats.simulated_total_s)
             registry.gauge(f"{name}.shuffle_bytes", stats.shuffle_bytes)
         registry.gauge("total.simulated_s", self.total_simulated_s)
+        summary = self.executor_summary()
         registry.merge_gauges(
-            {k: float(v) for k, v in self.executor_summary().items()},
+            {k: float(v) for k, v in summary.items()},
             prefix="executor.",
+        )
+        # shuffle-transport health under stable names (gauges, not job
+        # counters: physical-execution figures differ across engines by
+        # design, while job counters must merge identically everywhere)
+        registry.gauge("shuffle.shm_bytes", float(summary.get("shm_bytes", 0)))
+        registry.gauge(
+            "shuffle.fallback_disk", float(summary.get("shm_fallbacks", 0))
         )
         return registry
 
@@ -170,8 +178,17 @@ def _num_reducers(config: JoinConfig, cluster: SimulatedCluster) -> int:
     return cluster.config.reduce_slots
 
 
-def _prepare(cluster: SimulatedCluster, jobs: list) -> None:
-    """Register a whole join's jobs with a persistent-pool cluster."""
+def _prepare(cluster: SimulatedCluster, config: JoinConfig, jobs: list) -> None:
+    """Register a whole join's jobs with a persistent-pool cluster and
+    apply the join-level shuffle transport to its executor.
+
+    ``JoinConfig.shuffle_transport`` wins over whatever the cluster was
+    constructed with — the join is the unit benchmarks configure — and
+    is a no-op on engines without an executor (sequential, per-phase
+    fork)."""
+    executor = getattr(cluster, "executor", None)
+    if executor is not None and hasattr(executor, "transport"):
+        executor.transport = config.shuffle_transport
     prepare = getattr(cluster, "prepare_jobs", None)
     if prepare is not None:
         prepare(jobs)
@@ -242,7 +259,7 @@ def ssjoin_self(
     s3 = stage3_jobs(
         config, {records_file: 0}, pairs_file, output_file, reducers, is_rs=False
     )
-    _prepare(cluster, s1 + s2 + s3)
+    _prepare(cluster, config, s1 + s2 + s3)
 
     done: list[str] = []
     if checkpoint is not None:
@@ -309,7 +326,7 @@ def ssjoin_rs(
         reducers,
         is_rs=True,
     )
-    _prepare(cluster, s1 + s2 + s3)
+    _prepare(cluster, config, s1 + s2 + s3)
 
     done: list[str] = []
     if checkpoint is not None:

@@ -32,6 +32,11 @@ from typing import Iterable, Iterator
 from repro.mapreduce.dfs import DEFAULT_BLOCK_BYTES
 from repro.mapreduce.types import approx_bytes
 
+#: same wire protocol as the executor's shuffle path (protocol 5), so a
+#: block round-trips through one ``dumps``/``loads`` pair with no
+#: stream-framing overhead
+_PICKLE = pickle.HIGHEST_PROTOCOL
+
 
 def _encode_name(name: str) -> str:
     """Filesystem-safe encoding of a DFS file name (reversible)."""
@@ -50,8 +55,13 @@ class DiskBlock:
 
     @property
     def records(self) -> list:
+        # slurp the whole block in one read and decode from memory:
+        # stream-mode pickle.load would issue many small buffered reads
+        # per block, which dominates load time for the small block sizes
+        # the simulated DFS uses
         with open(self._path, "rb") as handle:
-            return pickle.load(handle)
+            blob = handle.read()
+        return pickle.loads(blob)
 
     @property
     def num_records(self) -> int:
@@ -128,8 +138,9 @@ class LocalDiskDFS:
             nonlocal buffer, buffered_bytes
             index = len(meta_blocks)
             path = self._block_path(name, index)
+            blob = pickle.dumps(buffer, _PICKLE)
             with open(path, "wb") as handle:
-                pickle.dump(buffer, handle, protocol=pickle.HIGHEST_PROTOCOL)
+                handle.write(blob)
             meta_blocks.append(
                 {
                     "index": index,

@@ -104,6 +104,10 @@ class ExecutorPhaseStats:
     spill_bytes_written: int = 0
     #: real bytes of spill data read back on the reduce side
     spill_bytes_read: int = 0
+    #: real bytes of intermediate data placed in shared-memory segments
+    shm_bytes: int = 0
+    #: map attempts that wanted shm but fell back to the disk spill
+    shm_fallbacks: int = 0
     #: wall-clock of the dispatch loop (parent perspective)
     wall_s: float = 0.0
     #: summed task CPU seconds (worker perspective)
@@ -135,6 +139,8 @@ _EXECUTOR_SUM_FIELDS = (
     "bytes_from_workers",
     "spill_bytes_written",
     "spill_bytes_read",
+    "shm_bytes",
+    "shm_fallbacks",
 )
 
 

@@ -1,0 +1,23 @@
+"""MR008 fixture: per-record serialization and scalar verification
+inside loops of a batch-path module (file name contains ``batch``).
+
+The sanctioned forms — one ``pickle.dumps`` per bucket outside the
+loop, block verification through the batch kernels — stay clean.
+"""
+
+import pickle
+
+from repro.core.verification import verify_pair
+
+
+def reducer(key, values, ctx):
+    blob_bytes = 0
+    for value in values:
+        blob_bytes += len(pickle.dumps(value, 5))  # BAD: per-record dumps
+    hits = 0
+    for left, right in zip(values, values[1:]):
+        if verify_pair(left, right, ctx.sim, 0.5) is not None:  # BAD: scalar loop
+            hits += 1
+    ctx.write((key, blob_bytes, hits))
+    # sanctioned: the whole bucket serializes once, outside any loop
+    ctx.write((key, len(pickle.dumps(values, 5)), 0))

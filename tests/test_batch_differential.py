@@ -1,0 +1,172 @@
+"""Differential tests for the columnar batch kernels (`repro.core.batch`).
+
+The batched Stage-2 reducers must be *bit-identical* to the scalar
+pair-at-a-time path: same RID pairs, same similarities, and — because
+every filter fires in the same order on the same candidates — the same
+filter counters.  ``stage2.batches`` is the single intentional
+difference (it counts blocks, which the scalar path does not have), so
+counter comparisons exclude it.
+
+Covers: kernels (BK/PK) x encodings (rank/string) x join types
+(self/R-S) x batch sizes including 1 and non-dividing sizes, the
+row-level ``verify_rows`` vs ``verify_pair`` equivalence, and the
+numpy-vs-stdlib overlap fast path.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.batch import TokenBatch, batch_spans, numpy_or_none, verify_rows
+from repro.core.ordering import TokenOrder
+from repro.core.similarity import Jaccard
+from repro.core.verification import verify_pair
+from repro.join.config import JoinConfig
+from repro.join.driver import ssjoin_rs, ssjoin_self
+from repro.join.stage2 import STAGE2_BATCHES
+
+from tests.conftest import SCHEMA_1, make_cluster, random_records
+
+BATCH_SIZES = [1, 2, 3, 64]
+CONFIG = dict(threshold=0.5, schema=SCHEMA_1)
+
+
+def _run(records, config, rs=False):
+    cluster = make_cluster()
+    if rs:
+        r, s = records
+        cluster.dfs.write("r", r)
+        cluster.dfs.write("s", s)
+        report = ssjoin_rs(cluster, "r", "s", config)
+    else:
+        cluster.dfs.write("records", records)
+        report = ssjoin_self(cluster, "records", config)
+    pairs = sorted(cluster.dfs.read_all(report.output_file))
+    counters = {
+        k: v for k, v in report.counters().items() if k != STAGE2_BATCHES
+    }
+    return pairs, counters
+
+
+class TestStage2BatchDifferential:
+    @pytest.mark.parametrize("kernel", ["bk", "pk"])
+    @pytest.mark.parametrize("encoding", ["rank", "string"])
+    def test_self_join_batched_equals_scalar(self, rng, kernel, encoding):
+        records = random_records(rng, 60)
+        scalar = _run(
+            records,
+            JoinConfig(
+                kernel=kernel, token_encoding=encoding, batch_size=None, **CONFIG
+            ),
+        )
+        for batch_size in BATCH_SIZES:
+            batched = _run(
+                records,
+                JoinConfig(
+                    kernel=kernel,
+                    token_encoding=encoding,
+                    batch_size=batch_size,
+                    **CONFIG,
+                ),
+            )
+            assert batched == scalar, (kernel, encoding, batch_size)
+
+    @pytest.mark.parametrize("kernel", ["bk", "pk"])
+    @pytest.mark.parametrize("encoding", ["rank", "string"])
+    def test_rs_join_batched_equals_scalar(self, rng, kernel, encoding):
+        r = random_records(rng, 40)
+        s = random_records(rng, 40, rid_base=1000)
+        scalar = _run(
+            (r, s),
+            JoinConfig(
+                kernel=kernel, token_encoding=encoding, batch_size=None, **CONFIG
+            ),
+            rs=True,
+        )
+        for batch_size in BATCH_SIZES:
+            batched = _run(
+                (r, s),
+                JoinConfig(
+                    kernel=kernel,
+                    token_encoding=encoding,
+                    batch_size=batch_size,
+                    **CONFIG,
+                ),
+                rs=True,
+            )
+            assert batched == scalar, (kernel, encoding, batch_size)
+
+    @given(seed=st.integers(0, 2**20), batch_size=st.sampled_from([1, 3, 7, 64]))
+    @settings(max_examples=15, deadline=None)
+    def test_hypothesis_batched_equals_scalar(self, seed, batch_size):
+        rng = random.Random(seed)
+        records = random_records(rng, 35)
+        scalar = _run(records, JoinConfig(batch_size=None, **CONFIG))
+        batched = _run(records, JoinConfig(batch_size=batch_size, **CONFIG))
+        assert batched == scalar
+
+    def test_batches_counter_counts_blocks(self, rng):
+        records = random_records(rng, 60)
+        cluster = make_cluster()
+        cluster.dfs.write("records", records)
+        report = ssjoin_self(
+            cluster, "records", JoinConfig(batch_size=2, **CONFIG)
+        )
+        assert report.counters()[STAGE2_BATCHES] > 0
+
+
+token_sets = st.lists(
+    st.sets(st.integers(0, 40), min_size=1, max_size=14),
+    min_size=2,
+    max_size=12,
+)
+
+
+class TestVerifyRowsEquivalence:
+    @given(sets=token_sets, threshold=st.sampled_from([0.5, 0.75, 0.9]))
+    @settings(max_examples=80, deadline=None)
+    def test_verify_rows_matches_verify_pair(self, sets, threshold):
+        sim = Jaccard()
+        freqs: dict = {}
+        for s in sets:
+            for tok in s:
+                freqs[f"t{tok}"] = freqs.get(f"t{tok}", 0) + 1
+        order = TokenOrder.from_frequencies(freqs)
+        tokens = [order.encode_array(sorted(f"t{t}" for t in s)) for s in sets]
+        batch = TokenBatch.from_projections(
+            [(0, i, len(arr), None, arr) for i, arr in enumerate(tokens)]
+        )
+        for i in range(len(tokens)):
+            for j in range(i + 1, len(tokens)):
+                scalar = verify_pair(
+                    tokens[i], tokens[j], sim, threshold, presorted=True
+                )
+                batched = verify_rows(batch, i, batch, j, sim, threshold)
+                assert scalar == batched
+
+    @given(sets=token_sets)
+    @settings(max_examples=40, deadline=None)
+    def test_numpy_overlap_matches_stdlib(self, sets):
+        np = numpy_or_none()
+        if np is None:
+            pytest.skip("numpy unavailable")
+        from array import array
+
+        tokens = [array("i", sorted(s)) for s in sets]
+        batch = TokenBatch.from_projections(
+            [(0, i, len(arr), None, arr) for i, arr in enumerate(tokens)]
+        )
+        for i in range(len(tokens)):
+            for j in range(len(tokens)):
+                expected = len(frozenset(tokens[i]) & frozenset(tokens[j]))
+                assert batch.overlap(i, batch, j) == expected
+
+    def test_batch_spans_cover_every_row_once(self):
+        for count in (0, 1, 5, 64, 65, 130):
+            for size in (1, 3, 64):
+                spans = batch_spans(count, size)
+                rows = [r for start, stop in spans for r in range(start, stop)]
+                assert rows == list(range(count))

@@ -60,9 +60,30 @@ def test_format_executor_summary_golden():
     )
     assert format_executor_summary(summary) == (
         "executor\n"
-        "pools  pooled  inline  tasks  chunks  to_workers_kb  from_workers_kb  spill_kb  util\n"
-        "-----  ------  ------  -----  ------  -------------  ---------------  --------  ----\n"
-        "1      4       2       24     8       2.00           1.00             0.50      1.50"
+        "pools  pooled  inline  tasks  chunks  to_workers_kb  from_workers_kb  "
+        "spill_kb  shm_kb  fallbacks  util\n"
+        "-----  ------  ------  -----  ------  -------------  ---------------  "
+        "--------  ------  ---------  ----\n"
+        "1      4       2       24     8       2.00           1.00             "
+        "0.50      0.00    0          1.50"
+    )
+
+
+def test_format_executor_summary_shm_golden():
+    summary = dict(
+        pools_created=1, pooled_phases=4, inline_phases=2, tasks=24,
+        chunks=8, bytes_to_workers=2048, bytes_from_workers=1024,
+        spill_bytes_written=0, shm_bytes=4096, shm_fallbacks=1,
+        busy_s=6.0, pool_wall_s=4.0,
+    )
+    assert format_executor_summary(summary) == (
+        "executor\n"
+        "pools  pooled  inline  tasks  chunks  to_workers_kb  from_workers_kb  "
+        "spill_kb  shm_kb  fallbacks  util\n"
+        "-----  ------  ------  -----  ------  -------------  ---------------  "
+        "--------  ------  ---------  ----\n"
+        "1      4       2       24     8       2.00           1.00             "
+        "0.00      4.00    1          1.50"
     )
 
 
