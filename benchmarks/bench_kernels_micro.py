@@ -25,7 +25,7 @@ from pathlib import Path
 
 import pytest
 
-from repro.bench import dblp_times
+from repro.bench import dblp_times, skewed_times
 from repro.core.allpairs import allpairs_self_join
 from repro.core.batch import TokenBatch, verify_batch_pairs
 from repro.core.bitmaps import signature as bitmap_signature
@@ -304,6 +304,63 @@ def test_bench_kernel_baseline(record_result):
     )
     trace_overhead = 100.0 * (t_traced / t_plain - 1.0)
 
+    # skew-adaptive planning, end-to-end: the Zipf-hub skewed corpus
+    # where a few hot prefix tokens pin quadratic kernel work onto
+    # single reduce partitions.  Static plan vs --adaptive (plan-time
+    # sampling + cost model + hot-group splitting), interleaved rounds.
+    # The headline number is the *simulated* total — the paper's
+    # y-axis (10 nodes × 4 reduce slots); a straggler cannot hurt the
+    # wall clock of a host that timeshares every task anyway.  Output
+    # must stay bit-identical to the static plan, on the sequential
+    # engine and on the parallel engine (workers=2).
+    skew_lines = list(skewed_times(2))
+    skew_cfgs = {
+        "static": JoinConfig(threshold=0.8),
+        "adaptive": JoinConfig(threshold=0.8, adaptive=True),
+    }
+    sim_totals = {name: [] for name in skew_cfgs}
+    s2_reduce_makespan = {name: [] for name in skew_cfgs}
+    skew_outputs = {}
+    skew_splits = 0
+    # the straggler signal rides on measured per-task cpu, so give this
+    # section extra interleaved rounds for min-of to shed host noise
+    for _ in range(2 * E2E_ROUNDS):
+        for name, cfg in skew_cfgs.items():
+            cluster = SimulatedCluster(ClusterConfig(), InMemoryDFS())
+            cluster.dfs.write("in.records", skew_lines)
+            rep = ssjoin_self(cluster, "in.records", cfg)
+            sim_totals[name].append(rep.total_simulated_s)
+            s2_reduce_makespan[name].append(
+                rep.stage2.phases[0].reduce_makespan_s
+            )
+            skew_outputs[name] = [
+                list(b.records)
+                for b in cluster.dfs.file(rep.output_file).blocks
+            ]
+            if name == "adaptive":
+                skew_splits = rep.counters().get("plan.splits", 0)
+    assert skew_outputs["adaptive"] == skew_outputs["static"], (
+        "adaptive plan changed the join output"
+    )
+    assert skew_splits >= 1, "planner split no hot group on the skewed corpus"
+    wall_adaptive, out_parallel, _ = _run_e2e(
+        lambda: PersistentParallelCluster(
+            ClusterConfig(), InMemoryDFS(), workers=2
+        ),
+        skew_lines,
+        skew_cfgs["adaptive"],
+    )
+    assert out_parallel == skew_outputs["static"], (
+        "adaptive output on the parallel engine diverged from the "
+        "static sequential oracle"
+    )
+    sim_static = min(sim_totals["static"])
+    sim_adaptive = min(sim_totals["adaptive"])
+    skew_improvement = 100.0 * (1.0 - sim_adaptive / sim_static)
+    s2_static = min(s2_reduce_makespan["static"])
+    s2_adaptive = min(s2_reduce_makespan["adaptive"])
+    s2_improvement = 100.0 * (1.0 - s2_adaptive / s2_static)
+
     payload = {
         "generated_by": "benchmarks/bench_kernels_micro.py::test_bench_kernel_baseline",
         "kernel_micro": {
@@ -375,6 +432,29 @@ def test_bench_kernel_baseline(record_result):
             "traced_all_s": [round(t, 3) for t in trace_walls["traced"]],
             "output_identical_traced_vs_untraced": True,
         },
+        "skew_adaptive": {
+            "workload": (
+                "skewed x2 (Zipf hubs), bto-pk-brj, jaccard>=0.8, "
+                "static plan vs --adaptive, simulated 10 nodes x 4 slots"
+            ),
+            "rounds": 2 * E2E_ROUNDS,
+            "static_simulated_best_s": round(sim_static, 1),
+            "adaptive_simulated_best_s": round(sim_adaptive, 1),
+            "improvement_pct": round(skew_improvement, 1),
+            "static_simulated_all_s": [
+                round(t, 1) for t in sim_totals["static"]
+            ],
+            "adaptive_simulated_all_s": [
+                round(t, 1) for t in sim_totals["adaptive"]
+            ],
+            "stage2_reduce_makespan_static_s": round(s2_static, 1),
+            "stage2_reduce_makespan_adaptive_s": round(s2_adaptive, 1),
+            "stage2_reduce_improvement_pct": round(s2_improvement, 1),
+            "hot_groups_split": skew_splits,
+            "output_identical_to_static": True,
+            "parallel_workers2_output_identical": True,
+            "parallel_workers2_wall_s": round(wall_adaptive, 3),
+        },
     }
     RESULTS_JSON.parent.mkdir(exist_ok=True)
     RESULTS_JSON.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
@@ -391,5 +471,9 @@ def test_bench_kernel_baseline(record_result):
         f"  shuffle e2e dblp x{E2E_FACTOR}: shm={shm_best:.3f}s "
         f"disk={disk_best:.3f}s (x{disk_best / shm_best:.2f})\n"
         f"  tracing e2e dblp x{E2E_FACTOR}: untraced={t_plain:.3f}s "
-        f"traced={t_traced:.3f}s overhead={trace_overhead:+.1f}%"
+        f"traced={t_traced:.3f}s overhead={trace_overhead:+.1f}%\n"
+        f"  skew-adaptive skewed x2 (simulated): static={sim_static:.1f}s "
+        f"adaptive={sim_adaptive:.1f}s improvement={skew_improvement:.1f}% "
+        f"(stage2 reduce {s2_static:.1f}s -> {s2_adaptive:.1f}s, "
+        f"{s2_improvement:.1f}%), splits={skew_splits}"
     )

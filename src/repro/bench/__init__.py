@@ -9,6 +9,7 @@ from repro.bench.workloads import (
     dblp_times,
     citeseerx_times,
     rs_workload,
+    skewed_times,
 )
 from repro.bench.harness import (
     PAPER_COMBOS,
@@ -51,6 +52,7 @@ __all__ = [
     "self_join_scaleup",
     "self_join_size_sweep",
     "self_join_speedup",
+    "skewed_times",
     "stage_breakdown_scaleup",
     "stage_breakdown_speedup",
 ]

@@ -19,7 +19,7 @@ import sys
 
 from repro.data.increase import increase_dataset
 from repro.data.loaders import read_records, write_records
-from repro.data.synthetic import generate_citeseerx, generate_dblp
+from repro.data.synthetic import generate_citeseerx, generate_dblp, generate_skewed
 from repro.join.blocks import BlockPolicy
 from repro.join.config import JoinConfig
 from repro.join.driver import JoinReport, ssjoin_rs, ssjoin_self
@@ -40,6 +40,21 @@ def _add_join_options(parser: argparse.ArgumentParser) -> None:
                         choices=["individual", "grouped"])
     parser.add_argument("--num-groups", type=int, default=None,
                         help="token groups for --routing grouped")
+    parser.add_argument("--adaptive", action="store_true",
+                        help="skew-adaptive planning: sample the input, "
+                             "choose routing/num-groups/batch-size from a "
+                             "cost model, and split hot Stage-2 token "
+                             "groups across reducers; output is identical "
+                             "to the static plan")
+    parser.add_argument("--split-threshold", type=float, default=2.0,
+                        metavar="X",
+                        help="with --adaptive, split a token group whose "
+                             "estimated reduce load exceeds X times the "
+                             "mean per-reducer load (default: 2.0)")
+    parser.add_argument("--split-factor", type=int, default=4, metavar="K",
+                        help="with --adaptive, shard each hot group "
+                             "across up to K reducer partitions "
+                             "(default: 4)")
     parser.add_argument("--join-fields", default="1,2",
                         help="comma-separated 1-based field indexes forming "
                              "the join attribute (default: 1,2)")
@@ -134,6 +149,9 @@ def _build_config(args: argparse.Namespace) -> JoinConfig:
         batch_size=args.batch_size or None,
         shuffle_transport=args.shuffle_transport,
         sanitize=args.sanitize,
+        adaptive=args.adaptive,
+        split_threshold=args.split_threshold,
+        split_factor=args.split_factor,
     )
 
 
@@ -234,8 +252,15 @@ def _emit(args: argparse.Namespace, pairs: list, report: JoinReport) -> None:
         for stage, seconds in report.stage_times().items():
             print(f"  {stage}: {seconds:.1f}s (simulated, "
                   f"{args.nodes} nodes)", file=sys.stderr)
-        from repro.bench.reporting import format_executor_summary, format_filter_counters
+        from repro.bench.reporting import (
+            format_executor_summary,
+            format_filter_counters,
+            format_plan_counters,
+        )
 
+        plan_line = format_plan_counters(counters)
+        if plan_line:
+            print(plan_line, file=sys.stderr)
         print(format_filter_counters(report.filter_counters()), file=sys.stderr)
         summary = report.executor_summary()
         if summary.get("pooled_phases") or summary.get("inline_phases"):
@@ -333,6 +358,8 @@ def _cmd_lint(args: argparse.Namespace) -> int:
 def _cmd_generate(args: argparse.Namespace) -> int:
     if args.corpus == "dblp":
         records = generate_dblp(args.num_records, seed=args.seed)
+    elif args.corpus == "skewed":
+        records = generate_skewed(args.num_records, seed=args.seed)
     else:
         shared = read_records(args.shared_with) if args.shared_with else None
         records = generate_citeseerx(
@@ -364,7 +391,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_rs.set_defaults(func=_cmd_rsjoin)
 
     p_gen = sub.add_parser("generate", help="generate a synthetic corpus")
-    p_gen.add_argument("corpus", choices=["dblp", "citeseerx"])
+    p_gen.add_argument("corpus", choices=["dblp", "citeseerx", "skewed"])
     p_gen.add_argument("num_records", type=int)
     p_gen.add_argument("-o", "--output", required=True)
     p_gen.add_argument("--seed", type=int, default=0)
@@ -387,8 +414,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_trace = sub.add_parser(
         "trace-report",
         help="analyze --trace output: per-stage critical path, straggler "
-             "tasks and reduce-group skew (Gini, p99/median); pass several "
-             "traces to compare routing balance",
+             "tasks and reduce-group skew (work-per-slot Gini, straggler "
+             "share, p99/median); pass several traces to compare routing "
+             "balance",
     )
     p_trace.add_argument("traces", nargs="+",
                          help="Chrome trace-event JSON file(s) from --trace")

@@ -417,6 +417,7 @@ class PPJoinIndex:
         stop: int,
         emit: "Callable[[int, int, float], None]",
         meter: "Callable[[], None] | None" = None,
+        tagged: bool = False,
     ) -> None:
         """Drive the index with rows ``[start, stop)`` of a columnar
         :class:`~repro.core.batch.TokenBatch`.
@@ -428,6 +429,11 @@ class PPJoinIndex:
 
         * ``self`` — probe then add (the record joins the index for
           every later row, matching the scalar probe/add loop);
+        * ``self`` with ``tagged=True`` — the split-group variant: each
+          row performs exactly one role by its relation tag (``REL_R``
+          rows add, others probe), because a split shard carries every
+          record twice — a replicated add copy and an at-home probe
+          copy — instead of one dual-role copy;
         * ``rs`` — rows tagged ``REL_R`` are added, others probe with
           their recorded true set size (S-side token dropping).
 
@@ -442,7 +448,7 @@ class PPJoinIndex:
         rids = batch.rids
         true_sizes = batch.true_sizes
         sigs = batch.sigs
-        self_mode = self.mode == "self"
+        self_mode = self.mode == "self" and not tagged
         for row in range(start, stop):
             tokens = batch.view(row)
             rid = rids[row]

@@ -168,6 +168,93 @@ def generate_dblp(num_records: int, seed: int = 0, rid_base: int = 0) -> list[st
     return generate_corpus(DBLP_SPEC, num_records, seed=seed, rid_base=rid_base)
 
 
+#: knobs of the skewed corpus, fixed so every consumer (benchmarks, CI
+#: smoke, tests) reproduces the identical distribution
+_SKEW_NUM_HUBS = 16
+_SKEW_HUB_ZIPF_S = 2.5
+_SKEW_HUB_FRACTION = 0.3
+_SKEW_COMMON_VOCAB = 24
+_SKEW_TITLE_WORDS = (9, 13)
+_SKEW_AUTHOR_POOL = 3
+
+
+def generate_skewed(
+    num_records: int,
+    seed: int = 0,
+    rid_base: int = 0,
+    hub_fraction: float = _SKEW_HUB_FRACTION,
+) -> list[str]:
+    """Zipf/power-law *prefix-skewed* corpus for straggler benchmarks.
+
+    The generic corpora are Zipf-distributed over the whole vocabulary,
+    but the prefix filter routes each record on its **rarest** tokens —
+    so global skew largely cancels out of Stage-2 routing.  This
+    generator is built to put the skew exactly where the router looks:
+
+    * titles draw from a deliberately *small* common vocabulary, so
+      ordinary words are all high-frequency and sort to the **end** of
+      the ascending-frequency token order (out of the prefix);
+    * a *hub_fraction* of records additionally carry one "hub" token
+      drawn Zipf-distributed from a tiny anchor pool.  Hub tokens are
+      the rarest token in their record, so they land at prefix position
+      one and the Zipf head hubs each pull a few percent of the whole
+      corpus onto a single Stage-2 routing key — the hot groups the
+      adaptive planner must find and split;
+    * hub records sharing a hub are near-duplicates of each other
+      (perturbed titles), so the hot groups also produce a non-trivial
+      join answer instead of pure filter misses.
+
+    Seeded and deterministic, like the other generators.
+    """
+    if not 0.0 < hub_fraction < 1.0:
+        raise ValueError(f"hub_fraction must be in (0, 1), got {hub_fraction}")
+    rng = random.Random(f"{seed}:skewed:{num_records}")
+    common = [f"word{i:03d}" for i in range(_SKEW_COMMON_VOCAB)]
+    hubs = [f"hub{i:03d}" for i in range(_SKEW_NUM_HUBS)]
+    hub_weights = [1.0 / (rank + 1) ** _SKEW_HUB_ZIPF_S for rank in range(_SKEW_NUM_HUBS)]
+    hub_cum = list(accumulate(hub_weights))
+    hub_total = hub_cum[-1]
+    # a single author from tiny pools: author tokens stay frequent
+    # enough not to crowd the hub token out of the prefix — the hub must
+    # be the *rarest* token of its record even for the hottest hub
+    def draw_authors() -> str:
+        first = _FIRST_NAMES[: _SKEW_AUTHOR_POOL]
+        last = _LAST_NAMES[: _SKEW_AUTHOR_POOL]
+        return f"{rng.choice(first)} {rng.choice(last)}"
+
+    #: per-hub perturbation pool of (title, authors), so hub groups
+    #: hold near-duplicates and the hot groups produce join answers
+    hub_pool: dict[str, list[tuple[str, str]]] = {}
+    lines: list[str] = []
+    for offset in range(num_records):
+        rid = rid_base + offset
+        if rng.random() < hub_fraction:
+            hub = hubs[bisect_right(hub_cum, rng.random() * hub_total)]
+            pool = hub_pool.setdefault(hub, [])
+            if pool and rng.random() < 0.5:
+                title, authors = rng.choice(pool)
+                words = title.split()
+                if rng.random() < 0.5:
+                    words[rng.randrange(len(words))] = rng.choice(common)
+                    title = " ".join(dict.fromkeys(words))
+                # else: exact duplicate of title+authors under a new RID
+            else:
+                count = rng.randint(*_SKEW_TITLE_WORDS)
+                title = " ".join(
+                    dict.fromkeys(rng.choice(common) for _ in range(count))
+                )
+                authors = draw_authors()
+            pool.append((title, authors))
+            title = f"{title} {hub}"
+        else:
+            count = rng.randint(*_SKEW_TITLE_WORDS)
+            title = " ".join(dict.fromkeys(rng.choice(common) for _ in range(count)))
+            authors = draw_authors()
+        payload = f"{rng.choice(_VENUES)} {rng.randint(1980, 2010)}"
+        lines.append(make_line(rid, [title, authors, payload]))
+    return lines
+
+
 def generate_citeseerx(
     num_records: int,
     seed: int = 1,

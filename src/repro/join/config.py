@@ -100,6 +100,21 @@ class JoinConfig:
     #: fails, and engine-wide after fault degradation; outputs are
     #: byte-identical either way.  Ignored by the other engines.
     shuffle_transport: str = "shm"
+    #: skew-adaptive planning (arXiv:1804.05615): before any job runs,
+    #: the driver draws a deterministic seeded sample of the input,
+    #: estimates the prefix-token frequency distribution
+    #: (:func:`repro.join.estimate.sample_prefix_frequencies`) and lets
+    #: :func:`repro.join.planner.plan_stage2` pick routing, group count
+    #: and batch size for this workload — and mark hot token groups for
+    #: run-time splitting.  Emitted pairs and filter counters are
+    #: bit-identical to the static plan (differential-tested).
+    adaptive: bool = False
+    #: split a Stage-2 token group when its estimated reduce load
+    #: exceeds this multiple of the mean per-reducer load (the
+    #: replication-vs-load tradeoff of arXiv:1204.1754)
+    split_threshold: float = 2.0
+    #: number of reducer shards a split group is spread over
+    split_factor: int = 4
     #: runtime sanitizer mode (see :mod:`repro.analysis.sanitize`):
     #: wraps the Stage-2 kernels and shuffle with observe-only invariant
     #: checks — reduce-input length sortedness, a sampled filter
@@ -145,6 +160,14 @@ class JoinConfig:
             raise ValueError(
                 f"shuffle_transport must be one of {SHUFFLE_TRANSPORTS}, "
                 f"got {self.shuffle_transport!r}"
+            )
+        if self.split_threshold <= 0:
+            raise ValueError(
+                f"split_threshold must be > 0, got {self.split_threshold}"
+            )
+        if self.split_factor < 1:
+            raise ValueError(
+                f"split_factor must be >= 1, got {self.split_factor}"
             )
         if self.length_class_width is not None and self.blocks is not None:
             raise ValueError(

@@ -20,10 +20,12 @@ relation as R.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace as dataclass_replace
 
 from repro.join.checkpoint import JoinCheckpoint, checkpoint_identity
 from repro.join.config import JoinConfig
+from repro.join.estimate import sample_prefix_frequencies
+from repro.join.planner import Stage2Plan, plan_stage2
 from repro.join.stage1 import stage1_jobs
 from repro.join.stage2 import stage2_self_job
 from repro.join.stage2_rs import stage2_rs_job
@@ -46,9 +48,10 @@ class JoinReport:
     stage1: JobStats = field(default_factory=JobStats)
     stage2: JobStats = field(default_factory=JobStats)
     stage3: JobStats = field(default_factory=JobStats)
-    #: driver-level counters with no owning job — today only
-    #: ``resume.stages_skipped``, bumped once per stage restored from a
-    #: checkpoint instead of re-run
+    #: driver-level counters with no owning job:
+    #: ``resume.stages_skipped`` (bumped once per stage restored from a
+    #: checkpoint instead of re-run) and the ``plan.*`` counters of an
+    #: adaptive run (chosen routing/groups/batch, splits, sample size)
     extra_counters: dict[str, int] = field(default_factory=dict)
 
     @property
@@ -155,6 +158,16 @@ class JoinReport:
         pairs = counters.get("stage3.record_pairs_output")
         if pairs is not None:
             lines.append(f"  record pairs: {pairs:,}")
+        if "plan.sampled_records" in counters:
+            routing = "grouped" if counters.get("plan.routing_grouped") else "individual"
+            lines.append(
+                f"  plan: routing={routing}, "
+                f"groups={counters.get('plan.num_groups', 0) or 'per-token'}, "
+                f"batch={counters.get('plan.batch_size', 0) or 'scalar'}, "
+                f"splits={counters.get('plan.splits', 0)}"
+                f"x{counters.get('plan.split_factor', 0)}, "
+                f"sampled={counters.get('plan.sampled_records', 0):,}"
+            )
         pruned = self.filter_counters()
         if any(pruned[k] for k in ("length", "bitmap", "positional", "suffix")):
             lines.append(
@@ -176,6 +189,43 @@ def _num_reducers(config: JoinConfig, cluster: SimulatedCluster) -> int:
     if config.num_reducers is not None:
         return config.num_reducers
     return cluster.config.reduce_slots
+
+
+def _adaptive_plan(
+    cluster: SimulatedCluster,
+    config: JoinConfig,
+    reducers: int,
+    r_file: str,
+    s_file: str | None = None,
+) -> tuple[JoinConfig, Stage2Plan | None]:
+    """Sample-and-plan hook: the skew-adaptive layer's driver entry.
+
+    With ``config.adaptive`` the raw input is sampled *before any job
+    runs* (:func:`sample_prefix_frequencies`) and
+    :func:`repro.join.planner.plan_stage2` chooses routing, group
+    count, batch size and hot-group splits; the returned config carries
+    the choices so every stage sees them.  Deterministic: the sample is
+    seeded, so a resumed run recomputes the identical plan.  Returns
+    ``(config, None)`` untouched when adaptive planning is off.
+    """
+    if not config.adaptive:
+        return config, None
+    r_lines = list(cluster.dfs.read_all(r_file))
+    s_lines = list(cluster.dfs.read_all(s_file)) if s_file is not None else None
+    sample = sample_prefix_frequencies(r_lines, config, s_lines=s_lines)
+    plan = plan_stage2(sample, config, reducers)
+    if plan.splits and (
+        config.blocks is not None or config.length_class_width is not None
+    ):
+        # Section-5 block/length-class routing has its own key shapes;
+        # keep the plan's routing/batch choices but run unsplit
+        plan = dataclass_replace(plan, splits=())
+    planned = config.with_options(
+        routing=plan.routing,
+        num_groups=plan.num_groups,
+        batch_size=plan.batch_size,
+    )
+    return planned, plan
 
 
 def _prepare(cluster: SimulatedCluster, config: JoinConfig, jobs: list) -> None:
@@ -246,6 +296,7 @@ def ssjoin_self(
     config = config or JoinConfig()
     prefix = prefix or f"{records_file}.selfjoin"
     reducers = _num_reducers(config, cluster)
+    config, plan = _adaptive_plan(cluster, config, reducers, records_file)
 
     token_order_file = f"{prefix}.tokens"
     pairs_file = f"{prefix}.ridpairs"
@@ -255,7 +306,11 @@ def ssjoin_self(
     # build them all before anything runs: clusters with a persistent
     # worker pool then fork exactly once for the whole join.
     s1 = stage1_jobs(config, [records_file], token_order_file, reducers)
-    s2 = [stage2_self_job(config, records_file, token_order_file, pairs_file, reducers)]
+    s2 = [
+        stage2_self_job(
+            config, records_file, token_order_file, pairs_file, reducers, plan
+        )
+    ]
     s3 = stage3_jobs(
         config, {records_file: 0}, pairs_file, output_file, reducers, is_rs=False
     )
@@ -270,6 +325,8 @@ def ssjoin_self(
         )
 
     report = JoinReport(combo=config.combo_name, output_file=output_file)
+    if plan is not None:
+        report.extra_counters.update(plan.counters())
     tracer = getattr(cluster, "tracer", None)
     with trace_span(
         tracer, f"ssjoin_self:{records_file}", "join",
@@ -286,6 +343,7 @@ def ssjoin_self(
                         "kernel": config.kernel,
                         "routing": config.routing,
                         "num_groups": config.num_groups or "per-token",
+                        "splits": len(plan.splits) if plan is not None else 0,
                     },
                 ),
                 ("stage3", s3, [output_file], {"algorithm": config.stage3}),
@@ -311,13 +369,18 @@ def ssjoin_rs(
     config = config or JoinConfig()
     prefix = prefix or f"{r_file}.rsjoin"
     reducers = _num_reducers(config, cluster)
+    config, plan = _adaptive_plan(cluster, config, reducers, r_file, s_file)
 
     token_order_file = f"{prefix}.tokens"
     pairs_file = f"{prefix}.ridpairs"
     output_file = f"{prefix}.joined"
 
     s1 = stage1_jobs(config, [r_file], token_order_file, reducers)
-    s2 = [stage2_rs_job(config, r_file, s_file, token_order_file, pairs_file, reducers)]
+    s2 = [
+        stage2_rs_job(
+            config, r_file, s_file, token_order_file, pairs_file, reducers, plan
+        )
+    ]
     s3 = stage3_jobs(
         config,
         {r_file: 0, s_file: 1},
@@ -337,6 +400,8 @@ def ssjoin_rs(
         )
 
     report = JoinReport(combo=config.combo_name, output_file=output_file)
+    if plan is not None:
+        report.extra_counters.update(plan.counters())
     tracer = getattr(cluster, "tracer", None)
     with trace_span(
         tracer, f"ssjoin_rs:{r_file}:{s_file}", "join",
@@ -353,6 +418,7 @@ def ssjoin_rs(
                         "kernel": config.kernel,
                         "routing": config.routing,
                         "num_groups": config.num_groups or "per-token",
+                        "splits": len(plan.splits) if plan is not None else 0,
                     },
                 ),
                 ("stage3", s3, [output_file], {"algorithm": config.stage3}),

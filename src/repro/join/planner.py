@@ -1,4 +1,4 @@
-"""Configuration recommendations — the paper's summaries as code.
+"""Configuration recommendations and skew-adaptive Stage-2 planning.
 
 Sections 6.1.3 and 6.2.3 distill the evaluation into guidance:
 
@@ -15,11 +15,25 @@ Sections 6.1.3 and 6.2.3 distill the evaluation into guidance:
 :func:`recommend_config` encodes exactly that: BTO-PK-BRJ unless the
 caller provides an estimated RID-pair volume that comfortably fits in
 task memory, in which case OPRJ's map-side join is suggested.
+
+:func:`plan_stage2` is the skew-adaptive layer on top
+(arXiv:1804.05615): given a :class:`repro.join.estimate.PrefixSample`
+it estimates per-routing-key reduce loads, chooses routing mode /
+group count / batch size by a makespan + shuffle cost model, and marks
+token groups whose load dominates a reduce wave for run-time splitting
+across ``split_factor`` reducer shards — the point where extra
+replication buys a shorter critical path in the Afrati/Ullman
+(arXiv:1204.1754) replication-rate sense.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
+
+from repro.core.ppjoin import ppjoin_self_join
+from repro.core.prefixes import Projection
 from repro.join.config import JoinConfig
+from repro.join.estimate import PrefixSample
 
 #: conservative per-pair footprint of OPRJ's broadcast index (bytes):
 #: the pair tuple plus dict/index overhead
@@ -67,3 +81,315 @@ def recommend_config(
     if estimate_oprj_index_bytes(expected_pairs) <= budget_bytes:
         return config.with_options(stage3="oprj")
     return config
+
+
+# ---------------------------------------------------------------------------
+# skew-adaptive Stage-2 planning
+# ---------------------------------------------------------------------------
+
+#: never split more than this many token groups — beyond the first few
+#: the remaining routes are below threshold anyway, and each split adds
+#: replication
+_MAX_SPLIT_TOKENS = 16
+
+#: minimum estimated records on a route before splitting is worth the
+#: replicated inserts at all
+_MIN_SPLIT_ROUTE_LOAD = 64.0
+
+#: cost (in kernel-work units) of shipping one replicated record
+#: through the shuffle — what grouped routing saves over individual
+_SHUFFLE_COST_WEIGHT = 0.5
+
+#: additional cost per *split replica*: every extra add copy is also
+#: emitted by a mapper (key build, partition, byte accounting), and the
+#: map phase runs before any reducer can start, so replicas lengthen
+#: the critical path at roughly the cost of a few candidate scans each
+_MAP_EMIT_COST = 1.5
+
+#: below this mean route load the columnar batch path's block-assembly
+#: overhead outweighs its verification speedup
+_BATCH_MIN_MEAN_ROUTE_LOAD = 8.0
+
+#: cost of one verification that survives the filters, relative to one
+#: shuffled/inserted record — verify walks both token arrays and emits,
+#: an insert appends to a few posting lists
+_VERIFY_PAIR_COST = 8.0
+
+#: cost of one candidate-pair touch during the probe scan.  Every
+#: record pair sharing a route is touched by the posting-list scan
+#: even when the length/positional filters then prune it, so a route's
+#: probe cost is ~quadratic in its load regardless of how many pairs
+#: survive — this term is what makes record-heavy routes with zero
+#: join results still worth splitting
+_CANDIDATE_SCAN_COST = 1.0
+
+#: grouped-routing candidates evaluated, as multiples of num_reducers
+_GROUPED_CANDIDATE_FACTORS = (1, 4)
+
+
+@dataclass(frozen=True)
+class Stage2Plan:
+    """One adaptive Stage-2 execution plan.
+
+    ``splits`` names hot *tokens* (not routes): the sample-local order
+    the planner saw differs from the real Stage-1 order, so the plan
+    carries token strings and Stage 2 resolves them against the real
+    order at map setup (:func:`repro.join.stage2.resolve_splits`).
+    ``()`` means run unsplit — byte-identical placement to the static
+    plan.
+    """
+
+    routing: str
+    num_groups: int | None
+    batch_size: int | None
+    #: ``(token, shard_count)`` per hot group, deterministic order
+    splits: tuple[tuple[str, int], ...] = field(default=())
+    sampled_records: int = 0
+
+    def counters(self) -> dict[str, int]:
+        """The ``plan.*`` counters surfaced through JoinReport."""
+        return {
+            "plan.batch_size": self.batch_size or 0,
+            "plan.num_groups": self.num_groups or 0,
+            "plan.routing_grouped": 1 if self.routing == "grouped" else 0,
+            "plan.sampled_records": self.sampled_records,
+            "plan.split_factor": max((k for _t, k in self.splits), default=0),
+            "plan.splits": len(self.splits),
+        }
+
+
+@dataclass(frozen=True)
+class _RouteProfile:
+    """Scaled per-route loads of one candidate routing.
+
+    ``records[route]`` is the estimated reduce-input record count;
+    ``work[route]`` the estimated kernel work (inserts + probes +
+    surviving verifications) in insert-equivalent units; ``shuffled``
+    the total shuffled records.
+    """
+
+    records: dict[int, float]
+    work: dict[int, float]
+    shuffled: float
+
+
+def _route_profiles(
+    sample: PrefixSample, num_groups: int | None, config: JoinConfig
+) -> _RouteProfile:
+    """Profile every route of a candidate routing from the sample.
+
+    Routes are sample-local ranks (individual) or group ids (grouped);
+    a record costs one shuffled copy per **distinct** route.  A route's
+    kernel work is modeled as inserts + candidate-pair scans +
+    surviving verifications: the scan term is analytic (``m·(m-1)/2``
+    touches among ``m`` members), while the verify term is *measured*
+    by running the real kernel on the route's sampled members, because
+    record counts cannot tell a near-duplicate cluster (verifications
+    survive the filters and dominate) from a merely record-heavy token
+    (everything is pruned).  Pairwise quantities scale by ``1/p²`` like
+    any sampled join cardinality, record counts by ``1/p``.
+    """
+    members: dict[int, list[int]] = {}
+    for idx, ranks in enumerate(sample.prefix_rank_lists):
+        if num_groups is None:
+            routes: "tuple[int, ...] | set[int]" = ranks  # ranks are distinct
+        else:
+            routes = {rank % num_groups for rank in ranks}
+        for route in routes:
+            members.setdefault(route, []).append(idx)
+    scale = sample.scale
+    token_lists = sample.token_rank_lists
+    records: dict[int, float] = {}
+    work: dict[int, float] = {}
+    shuffled = 0.0
+    for route, idxs in members.items():
+        m = len(idxs)
+        shuffled += m
+        pairs = 0
+        if m >= 2 and token_lists:
+            projs = [Projection(i, token_lists[i]) for i in idxs]
+            pairs = len(ppjoin_self_join(projs, config.sim, config.threshold))
+        records[route] = m * scale
+        touches = m * (m - 1) / 2.0
+        work[route] = (
+            2.0 * m * scale
+            + (_CANDIDATE_SCAN_COST * touches + _VERIFY_PAIR_COST * pairs)
+            * scale
+            * scale
+        )
+    return _RouteProfile(records=records, work=work, shuffled=shuffled * scale)
+
+
+def _pick_splits(
+    work: dict[int, float],
+    records: dict[int, float],
+    num_reducers: int,
+    split_threshold: float,
+    split_factor: int,
+) -> list[int]:
+    """Routes whose estimated work dominates a reduce wave, heaviest
+    first — split *candidates*; :func:`_admit_splits` keeps only the
+    ones that actually lower the modeled cost."""
+    if split_factor < 2 or not work:
+        return []
+    mean_per_reducer = sum(work.values()) / max(1, num_reducers)
+    hot = [
+        route
+        for route, w in work.items()
+        if w > split_threshold * mean_per_reducer
+        and records.get(route, 0.0) >= _MIN_SPLIT_ROUTE_LOAD
+    ]
+    hot.sort(key=lambda route: (-work[route], route))
+    return hot[:_MAX_SPLIT_TOKENS]
+
+
+def _plan_cost(
+    profile: _RouteProfile,
+    split_routes: list[int],
+    num_reducers: int,
+    split_factor: int,
+) -> float:
+    """Estimated makespan + shuffle cost of one candidate plan.
+
+    A route's work ``w`` decomposes into ``records`` inserts plus
+    probe/verify work; splitting it ``k`` ways replicates the inserts
+    to every shard but divides the probe/verify share, so the heaviest
+    shard costs ``records + (w - records)/k`` while total work and
+    shuffle grow by ``(k-1)·records`` — the Afrati/Ullman
+    replication-rate tradeoff.  Makespan is the larger of the heaviest
+    single reduce unit and the perfectly-balanced average.
+    """
+    split_set = set(split_routes)
+    total_work = 0.0
+    max_unit = 0.0
+    extra_shuffle = 0.0
+    for route, w in profile.work.items():
+        if route in split_set:
+            inserts = profile.records.get(route, 0.0)
+            unit = inserts + (w - inserts) / split_factor
+            total_work += w + (split_factor - 1) * inserts
+            extra_shuffle += (split_factor - 1) * inserts
+        else:
+            unit = w
+            total_work += w
+        if unit > max_unit:
+            max_unit = unit
+    makespan = max(max_unit, total_work / max(1, num_reducers))
+    return (
+        makespan
+        + _SHUFFLE_COST_WEIGHT * (profile.shuffled + extra_shuffle)
+        + _MAP_EMIT_COST * extra_shuffle
+    )
+
+
+def _admit_splits(
+    profile: _RouteProfile,
+    hot: list[int],
+    num_reducers: int,
+    split_factor: int,
+) -> tuple[list[int], float]:
+    """Keep the hot-route prefix whose split lowers the plan cost most.
+
+    Evaluates splitting the ``j`` heaviest hot routes for every prefix
+    length ``j`` and keeps the cheapest (ties go to fewer splits).  A
+    record-heavy but filter-pruned route passes the load threshold yet
+    only gains replication from splitting, so prefixes including it
+    cost more and it is dropped; several *equally* hot quadratic routes
+    are split together, which one-at-a-time greedy admission would miss
+    (splitting only one leaves the others as the makespan).  Returns
+    the admitted splits (heaviest first) and the resulting plan cost.
+    """
+    best_j = 0
+    best_cost = _plan_cost(profile, [], num_reducers, split_factor)
+    for j in range(1, len(hot) + 1):
+        trial = _plan_cost(profile, hot[:j], num_reducers, split_factor)
+        if trial < best_cost:
+            best_j = j
+            best_cost = trial
+    return hot[:best_j], best_cost
+
+
+def plan_stage2(
+    sample: PrefixSample,
+    config: JoinConfig,
+    num_reducers: int,
+) -> Stage2Plan:
+    """Choose a Stage-2 plan for the sampled workload.
+
+    Evaluates individual routing plus grouped routing at a few group
+    counts under the cost model of :func:`_plan_cost` (each candidate
+    with its own best split set), then picks the cheapest — ties go to
+    the earlier candidate, individual first, so the choice is
+    deterministic.  Returns a no-op plan (static config echoed back,
+    no splits) when the sample is empty.
+    """
+    rank_lists = sample.prefix_rank_lists
+    if not rank_lists:
+        return Stage2Plan(
+            routing=config.routing,
+            num_groups=config.num_groups,
+            batch_size=config.batch_size,
+            splits=(),
+            sampled_records=sample.records_sampled,
+        )
+    ind_profile = _route_profiles(sample, None, config)
+
+    candidates: list[tuple[float, str, int | None, list[int], _RouteProfile]] = []
+    ind_hot = _pick_splits(
+        ind_profile.work, ind_profile.records,
+        num_reducers, config.split_threshold, config.split_factor,
+    )
+    ind_splits, ind_cost = _admit_splits(
+        ind_profile, ind_hot, num_reducers, config.split_factor
+    )
+    candidates.append((ind_cost, "individual", None, ind_splits, ind_profile))
+    for factor in _GROUPED_CANDIDATE_FACTORS:
+        num_groups = max(1, num_reducers * factor)
+        if num_groups >= len(sample.order):
+            continue  # as many groups as tokens = individual routing
+        profile = _route_profiles(sample, num_groups, config)
+        hot = _pick_splits(
+            profile.work, profile.records,
+            num_reducers, config.split_threshold, config.split_factor,
+        )
+        splits, cost = _admit_splits(
+            profile, hot, num_reducers, config.split_factor
+        )
+        candidates.append((cost, "grouped", num_groups, splits, profile))
+
+    best = min(candidates, key=lambda c: c[0])
+    _cost, routing, num_groups, split_routes, profile = best
+
+    # resolve split routes to token names the runtime can re-anchor on
+    # the real Stage-1 order
+    split_tokens: list[str] = []
+    if routing == "individual":
+        split_tokens = [sample.order[route] for route in split_routes]
+    elif split_routes:
+        # grouped: name each hot group by its heaviest member token
+        assert num_groups is not None
+        heaviest: dict[int, tuple[float, str]] = {}
+        for rank, load in ind_profile.work.items():
+            group = rank % num_groups
+            token = sample.order[rank]
+            entry = (-load, token)
+            if group not in heaviest or entry < heaviest[group]:
+                heaviest[group] = entry
+        split_tokens = [
+            heaviest[g][1] for g in split_routes if g in heaviest
+        ]
+
+    total_load = sum(profile.records.values())
+    mean_route_load = total_load / max(1, len(profile.records))
+    if mean_route_load < _BATCH_MIN_MEAN_ROUTE_LOAD:
+        batch_size: int | None = None
+    else:
+        batch_size = config.batch_size or 64
+
+    return Stage2Plan(
+        routing=routing,
+        num_groups=num_groups,
+        batch_size=batch_size,
+        splits=tuple((token, config.split_factor) for token in split_tokens),
+        sampled_records=sample.records_sampled,
+    )

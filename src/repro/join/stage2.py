@@ -34,11 +34,31 @@ Section 5 plugs into the BK path in two forms: block processing
 and the length filter as a *secondary routing criterion*
 (``JoinConfig.length_class_width`` — reducer keys become
 ``(token, length-class)`` so each reduce step holds one class).
+
+**Hot-group splitting** (the skew-adaptive layer, see
+:mod:`repro.join.planner`): when an adaptive :class:`Stage2Plan`
+marks token groups for splitting, keys extend to
+
+    (route, shard, length, relation)
+
+partitioned on ``(route, shard)`` via
+:func:`repro.mapreduce.hashing.shard_partition`.  A split group's
+records are shipped twice — an *add copy* (``REL_R``) replicated to
+every shard, and a *probe copy* (``REL_S``) sent only to the record's
+home shard, emitted immediately before its own add copy under the
+identical key.  Every shard therefore indexes the complete group in
+the original arrival order while probing only its ``1/k`` share of the
+records, so each candidate pair is found exactly once (at the later
+record's home shard) against exactly the index state the unsplit
+reducer would have had — pairs *and* per-filter prune counters are
+bit-identical in sum to the static plan (differential-tested).
+Unsplit routes ride along with ``shard == -1``, keeping their classic
+partition placement.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Iterator, Sequence
+from typing import TYPE_CHECKING, Callable, Iterator, Sequence
 
 from repro.analysis.sanitize import Sanitizer, make_sanitizer
 from repro.core.batch import REL_R, REL_S, TokenBatch, batch_spans
@@ -58,7 +78,11 @@ from repro.join.blocks import (
 )
 from repro.join.config import JoinConfig
 from repro.join.records import join_value, rid_of
+from repro.mapreduce.hashing import shard_of, shard_partition
 from repro.mapreduce.job import Context, MapReduceJob
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.join.planner import Stage2Plan
 
 #: user counters
 CANDIDATE_PAIRS = "stage2.candidate_pairs"
@@ -160,6 +184,45 @@ def make_router(config: JoinConfig, order: TokenOrder) -> Callable:
     return routes
 
 
+def resolve_splits(
+    plan: "Stage2Plan | None", config: JoinConfig, order: TokenOrder
+) -> dict:
+    """Re-anchor a plan's hot-token splits on the real Stage-1 order.
+
+    The planner worked on a *sample-local* token order, so the plan
+    names hot groups by token string; this maps each one to the routing
+    key the configured router would actually emit — the token's rank
+    (individual routing, rank encoding), the token itself (individual,
+    string encoding) or its group id (grouped routing).  Tokens the
+    real order never saw are skipped (they cannot be hot); two hot
+    tokens collapsing into one grouped route keep the larger shard
+    count.  Routes with fewer than two shards are dropped — splitting
+    one way is the unsplit plan.
+    """
+    if plan is None or not plan.splits:
+        return {}
+    resolved: dict = {}
+    num_tokens = len(order)
+    if config.routing == "grouped":
+        num_groups = config.num_groups or max(1, num_tokens)
+        for token, k in plan.splits:
+            rank = order.rank(token)
+            if rank >= num_tokens:
+                continue
+            group = rank % num_groups
+            resolved[group] = max(resolved.get(group, 1), k)
+    elif config.token_encoding == "string":
+        for token, k in plan.splits:
+            if order.rank(token) < num_tokens:
+                resolved[token] = max(resolved.get(token, 1), k)
+    else:
+        for token, k in plan.splits:
+            rank = order.rank(token)
+            if rank < num_tokens:
+                resolved[rank] = max(resolved.get(rank, 1), k)
+    return {route: k for route, k in resolved.items() if k > 1}
+
+
 def project_record(
     line: str, config: JoinConfig, order: TokenOrder, unknown: str
 ) -> tuple[int, "Sequence", int]:
@@ -182,16 +245,29 @@ def project_record(
 
 
 def make_self_mapper(
-    config: JoinConfig, blocks: BlockPolicy | None, token_order_file: str
+    config: JoinConfig,
+    blocks: BlockPolicy | None,
+    token_order_file: str,
+    plan: "Stage2Plan | None" = None,
 ):
-    """Self-join Stage-2 mapper (shared by BK and PK)."""
+    """Self-join Stage-2 mapper (shared by BK and PK).
+
+    With a split-carrying *plan*, keys take the extended
+    ``(route, shard, length, relation)`` shape: split routes replicate
+    an add copy to every shard and send one probe copy (tagged
+    ``REL_S``, emitted first so the stable sort keeps it immediately
+    before its own add) to the record's home shard; unsplit routes emit
+    a single dual-role copy with ``shard == -1``.
+    """
     sim, threshold = config.sim, config.threshold
+    split_mode = plan is not None and bool(plan.splits)
     state: dict = {}
 
     def map_setup(ctx: Context) -> None:
         order = load_token_order(ctx, token_order_file)
         state["order"] = order
         state["routes"] = make_router(config, order)
+        state["splits"] = resolve_splits(plan, config, order)
 
     width = config.length_class_width
     bitmap_width = config.bitmap_width if config.bitmap_filter else None
@@ -208,7 +284,16 @@ def make_self_mapper(
         ctx.observe("stage2.prefix_tokens", len(prefix))
         ctx.observe("stage2.record_routes", len(route_list))
         for route in route_list:
-            if blocks is not None:
+            if split_mode:
+                num_shards = state["splits"].get(route)
+                if num_shards is None:
+                    ctx.emit((route, -1, n, REL_R), value)
+                else:
+                    home = shard_of(rid, num_shards)
+                    ctx.emit((route, home, n, REL_R), (REL_S,) + value[1:])
+                    for shard in range(num_shards):
+                        ctx.emit((route, shard, n, REL_R), value)
+            elif blocks is not None:
                 block = blocks.block_of(rid)
                 if blocks.strategy == MAP_BASED:
                     for step, role in blocks.replication_schedule(block):
@@ -477,6 +562,128 @@ def make_pk_self_reducer(config: JoinConfig) -> Callable:
 
 
 # ---------------------------------------------------------------------------
+# self-join reducers for split (sharded) hot groups
+# ---------------------------------------------------------------------------
+#
+# A split shard's value stream carries two copies per group record: an
+# add copy (REL_R, replicated to every shard) and — for the 1/k of the
+# records homed here — a probe copy (REL_S) sorted immediately before
+# its own add copy.  Each role is performed exactly once per record
+# across the shards, against the same arrival-ordered add sequence the
+# unsplit reducer sees, so pairs and filter counters sum to exactly the
+# unsplit run's (the admissibility argument in DESIGN.md §5g).
+
+
+def make_bk_split_self_reducer(config: JoinConfig) -> Callable:
+    """Basic Kernel over one shard of a split group.
+
+    Stores the replicated add copies; each probe copy verifies against
+    every add stored so far — precisely the ``j < i`` half-loop of the
+    unsplit nested loop, restricted to the probes homed on this shard.
+    Runs scalar always: probe/add copies interleave at the record
+    grain, so columnar blocks would degenerate to single rows.
+    """
+
+    def reducer(route, values: Iterator, ctx: Context) -> None:
+        sanitizer = make_sanitizer(config, ctx.counters)
+        if sanitizer is not None:
+            values = sanitizer.sorted_values(values, _projection_size)
+        counters = ctx.counters
+        stored: list[tuple] = []
+        charged = 0
+        group_records = 0
+        for value in values:
+            group_records += 1
+            if value[0] == REL_R:
+                charged += ctx.reserve_memory_for(value, "BK candidate list")
+                stored.append(value)
+                continue
+            for other in stored:
+                counters.increment(CANDIDATE_PAIRS)
+                similarity = bk_verify(other, value, config, counters, sanitizer)
+                if similarity is not None:
+                    _write_self_pair(ctx, other[1], value[1], similarity)
+        ctx.observe("stage2.group_records", group_records)
+        ctx.release_memory(charged)
+
+    return reducer
+
+
+def make_pk_split_self_reducer(config: JoinConfig) -> Callable:
+    """PPJoin+ Kernel over one shard of a split group.
+
+    The index is the *self-mode* index (same prefixes, filters and
+    eviction as the unsplit reducer) driven in tagged mode: add copies
+    only insert, probe copies only probe.  Because every shard indexes
+    the full add sequence and a probe sorts exactly where the record's
+    own dual-role copy would, the index state at each probe — eviction
+    frontier included — matches the unsplit run's bit for bit.
+    """
+    batch_size = config.batch_size
+
+    def reducer(route, values: Iterator, ctx: Context) -> None:
+        sanitizer = make_sanitizer(config, ctx.counters)
+        index = make_pk_index(config, mode="self", evict=True, sanitizer=sanitizer)
+        if sanitizer is not None:
+            values = sanitizer.sorted_values(values, _projection_size)
+        group_records = 0
+        if batch_size is None:
+            charged = 0
+            for rel, rid, _n, sig, ranks in values:
+                group_records += 1
+                if rel == REL_R:
+                    index.add(rid, ranks, signature=sig)
+                else:
+                    for other_rid, similarity in index.probe(rid, ranks, signature=sig):
+                        _write_self_pair(ctx, rid, other_rid, similarity)
+                delta = index.live_bytes - charged
+                if delta >= 0:
+                    ctx.reserve_memory(delta, "PK index")
+                else:
+                    ctx.release_memory(-delta)
+                charged = index.live_bytes
+        else:
+            state = {"charged": 0}
+
+            def meter() -> None:
+                delta = index.live_bytes - state["charged"]
+                if delta >= 0:
+                    ctx.reserve_memory(delta, "PK index")
+                else:
+                    ctx.release_memory(-delta)
+                state["charged"] = index.live_bytes
+
+            buffered: list[tuple] = []
+
+            def flush() -> None:
+                if not buffered:
+                    return
+                block = TokenBatch.from_projections(buffered)
+                buffered.clear()
+                ctx.counters.increment(STAGE2_BATCHES)
+
+                def emit(row: int, other_rid: int, similarity: float) -> None:
+                    _write_self_pair(ctx, block.rids[row], other_rid, similarity)
+
+                index.probe_batch(block, 0, block.count, emit, meter=meter, tagged=True)
+
+            for value in values:
+                group_records += 1
+                buffered.append(value)
+                if len(buffered) >= batch_size:
+                    flush()
+            flush()
+            charged = state["charged"]
+        ctx.observe("stage2.group_records", group_records)
+        if sanitizer is not None:
+            sanitizer.check_index_accounting(index)
+        merge_index_filter_stats(ctx, index)
+        ctx.release_memory(charged)
+
+    return reducer
+
+
+# ---------------------------------------------------------------------------
 # self-join reducers with Section 5 block processing (BK only)
 # ---------------------------------------------------------------------------
 
@@ -587,8 +794,16 @@ def stage2_self_job(
     token_order_file: str,
     output: str,
     num_reducers: int,
+    plan: "Stage2Plan | None" = None,
 ) -> MapReduceJob:
-    """Build the single Stage-2 job for a self-join."""
+    """Build the single Stage-2 job for a self-join.
+
+    A split-carrying *plan* switches the job to the extended
+    ``(route, shard, length, relation)`` key shape: partitioning goes
+    through :func:`shard_partition` (unsplit routes keep their classic
+    placement), grouping is on ``(route, shard)``, and split-shard
+    groups (``shard >= 0``) dispatch to the split reducers.
+    """
     blocks = config.blocks
     if blocks is not None and config.kernel != "bk":
         raise ValueError(
@@ -602,7 +817,13 @@ def stage2_self_job(
             "(the PK kernel already exploits the length filter via its "
             "composite keys); use kernel='bk' or length_class_width=None"
         )
-    map_setup, mapper = make_self_mapper(config, blocks, token_order_file)
+    split_mode = plan is not None and bool(plan.splits)
+    if split_mode and (blocks is not None or config.length_class_width is not None):
+        raise ValueError(
+            "hot-group splitting composes with the plain kernels only; "
+            "drop blocks/length_class_width or run without splits"
+        )
+    map_setup, mapper = make_self_mapper(config, blocks, token_order_file, plan)
     if blocks is None and config.length_class_width is None:
         reducer = (
             make_pk_self_reducer(config)
@@ -617,6 +838,35 @@ def stage2_self_job(
         # load-role records are held (and self-joined), stream-role
         # records verify against the loaded set only.
         reducer = make_bk_self_map_blocks_reducer(config)
+
+    if split_mode:
+        split_reducer = (
+            make_pk_split_self_reducer(config)
+            if config.kernel == "pk"
+            else make_bk_split_self_reducer(config)
+        )
+        plain_reducer = reducer
+
+        def dispatch_reducer(key, values: Iterator, ctx: Context) -> None:
+            if key[1] >= 0:
+                split_reducer(key, values, ctx)
+            else:
+                plain_reducer(key, values, ctx)
+
+        return MapReduceJob(
+            name=f"stage2-{config.kernel}-self",
+            inputs=[records_file],
+            output=output,
+            mapper=mapper,
+            reducer=dispatch_reducer,
+            num_reducers=num_reducers,
+            partition=lambda key: key[0],
+            partitioner=lambda key, n: shard_partition(key[0], key[1], n),
+            sort_key=lambda key: key,
+            group_key=lambda key: (key[0], key[1]),
+            broadcast=[token_order_file],
+            map_setup=map_setup,
+        )
 
     return MapReduceJob(
         name=f"stage2-{config.kernel}-self",

@@ -18,12 +18,21 @@ manipulation:
   stream is replicated per R block (map-based) or spilled once and
   re-read per block (reduce-based).
 
+**Hot-group splitting** (see :mod:`repro.join.planner` and the
+self-join module) extends keys to ``(route, shard, class, relation,
+length)``: a split route replicates its R records to every shard and
+partitions its S records by home shard — the textbook
+fragment-replicate split, which the *unmodified* R-S reducers already
+handle because their roles are purely tag-driven.  Every shard streams
+the complete R side before its ``1/k`` slice of S, so pairs and filter
+counters sum to exactly the unsplit run's.
+
 Output records are ``(r_rid, s_rid, similarity)``.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Iterator
+from typing import TYPE_CHECKING, Callable, Iterator
 
 from repro.core.bitmaps import signature as bitmap_signature
 from repro.join.blocks import (
@@ -52,8 +61,13 @@ from repro.join.stage2 import (
     make_router,
     merge_index_filter_stats,
     project_record,
+    resolve_splits,
 )
+from repro.mapreduce.hashing import shard_of, shard_partition
 from repro.mapreduce.job import Context, MapReduceJob
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.join.planner import Stage2Plan
 
 
 def _length_class(rel: int, true_size: int, config: JoinConfig) -> int:
@@ -77,15 +91,24 @@ def make_rs_mapper(
     token_order_file: str,
     r_file: str,
     s_file: str,
+    plan: "Stage2Plan | None" = None,
 ):
-    """R-S Stage-2 mapper: tags by input file, drops S-only tokens."""
+    """R-S Stage-2 mapper: tags by input file, drops S-only tokens.
+
+    With a split-carrying *plan*, keys take the extended ``(route,
+    shard, class, relation, length)`` shape: split routes replicate R
+    records to every shard and send each S record to its home shard
+    only; unsplit routes emit a single copy with ``shard == -1``.
+    """
     sim, threshold = config.sim, config.threshold
+    split_mode = plan is not None and bool(plan.splits)
     state: dict = {}
 
     def map_setup(ctx: Context) -> None:
         order = load_token_order(ctx, token_order_file)
         state["order"] = order
         state["routes"] = make_router(config, order)
+        state["splits"] = resolve_splits(plan, config, order)
 
     bitmap_width = config.bitmap_width if config.bitmap_filter else None
 
@@ -110,7 +133,17 @@ def make_rs_mapper(
         ctx.observe("stage2.prefix_tokens", len(prefix))
         ctx.observe("stage2.record_routes", len(route_list))
         for route in route_list:
-            if blocks is None:
+            if split_mode:
+                num_shards = state["splits"].get(route)
+                if num_shards is None:
+                    ctx.emit((route, -1, cls, rel, n), value)
+                elif rel == REL_R:
+                    for shard in range(num_shards):
+                        ctx.emit((route, shard, cls, rel, n), value)
+                else:
+                    home = shard_of(rid, num_shards)
+                    ctx.emit((route, home, cls, rel, n), value)
+            elif blocks is None:
                 # The trailing actual length keeps same-class R records
                 # sorted by size: length classes are not injective
                 # (e.g. Jaccard tau=0.8 maps lengths 4 and 5 both to
@@ -433,16 +466,30 @@ def stage2_rs_job(
     token_order_file: str,
     output: str,
     num_reducers: int,
+    plan: "Stage2Plan | None" = None,
 ) -> MapReduceJob:
-    """Build the single Stage-2 job for an R-S join."""
+    """Build the single Stage-2 job for an R-S join.
+
+    A split-carrying *plan* switches to the extended ``(route, shard,
+    class, relation, length)`` key shape with
+    :func:`shard_partition` placement and ``(route, shard)`` grouping;
+    the reducers are unchanged — a split shard is just an ordinary R-S
+    group holding all of R and a slice of S.
+    """
     blocks = config.blocks
     if blocks is not None and config.kernel != "bk":
         raise ValueError(
             "Section 5 block processing applies to the BK kernel; "
             "use kernel='bk' or blocks=None"
         )
+    split_mode = plan is not None and bool(plan.splits)
+    if split_mode and blocks is not None:
+        raise ValueError(
+            "hot-group splitting composes with the plain kernels only; "
+            "drop blocks or run without splits"
+        )
     map_setup, mapper = make_rs_mapper(
-        config, blocks, token_order_file, r_file, s_file
+        config, blocks, token_order_file, r_file, s_file, plan
     )
     if blocks is None:
         reducer = (
@@ -454,6 +501,22 @@ def stage2_rs_job(
         reducer = make_bk_rs_map_blocks_reducer(config)
     else:
         reducer = make_bk_rs_reduce_blocks_reducer(config)
+
+    if split_mode:
+        return MapReduceJob(
+            name=f"stage2-{config.kernel}-rs",
+            inputs=[r_file, s_file],
+            output=output,
+            mapper=mapper,
+            reducer=reducer,
+            num_reducers=num_reducers,
+            partition=lambda key: key[0],
+            partitioner=lambda key, n: shard_partition(key[0], key[1], n),
+            sort_key=lambda key: key,
+            group_key=lambda key: (key[0], key[1]),
+            broadcast=[token_order_file],
+            map_setup=map_setup,
+        )
 
     return MapReduceJob(
         name=f"stage2-{config.kernel}-rs",

@@ -200,10 +200,40 @@ def execute_map_task(
 
     partitioned = []
     output_bytes = 0
-    for key, value in pairs:
-        p = stable_hash(job.partition(key)) % job.num_reducers
-        partitioned.append((p, key, value))
-        output_bytes += approx_bytes(key) + approx_bytes(value)
+    # Two hot-loop memos.  Keys repeat across records (route x length
+    # is a small domain) and partitioning is a pure function of the
+    # key, so cache it instead of re-hashing per emission.  Mappers
+    # that fan one record out to several routes (and the split mapper,
+    # which replicates one add copy per shard) emit the *same* value
+    # object back-to-back, so byte-account it once per object, not
+    # once per copy.
+    partition_cache: dict = {}
+    last_value_id = 0
+    last_value_bytes = 0
+    num_reducers = job.num_reducers
+    append = partitioned.append
+    if job.partitioner is not None:
+        partitioner = job.partitioner
+        for key, value in pairs:
+            p = partition_cache.get(key)
+            if p is None:
+                p = partition_cache[key] = partitioner(key, num_reducers)
+            append((p, key, value))
+            if id(value) != last_value_id:
+                last_value_bytes = approx_bytes(value)
+                last_value_id = id(value)
+            output_bytes += approx_bytes(key) + last_value_bytes
+    else:
+        partition = job.partition
+        for key, value in pairs:
+            p = partition_cache.get(key)
+            if p is None:
+                p = partition_cache[key] = stable_hash(partition(key)) % num_reducers
+            append((p, key, value))
+            if id(value) != last_value_id:
+                last_value_bytes = approx_bytes(value)
+                last_value_id = id(value)
+            output_bytes += approx_bytes(key) + last_value_bytes
     cpu = time.perf_counter() - t0
     # JVM reuse: the distributed-cache read and map_setup run once per
     # slot, not once per task (see SimulatedCluster._load_broadcast).
@@ -322,13 +352,26 @@ def execute_reduce_task(
         output_bytes=out_bytes,
         peak_memory_bytes=ctx.peak_memory_bytes,
     )
+    # Deterministic kernel-work proxy for the skew report: the join
+    # kernels count every candidate they touch (pruned or surviving),
+    # so the sum of non-framework counters tracks the scan/verify work
+    # that actually sets task time.  Raw input records cannot serve —
+    # hot-group splitting replicates build records by design, growing a
+    # shard's input while shrinking its share of the quadratic work.
+    counter_snapshot = ctx.counters.as_dict()
+    kernel_work = sum(
+        count
+        for name, count in counter_snapshot.items()
+        if not name.startswith(("framework.", "hist."))
+    )
     span.set(
         input_records=len(bucket),
         groups=groups,
         output_records=len(ctx._written),
+        kernel_work=kernel_work,
     )
     span.close()
-    return stats, ctx._written, ctx.counters.as_dict()
+    return stats, ctx._written, counter_snapshot
 
 
 def _value_iterator(ctx: Context, group: Iterator[tuple]) -> Iterator:
@@ -421,7 +464,9 @@ class SimulatedCluster:
                     stats.reduce_tasks.append(task_stats)
                     output_records.extend(written)
                     job_counters.merge_dict(counters)
-                phase_span.set(tasks=len(stats.reduce_tasks))
+                phase_span.set(
+                    tasks=len(stats.reduce_tasks), partitions=job.num_reducers
+                )
 
             self.dfs.write(job.output, output_records)
             stats.counters = job_counters.as_dict()

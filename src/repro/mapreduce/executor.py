@@ -871,6 +871,7 @@ class PersistentExecutor:
         job: MapReduceJob,
         phase: str,
         counters_index: int,
+        dispatch_order: list[int] | None = None,
     ) -> tuple[list[tuple], int]:
         """Run every task of one phase on the pool, fault-tolerantly.
 
@@ -894,6 +895,12 @@ class PersistentExecutor:
           unsatisfied task.  Exhausting the respawn budget degrades the
           engine to inline execution in the parent — the sequential
           fallback — for the rest of its life.
+
+        *dispatch_order*, when given, reorders only the **initial chunk
+        submission** (longest-processing-time-first for skewed reduce
+        partitions, so a hot bucket starts immediately instead of
+        queueing behind a full wave).  Reassembly — and therefore every
+        output byte — still follows *order*.
 
         Results come back in *order* (task order), each with the task's
         fault/retry tallies merged into the counters element at
@@ -1037,8 +1044,18 @@ class PersistentExecutor:
         if inline_mode:
             _set_worker_globals(tuple(self._jobs), self._dfs)
             _force_disk_spill(True)
-        for chunk in self._chunk(order):
-            submit(chunk)
+        if dispatch_order is not None:
+            # deal the size-sorted tasks round-robin over the chunk
+            # budget: contiguous chunking would put every heavy task in
+            # the same chunk (one worker), defeating the LPT order
+            target = max(1, self.workers * self.chunks_per_worker)
+            n = max(1, min(target, len(dispatch_order)))
+            initial = [dispatch_order[i::n] for i in range(n)]
+        else:
+            initial = self._chunk(order)
+        for chunk in initial:
+            if chunk:
+                submit(chunk)
 
         while len(results) < len(order):
             if not flights:
@@ -1281,6 +1298,16 @@ class PersistentExecutor:
         common = (memory_limit, self.tracer is not None, self.fault_plan)
         order = [p for p, _refs in reduce_tasks]
         task_payloads: dict[int, tuple] = {p: (refs,) for p, refs in reduce_tasks}
+        # LPT scheduling: submit the heaviest partitions (by shuffled
+        # bytes) first so a hot bucket never queues behind a full wave
+        # of small ones.  Only the submission order changes — results
+        # are reassembled in partition order, so output bytes are
+        # unaffected.
+        bucket_bytes = {
+            p: sum(blob_len + sum(buf_lens) for _k, _w, _o, blob_len, buf_lens in refs)
+            for p, refs in reduce_tasks
+        }
+        dispatch_order = sorted(order, key=lambda p: (-bucket_bytes[p], p))
 
         task_results = []
         try:
@@ -1292,6 +1319,7 @@ class PersistentExecutor:
                 cores, ex.chunks = self._dispatch(
                     _run_reduce_chunk, jid, common, order, task_payloads,
                     job=job, phase="reduce", counters_index=2,
+                    dispatch_order=dispatch_order,
                 )
                 for stats, written, counters in cores:
                     ex.busy_s += stats.cpu_seconds
@@ -1533,7 +1561,9 @@ class PersistentParallelCluster(SimulatedCluster):
                     job_counters.merge_dict(counters)
                 stats.reduce_executor = reduce_ex
             phase_span.set(
-                tasks=len(stats.reduce_tasks), mode=stats.reduce_executor.mode
+                tasks=len(stats.reduce_tasks),
+                mode=stats.reduce_executor.mode,
+                partitions=job.num_reducers,
             )
             phase_span.close()
 

@@ -239,11 +239,33 @@ class SkewDigest:
     routing: str
     num_groups: str
     reduce_tasks: int
+    #: total reduce partitions (idle ones included) — the slot count
+    #: the balance metrics normalise over
+    partitions: int
     loads: list[int]
+    #: per-task kernel work (candidates scanned/pruned/verified, from
+    #: the task's own counters).  Balance metrics are computed on this,
+    #: not on ``loads``: hot-group splitting replicates build records
+    #: by design, so a split shard's input records grow while its share
+    #: of the quadratic scan work shrinks.  Falls back to ``loads`` for
+    #: traces recorded before the ``kernel_work`` span arg existed.
+    work: list[int]
+    #: Gini over work per *partition* (empty partitions count as zero):
+    #: an idle reduce slot is imbalance, so spreading the same work
+    #: over more tasks lowers this even though it raises the share of
+    #: small tasks among the non-empty ones
     gini: float
+    #: p99/median over the non-empty tasks' work — kept for reference,
+    #: but ill-conditioned under splitting (scattered shards wake
+    #: previously-idle partitions, dragging the median down)
     p99_over_median: float
-    #: hottest reduce groups: (route repr, records) descending
-    hot_groups: list[tuple[str, int]]
+    #: hottest single task's share of the job's total kernel work — the
+    #: straggler bound: stage-2 reduce makespan cannot beat
+    #: ``straggler_share × total work`` no matter how many slots exist
+    straggler_share: float
+    #: hottest reduce groups descending by size: (route repr, records,
+    #: share of the job's total reduce input in [0, 1])
+    hot_groups: list[tuple[str, int, float]]
 
 
 @dataclass
@@ -309,21 +331,54 @@ def digest_trace(doc: dict[str, Any], path: str = "<trace>") -> TraceDigest:
                 continue
             reduce_tasks = [t for t in job_tasks if t.name.startswith("reduce:")]
             loads = [int(t.args.get("input_records", 0)) for t in reduce_tasks]
-            merged_hot: dict[str, int] = {}
+            work = [
+                int(t.args.get("kernel_work", load))
+                for t, load in zip(reduce_tasks, loads)
+            ]
+            if not any(work):
+                work = loads
+            partitions = max(
+                (int(p.args.get("partitions", 0)) for p in job.find("phase")),
+                default=0,
+            )
+            partitions = max(partitions, len(reduce_tasks))
+            # per-slot view: empty partitions are idle slots, and idle
+            # slots are imbalance
+            per_slot = work + [0] * (partitions - len(work))
+            total_work = sum(work)
+            # Merge each route's per-task counts: max over attempts of
+            # the same task (retries/speculation re-report the same
+            # group), then sum across distinct tasks (a split hot group
+            # legitimately spans several reducer partitions).
+            per_task: dict[tuple[str, str], int] = {}
             for task in reduce_tasks:
                 for route, count in task.args.get("top_groups", ()):
-                    key = str(route)
-                    merged_hot[key] = max(merged_hot.get(key, 0), int(count))
-            hot = sorted(merged_hot.items(), key=lambda kv: (-kv[1], kv[0]))[:5]
+                    key = (str(route), task.name)
+                    per_task[key] = max(per_task.get(key, 0), int(count))
+            merged_hot: dict[str, int] = {}
+            for (route_repr, _task), count in per_task.items():
+                merged_hot[route_repr] = merged_hot.get(route_repr, 0) + count
+            total_input = sum(loads)
+            hot = [
+                (route, count, count / total_input if total_input else 0.0)
+                for route, count in sorted(
+                    merged_hot.items(), key=lambda kv: (-kv[1], kv[0])
+                )[:5]
+            ]
             skew.append(
                 SkewDigest(
                     job=job.name,
                     routing=str(stage.args.get("routing", "?")),
                     num_groups=str(stage.args.get("num_groups", "per-token")),
                     reduce_tasks=len(reduce_tasks),
+                    partitions=partitions,
                     loads=loads,
-                    gini=gini(loads),
-                    p99_over_median=p99_over_median(loads),
+                    work=work,
+                    gini=gini(per_slot),
+                    p99_over_median=p99_over_median(work),
+                    straggler_share=(
+                        max(work) / total_work if total_work else 0.0
+                    ),
                     hot_groups=hot,
                 )
             )
@@ -387,13 +442,20 @@ def format_trace_report(digest: TraceDigest) -> str:
         for s in digest.skew:
             lines.append(
                 f"    {s.job} [routing={s.routing}, groups={s.num_groups}]: "
-                f"{s.reduce_tasks} reduce task(s), "
-                f"records/task gini={s.gini:.3f}, "
+                f"{s.reduce_tasks}/{s.partitions} reduce task(s), "
+                f"work/slot gini={s.gini:.3f}, "
+                f"straggler={s.straggler_share:.1%} of work, "
                 f"p99/median={s.p99_over_median:.2f}"
             )
             if s.hot_groups:
-                hot = ", ".join(f"{route}({count})" for route, count in s.hot_groups)
-                lines.append(f"      hottest groups (route(records)): {hot}")
+                hot = ", ".join(
+                    f"{route}({count}, {share:.1%})"
+                    for route, count, share in s.hot_groups
+                )
+                lines.append(
+                    "      hottest groups (route(records, share of reduce "
+                    f"input)): {hot}"
+                )
     else:
         lines.append("  stage-2 reduce-group skew: no stage-2 spans in trace")
     return "\n".join(lines)
@@ -412,6 +474,7 @@ def format_routing_comparison(digests: Sequence[TraceDigest]) -> str:
             rows.append(
                 f"  {digest.path:<28} routing={s.routing:<11} "
                 f"groups={s.num_groups:<9} gini={s.gini:.3f} "
+                f"straggler={s.straggler_share:.1%} "
                 f"p99/median={s.p99_over_median:.2f} "
                 f"reduce_tasks={s.reduce_tasks}"
             )
