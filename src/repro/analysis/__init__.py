@@ -4,6 +4,19 @@
     AST-based linter enforcing the MR contract (deterministic, pure,
     pickle-safe mapper/reducer/kernel code).  ``python -m repro lint``.
 
+:mod:`repro.analysis.mrflow`
+    Whole-program dataflow analyzer for *cross-stage* contracts:
+    interprocedural determinism taint, emit-shape vs reducer/partitioner
+    agreement, counter-name registry, shared-memory lifecycle.
+    ``python -m repro flow``.
+
+:mod:`repro.analysis.common`
+    Shared AST infrastructure (discovery, import bindings, inline
+    ``# mrlint: disable=...`` suppressions) used by both analyzers.
+
+:mod:`repro.analysis.reporting`
+    text/json/SARIF rendering and the committed-baseline mechanism.
+
 :mod:`repro.analysis.sanitize`
     Runtime sanitizer mode (``JoinConfig.sanitize`` /
     ``REPRO_SANITIZE=1``): reduce-input sortedness, sampled filter
@@ -12,7 +25,20 @@
 
 from __future__ import annotations
 
+from repro.analysis.mrflow import (
+    DYNAMIC_COUNTER_PREFIXES,
+    FLOW_RULES,
+    analyze_paths,
+    build_counter_registry,
+    render_counter_registry,
+)
 from repro.analysis.mrlint import RULES, Finding, lint_file, lint_paths, lint_source
+from repro.analysis.reporting import (
+    apply_baseline,
+    load_baseline,
+    render_findings,
+    write_baseline,
+)
 from repro.analysis.sanitize import (
     CHECKS,
     VIOLATIONS,
@@ -24,10 +50,19 @@ from repro.analysis.sanitize import (
 
 __all__ = [
     "RULES",
+    "FLOW_RULES",
+    "DYNAMIC_COUNTER_PREFIXES",
     "Finding",
     "lint_file",
     "lint_paths",
     "lint_source",
+    "analyze_paths",
+    "build_counter_registry",
+    "render_counter_registry",
+    "apply_baseline",
+    "load_baseline",
+    "render_findings",
+    "write_baseline",
     "CHECKS",
     "VIOLATIONS",
     "Sanitizer",

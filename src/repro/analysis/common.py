@@ -1,0 +1,570 @@
+"""Shared AST infrastructure for the static analyzers.
+
+Both :mod:`repro.analysis.mrlint` (intra-function contract rules,
+MR0xx) and :mod:`repro.analysis.mrflow` (interprocedural dataflow
+rules, MR1xx) need the same foundation: the :class:`Finding` record
+type, MR/kernel function discovery, scope/binding helpers, an
+import-binding pass that resolves aliases (``import time as t``,
+``from random import random as rnd``) to canonical dotted origins, the
+table of nondeterministic stdlib calls, and the inline-suppression
+(``# mrlint: disable=MR003``) machinery.  Keeping them here means the
+two tools cannot drift: a call the linter recognizes as a taint source
+is, by construction, the same call the flow analyzer seeds its
+interprocedural taint with.
+
+Everything in this module is stdlib-:mod:`ast` only — the analyzers
+must run in a bare checkout with no third-party dependencies.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import os
+import re
+import tokenize
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator
+
+__all__ = [
+    "PARSE_ERROR",
+    "SUPPRESS_RULE",
+    "Finding",
+    "FunctionInfo",
+    "FunctionNode",
+    "ImportBindings",
+    "Suppressions",
+    "apply_suppressions",
+    "discover_functions",
+    "iter_py_files",
+    "local_bindings",
+    "module_bindings",
+    "module_constants",
+    "module_imports",
+    "nondet_reason",
+    "root_name",
+    "shallow_nodes",
+    "target_names",
+]
+
+#: pseudo-rule for files that do not parse
+PARSE_ERROR = "MR000"
+
+#: rule id for a suppression pragma that matched no finding
+SUPPRESS_RULE = "MR009"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    function: str
+    message: str
+
+    def format(self) -> str:
+        where = f" [{self.function}]" if self.function else ""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule}{where} {self.message}"
+
+
+# ---------------------------------------------------------------------------
+# AST scope helpers
+# ---------------------------------------------------------------------------
+
+FunctionNode = ast.FunctionDef | ast.AsyncFunctionDef
+
+
+def shallow_nodes(fn: FunctionNode) -> Iterator[ast.AST]:
+    """Every node of *fn*'s body, excluding nested function/class bodies
+    (those have their own scopes and, where relevant, their own checks)."""
+    stack: list[ast.AST] = list(fn.body)
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.ClassDef)
+        ):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def target_names(target: ast.expr) -> Iterator[str]:
+    """Plain names bound by an assignment target."""
+    if isinstance(target, ast.Name):
+        yield target.id
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for elt in target.elts:
+            yield from target_names(elt)
+    elif isinstance(target, ast.Starred):
+        yield from target_names(target.value)
+
+
+def root_name(node: ast.expr) -> str | None:
+    """The base ``Name`` of an attribute/subscript chain, if any."""
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        node = node.value
+    return node.id if isinstance(node, ast.Name) else None
+
+
+def module_bindings(tree: ast.Module) -> set[str]:
+    """Names bound at module level (imports, assignments, defs)."""
+    names: set[str] = set()
+    for node in tree.body:
+        if isinstance(node, (ast.Import, ast.ImportFrom)):
+            for alias in node.names:
+                names.add((alias.asname or alias.name).split(".")[0])
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            names.add(node.name)
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                names.update(target_names(target))
+        elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+            names.update(target_names(node.target))
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            names.update(target_names(node.target))
+        elif isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                if item.optional_vars is not None:
+                    names.update(target_names(item.optional_vars))
+    return names
+
+
+def module_imports(tree: ast.Module) -> set[str]:
+    """Top-level module names bound by imports (``import random`` ->
+    ``random``; ``import os.path`` -> ``os``)."""
+    names: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                names.add((alias.asname or alias.name).split(".")[0])
+    return names
+
+
+def module_constants(tree: ast.Module) -> dict[str, str]:
+    """Module-level ``NAME = "literal"`` string constants."""
+    constants: dict[str, str] = {}
+    for node in tree.body:
+        if (
+            isinstance(node, ast.Assign)
+            and len(node.targets) == 1
+            and isinstance(node.targets[0], ast.Name)
+            and isinstance(node.value, ast.Constant)
+            and isinstance(node.value.value, str)
+        ):
+            constants[node.targets[0].id] = node.value.value
+        elif (
+            isinstance(node, ast.AnnAssign)
+            and isinstance(node.target, ast.Name)
+            and isinstance(node.value, ast.Constant)
+            and isinstance(node.value.value, str)
+        ):
+            constants[node.target.id] = node.value.value
+    return constants
+
+
+def local_bindings(fn: FunctionNode) -> set[str]:
+    """Names bound inside *fn*'s own scope (params + shallow bindings)."""
+    names: set[str] = set()
+    args = fn.args
+    for arg in (*args.posonlyargs, *args.args, *args.kwonlyargs):
+        names.add(arg.arg)
+    if args.vararg is not None:
+        names.add(args.vararg.arg)
+    if args.kwarg is not None:
+        names.add(args.kwarg.arg)
+    declared_global: set[str] = set()
+    for node in shallow_nodes(fn):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                names.update(target_names(target))
+        elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+            names.update(target_names(node.target))
+        elif isinstance(node, ast.NamedExpr):
+            names.update(target_names(node.target))
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            names.update(target_names(node.target))
+        elif isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                if item.optional_vars is not None:
+                    names.update(target_names(item.optional_vars))
+        elif isinstance(node, ast.comprehension):
+            names.update(target_names(node.target))
+        elif isinstance(node, ast.ExceptHandler) and node.name:
+            names.add(node.name)
+        elif isinstance(node, (ast.Import, ast.ImportFrom)):
+            for alias in node.names:
+                names.add((alias.asname or alias.name).split(".")[0])
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            names.add(node.name)
+        elif isinstance(node, (ast.Global, ast.Nonlocal)):
+            declared_global.update(node.names)
+    return names - declared_global
+
+
+def set_expr(node: ast.expr, set_names: set[str]) -> bool:
+    """Whether *node* provably evaluates to a set/frozenset."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in ("set", "frozenset")
+    if isinstance(node, ast.Name):
+        return node.id in set_names
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitAnd, ast.BitOr, ast.BitXor, ast.Sub)
+    ):
+        return set_expr(node.left, set_names) or set_expr(node.right, set_names)
+    return False
+
+
+def assigned_locals(fn: FunctionNode) -> set[str]:
+    """Names bound by *value* assignments in *fn*'s scope — everything
+    :func:`local_bindings` reports except nested ``def``/``class``
+    statements.  Used to refuse call-graph resolution when a local
+    variable shadows a function name."""
+    defs: set[str] = set()
+    for node in shallow_nodes(fn):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            defs.add(node.name)
+    return local_bindings(fn) - defs
+
+
+# ---------------------------------------------------------------------------
+# MR / kernel function discovery
+# ---------------------------------------------------------------------------
+
+MR_NAME_RE = re.compile(
+    r"(?:^|_)(?:mapper|reducer|combiner)$"
+    r"|^(?:map|reduce|combine)_(?:setup|teardown)$"
+)
+KERNEL_NAME_RE = re.compile(r"(?:_join|_verify)$")
+JOB_MR_KWARGS = frozenset(
+    {
+        "mapper",
+        "reducer",
+        "combiner",
+        "map_setup",
+        "map_teardown",
+        "reduce_setup",
+        "reduce_teardown",
+    }
+)
+
+#: job kwarg -> contract role of the function bound to it
+_KWARG_ROLES = {
+    "mapper": "mapper",
+    "reducer": "reducer",
+    "combiner": "combiner",
+    "map_setup": "hook",
+    "map_teardown": "hook",
+    "reduce_setup": "hook",
+    "reduce_teardown": "hook",
+}
+
+
+@dataclass
+class FunctionInfo:
+    """One discovered function with its scope context."""
+
+    node: FunctionNode
+    qualname: str
+    enclosing: tuple[FunctionNode, ...]  # outermost -> innermost
+    is_mr: bool
+    is_kernel: bool
+    #: "mapper" / "reducer" / "combiner" / "hook" / "" (kernel or helper)
+    role: str = ""
+    in_class: bool = False
+
+
+def _name_role(name: str) -> str:
+    if re.search(r"(?:^|_)mapper$", name):
+        return "mapper"
+    if re.search(r"(?:^|_)reducer$", name):
+        return "reducer"
+    if re.search(r"(?:^|_)combiner$", name):
+        return "combiner"
+    if re.match(r"^(?:map|reduce|combine)_(?:setup|teardown)$", name):
+        return "hook"
+    return ""
+
+
+def discover_functions(tree: ast.Module) -> list[FunctionInfo]:
+    """Find every function in a parsed module, marking MR and kernel ones.
+
+    Discovery is structural: MR functions by name pattern
+    (``mapper``/``*_reducer``/``map_setup`` ...) or by being passed as a
+    ``mapper=``/``reducer=``/... keyword to a ``*Job(...)`` constructor;
+    kernel functions by ``*Index`` class membership or a ``_join`` /
+    ``_verify`` name suffix.  Every other function is still returned
+    (``is_mr=False, is_kernel=False``) so interprocedural analyses can
+    build a complete call graph.
+    """
+    job_kwarg_roles: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call):
+            callee = node.func
+            callee_name = (
+                callee.id
+                if isinstance(callee, ast.Name)
+                else callee.attr if isinstance(callee, ast.Attribute) else ""
+            )
+            if not callee_name.endswith("Job"):
+                continue
+            for kw in node.keywords:
+                if kw.arg in JOB_MR_KWARGS and isinstance(kw.value, ast.Name):
+                    job_kwarg_roles[kw.value.id] = _KWARG_ROLES[kw.arg]
+
+    found: list[FunctionInfo] = []
+
+    def visit(
+        nodes: Iterable[ast.AST],
+        enclosing: tuple[FunctionNode, ...],
+        prefix: str,
+        in_index_class: bool,
+        in_class: bool,
+    ) -> None:
+        for node in nodes:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qualname = f"{prefix}{node.name}"
+                is_mr = (
+                    MR_NAME_RE.search(node.name) is not None
+                    or node.name in job_kwarg_roles
+                )
+                is_kernel = (
+                    in_index_class or KERNEL_NAME_RE.search(node.name) is not None
+                )
+                role = _name_role(node.name) or job_kwarg_roles.get(node.name, "")
+                found.append(
+                    FunctionInfo(node, qualname, enclosing, is_mr, is_kernel, role, in_class)
+                )
+                visit(node.body, enclosing + (node,), f"{qualname}.", False, False)
+            elif isinstance(node, ast.ClassDef):
+                visit(
+                    node.body,
+                    enclosing,
+                    f"{prefix}{node.name}.",
+                    node.name.endswith("Index"),
+                    True,
+                )
+
+    visit(tree.body, (), "", False, False)
+    return found
+
+
+# ---------------------------------------------------------------------------
+# import-binding resolution
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ImportBindings:
+    """Local name -> canonical dotted origin, derived from imports.
+
+    ``import time as t`` binds ``t -> "time"``; ``from random import
+    random as rnd`` binds ``rnd -> "random.random"``; ``import
+    repro.join.stage2`` binds ``repro -> "repro"`` (the attribute chain
+    completes the dotted path at resolution time).
+    """
+
+    modules: dict[str, str]
+    members: dict[str, str]
+
+    @classmethod
+    def collect(cls, tree: ast.Module, module_name: str | None = None) -> ImportBindings:
+        """Gather import bindings anywhere in *tree* (function-local
+        imports included).  *module_name* (dotted) resolves relative
+        imports; without it they are skipped."""
+        modules: dict[str, str] = {}
+        members: dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.asname is not None:
+                        modules[alias.asname] = alias.name
+                    else:
+                        top = alias.name.split(".")[0]
+                        modules[top] = top
+            elif isinstance(node, ast.ImportFrom):
+                base = node.module or ""
+                if node.level:
+                    if module_name is None:
+                        continue
+                    anchor = module_name.split(".")[: -node.level]
+                    if not anchor:
+                        continue
+                    base = ".".join([*anchor, base]) if base else ".".join(anchor)
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    origin = f"{base}.{alias.name}" if base else alias.name
+                    members[alias.asname or alias.name] = origin
+        return cls(modules, members)
+
+    def resolve(self, expr: ast.expr) -> str | None:
+        """Dotted origin of a ``Name``/``Attribute`` chain, if its root
+        is an import binding (``t.time`` -> ``"time.time"``)."""
+        parts: list[str] = []
+        node = expr
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        parts.reverse()
+        origin = self.modules.get(node.id) or self.members.get(node.id)
+        if origin is None:
+            return None
+        return ".".join([origin, *parts]) if parts else origin
+
+
+# ---------------------------------------------------------------------------
+# nondeterminism seed table (shared by mrlint MR003 and mrflow MR101)
+# ---------------------------------------------------------------------------
+
+#: time-module attributes whose value depends on the wall clock
+CLOCK_ATTRS = frozenset(
+    {
+        "time",
+        "time_ns",
+        "monotonic",
+        "monotonic_ns",
+        "perf_counter",
+        "perf_counter_ns",
+    }
+)
+
+
+def nondet_reason(dotted: str) -> str | None:
+    """Describe why a call to the canonical dotted name *dotted* is
+    nondeterministic, or ``None`` if it is not a known source.
+
+    ``random.Random`` is the sanctioned (seedable) form and is excluded;
+    everything else reaching the process-global RNG, the wall clock, or
+    an entropy source is a taint seed.
+    """
+    parts = dotted.split(".")
+    if len(parts) < 2:
+        return None
+    top, leaf = parts[0], parts[-1]
+    if top == "random" and len(parts) == 2 and leaf != "Random":
+        return f"random.{leaf}() (process-global, unseeded RNG)"
+    if top == "time" and len(parts) == 2 and leaf in CLOCK_ATTRS:
+        return f"time.{leaf}() (wall clock)"
+    if top == "os" and len(parts) == 2 and leaf == "urandom":
+        return "os.urandom() (entropy source)"
+    if top == "uuid" and len(parts) == 2 and leaf in ("uuid1", "uuid4"):
+        return f"uuid.{leaf}() (random identifier)"
+    if top == "datetime" and leaf in ("now", "utcnow", "today"):
+        return f"datetime …{leaf}() (wall clock)"
+    if top == "secrets":
+        return f"secrets.{leaf}() (entropy source)"
+    return None
+
+
+# ---------------------------------------------------------------------------
+# inline suppressions
+# ---------------------------------------------------------------------------
+
+_SUPPRESS_RE = re.compile(r"#\s*mrlint:\s*disable=([A-Za-z0-9_]+(?:\s*,\s*[A-Za-z0-9_]+)*)")
+
+
+@dataclass(frozen=True)
+class Suppressions:
+    """Per-line ``# mrlint: disable=...`` pragmas of one source file."""
+
+    by_line: dict[int, tuple[str, ...]]
+
+    @classmethod
+    def parse(cls, source: str) -> Suppressions:
+        by_line: dict[int, tuple[str, ...]] = {}
+        try:
+            tokens = list(
+                tokenize.generate_tokens(io.StringIO(source).readline)
+            )
+        except (tokenize.TokenError, IndentationError, SyntaxError):
+            return cls(by_line)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _SUPPRESS_RE.search(token.string)
+            if match is None:
+                continue
+            names = tuple(
+                dict.fromkeys(
+                    part.strip() for part in match.group(1).split(",") if part.strip()
+                )
+            )
+            if names:
+                by_line[token.start[0]] = names
+        return cls(by_line)
+
+    def matches(self, finding: Finding) -> bool:
+        names = self.by_line.get(finding.line)
+        return names is not None and ("all" in names or finding.rule in names)
+
+
+def apply_suppressions(
+    findings: list[Finding],
+    suppressions: Suppressions,
+    path: str,
+    owns: Callable[[str], bool],
+) -> list[Finding]:
+    """Drop findings silenced by an inline pragma on their line; add an
+    :data:`SUPPRESS_RULE` finding for every pragma name that silenced
+    nothing.
+
+    *owns* decides which pragma names this tool is responsible for
+    warning about — mrlint owns the MR0xx names (and everything that is
+    not an MR1xx name), mrflow owns MR1xx — so ``lint`` and ``flow``
+    can run independently without each reporting the other's pragmas as
+    unused.
+    """
+    kept: list[Finding] = []
+    used: set[tuple[int, str]] = set()
+    for finding in findings:
+        names = suppressions.by_line.get(finding.line)
+        if names is None or ("all" not in names and finding.rule not in names):
+            kept.append(finding)
+            continue
+        if finding.rule in names:
+            used.add((finding.line, finding.rule))
+        if "all" in names:
+            used.add((finding.line, "all"))
+    for lineno in sorted(suppressions.by_line):
+        for name in suppressions.by_line[lineno]:
+            if (lineno, name) in used or not owns(name):
+                continue
+            kept.append(
+                Finding(
+                    SUPPRESS_RULE,
+                    path,
+                    lineno,
+                    0,
+                    "",
+                    f"unused suppression: no {name} finding on this line "
+                    "— remove the stale pragma",
+                )
+            )
+    return kept
+
+
+# ---------------------------------------------------------------------------
+# file iteration
+# ---------------------------------------------------------------------------
+
+
+def iter_py_files(paths: Iterable[str]) -> Iterator[str]:
+    """Every ``.py`` file under *paths* (files or directory trees), in a
+    deterministic order, skipping ``__pycache__``."""
+    for path in paths:
+        if os.path.isdir(path):
+            for dirpath, dirnames, filenames in os.walk(path):
+                dirnames.sort()
+                dirnames[:] = [d for d in dirnames if d != "__pycache__"]
+                for filename in sorted(filenames):
+                    if filename.endswith(".py"):
+                        yield os.path.join(dirpath, filename)
+        else:
+            yield path

@@ -25,7 +25,8 @@ MR002    iteration over a ``set``/``frozenset`` in a function that
 MR003    unseeded randomness or wall-clock read in MR/kernel code
          (``random.*`` module functions, ``time.time``, ``os.urandom``,
          ``uuid.uuid4``, ``datetime.now``; ``random.Random(seed)`` is
-         the sanctioned form)
+         the sanctioned form) — import aliases (``import time as t``,
+         ``from random import random as rnd``) are resolved
 MR004    MR closure captures an unpicklable object (open file handle,
          ``threading``/``multiprocessing`` primitive, socket) — unsafe
          to ship to fork/pickle workers
@@ -42,7 +43,16 @@ MR008    per-record work inside a loop of a *batch-path* module
          scalar ``verify_pair`` call in a loop — the batch layer exists
          to amortize exactly these; serialize once per bucket
          (protocol 5) and verify via ``TokenBatch``/``verify_rows``
+MR009    unused ``# mrlint: disable=...`` suppression pragma (the
+         pragma silenced nothing on its line; remove it)
 =======  ==============================================================
+
+A finding can be silenced in place with a trailing comment on the
+flagged line — ``# mrlint: disable=MR003`` (several rules
+comma-separated, or ``disable=all``).  Both mrlint and the
+interprocedural analyzer (:mod:`repro.analysis.mrflow`, rules MR1xx)
+honor the same pragma; each tool warns (MR009) about pragma names it
+owns that silenced nothing.
 
 Function discovery is structural, not configured:
 
@@ -62,9 +72,25 @@ from __future__ import annotations
 
 import ast
 import os
-import re
-from dataclasses import dataclass
-from typing import Iterable, Iterator
+from typing import Iterable
+
+from repro.analysis.common import (
+    PARSE_ERROR,
+    Finding,
+    FunctionInfo,
+    ImportBindings,
+    Suppressions,
+    apply_suppressions,
+    discover_functions,
+    iter_py_files,
+    local_bindings,
+    module_bindings,
+    nondet_reason,
+    root_name,
+    set_expr,
+    shallow_nodes,
+    target_names,
+)
 
 __all__ = ["RULES", "Finding", "lint_source", "lint_file", "lint_paths"]
 
@@ -78,27 +104,8 @@ RULES: dict[str, str] = {
     "MR006": "MR function declares a mutable default argument",
     "MR007": "MR/kernel code silently swallows exceptions (defeats retry layer)",
     "MR008": "per-record pickle.dumps / scalar verify_pair loop in a batch-path module",
+    "MR009": "unused mrlint suppression pragma (silenced nothing on its line)",
 }
-
-#: pseudo-rule for files that do not parse
-PARSE_ERROR = "MR000"
-
-_MR_NAME_RE = re.compile(
-    r"(?:^|_)(?:mapper|reducer|combiner)$"
-    r"|^(?:map|reduce|combine)_(?:setup|teardown)$"
-)
-_KERNEL_NAME_RE = re.compile(r"(?:_join|_verify)$")
-_JOB_MR_KWARGS = frozenset(
-    {
-        "mapper",
-        "reducer",
-        "combiner",
-        "map_setup",
-        "map_teardown",
-        "reduce_setup",
-        "reduce_teardown",
-    }
-)
 
 #: methods whose call mutates the receiver in place
 _MUTATORS = frozenset(
@@ -118,18 +125,6 @@ _MUTATORS = frozenset(
         "reverse",
         "write",
         "writelines",
-    }
-)
-
-#: time-module attributes whose value depends on the wall clock
-_CLOCK_ATTRS = frozenset(
-    {
-        "time",
-        "time_ns",
-        "monotonic",
-        "monotonic_ns",
-        "perf_counter",
-        "perf_counter_ns",
     }
 )
 
@@ -154,202 +149,17 @@ _UNPICKLABLE_NAMES = frozenset(
 )
 
 
-@dataclass(frozen=True)
-class Finding:
-    """One rule violation at one source location."""
-
-    rule: str
-    path: str
-    line: int
-    col: int
-    function: str
-    message: str
-
-    def format(self) -> str:
-        where = f" [{self.function}]" if self.function else ""
-        return f"{self.path}:{self.line}:{self.col}: {self.rule}{where} {self.message}"
-
-
-# ---------------------------------------------------------------------------
-# AST helpers
-# ---------------------------------------------------------------------------
-
-_FunctionNode = ast.FunctionDef | ast.AsyncFunctionDef
-
-
-def _shallow_nodes(fn: _FunctionNode) -> Iterator[ast.AST]:
-    """Every node of *fn*'s body, excluding nested function/class bodies
-    (those have their own scopes and, where relevant, their own checks)."""
-    stack: list[ast.AST] = list(fn.body)
-    while stack:
-        node = stack.pop()
-        yield node
-        if isinstance(
-            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.ClassDef)
-        ):
-            continue
-        stack.extend(ast.iter_child_nodes(node))
-
-
-def _target_names(target: ast.expr) -> Iterator[str]:
-    """Plain names bound by an assignment target."""
-    if isinstance(target, ast.Name):
-        yield target.id
-    elif isinstance(target, (ast.Tuple, ast.List)):
-        for elt in target.elts:
-            yield from _target_names(elt)
-    elif isinstance(target, ast.Starred):
-        yield from _target_names(target.value)
-
-
-def _root_name(node: ast.expr) -> str | None:
-    """The base ``Name`` of an attribute/subscript chain, if any."""
-    while isinstance(node, (ast.Attribute, ast.Subscript)):
-        node = node.value
-    return node.id if isinstance(node, ast.Name) else None
-
-
-def _module_bindings(tree: ast.Module) -> set[str]:
-    """Names bound at module level (imports, assignments, defs)."""
-    names: set[str] = set()
-    for node in tree.body:
-        if isinstance(node, (ast.Import, ast.ImportFrom)):
-            for alias in node.names:
-                names.add((alias.asname or alias.name).split(".")[0])
-        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
-            names.add(node.name)
-        elif isinstance(node, ast.Assign):
-            for target in node.targets:
-                names.update(_target_names(target))
-        elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
-            names.update(_target_names(node.target))
-        elif isinstance(node, (ast.For, ast.AsyncFor)):
-            names.update(_target_names(node.target))
-        elif isinstance(node, (ast.With, ast.AsyncWith)):
-            for item in node.items:
-                if item.optional_vars is not None:
-                    names.update(_target_names(item.optional_vars))
-    return names
-
-
-def _module_imports(tree: ast.Module) -> set[str]:
-    """Top-level module names bound by imports (``import random`` ->
-    ``random``; ``import os.path`` -> ``os``)."""
-    names: set[str] = set()
-    for node in ast.walk(tree):
-        if isinstance(node, ast.Import):
-            for alias in node.names:
-                names.add((alias.asname or alias.name).split(".")[0])
-    return names
-
-
-def _local_bindings(fn: _FunctionNode) -> set[str]:
-    """Names bound inside *fn*'s own scope (params + shallow bindings)."""
-    names: set[str] = set()
-    args = fn.args
-    for arg in (*args.posonlyargs, *args.args, *args.kwonlyargs):
-        names.add(arg.arg)
-    if args.vararg is not None:
-        names.add(args.vararg.arg)
-    if args.kwarg is not None:
-        names.add(args.kwarg.arg)
-    declared_global: set[str] = set()
-    for node in _shallow_nodes(fn):
-        if isinstance(node, ast.Assign):
-            for target in node.targets:
-                names.update(_target_names(target))
-        elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
-            names.update(_target_names(node.target))
-        elif isinstance(node, ast.NamedExpr):
-            names.update(_target_names(node.target))
-        elif isinstance(node, (ast.For, ast.AsyncFor)):
-            names.update(_target_names(node.target))
-        elif isinstance(node, (ast.With, ast.AsyncWith)):
-            for item in node.items:
-                if item.optional_vars is not None:
-                    names.update(_target_names(item.optional_vars))
-        elif isinstance(node, ast.comprehension):
-            names.update(_target_names(node.target))
-        elif isinstance(node, ast.ExceptHandler) and node.name:
-            names.add(node.name)
-        elif isinstance(node, (ast.Import, ast.ImportFrom)):
-            for alias in node.names:
-                names.add((alias.asname or alias.name).split(".")[0])
-        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
-            names.add(node.name)
-        elif isinstance(node, (ast.Global, ast.Nonlocal)):
-            declared_global.update(node.names)
-    return names - declared_global
-
-
-@dataclass
-class _Function:
-    """One discovered function with its scope context."""
-
-    node: _FunctionNode
-    qualname: str
-    enclosing: tuple[_FunctionNode, ...]  # outermost -> innermost
-    is_mr: bool
-    is_kernel: bool
-
-
-def _discover(tree: ast.Module) -> list[_Function]:
-    """Find every MR and kernel function in a parsed module."""
-    job_kwarg_names: set[str] = set()
-    for node in ast.walk(tree):
-        if isinstance(node, ast.Call):
-            callee = node.func
-            callee_name = (
-                callee.id
-                if isinstance(callee, ast.Name)
-                else callee.attr if isinstance(callee, ast.Attribute) else ""
-            )
-            if not callee_name.endswith("Job"):
-                continue
-            for kw in node.keywords:
-                if kw.arg in _JOB_MR_KWARGS and isinstance(kw.value, ast.Name):
-                    job_kwarg_names.add(kw.value.id)
-
-    found: list[_Function] = []
-
-    def visit(
-        nodes: Iterable[ast.AST],
-        enclosing: tuple[_FunctionNode, ...],
-        prefix: str,
-        in_index_class: bool,
-    ) -> None:
-        for node in nodes:
-            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
-                qualname = f"{prefix}{node.name}"
-                is_mr = (
-                    _MR_NAME_RE.search(node.name) is not None
-                    or node.name in job_kwarg_names
-                )
-                is_kernel = in_index_class or _KERNEL_NAME_RE.search(node.name) is not None
-                found.append(_Function(node, qualname, enclosing, is_mr, is_kernel))
-                visit(node.body, enclosing + (node,), f"{qualname}.", False)
-            elif isinstance(node, ast.ClassDef):
-                visit(
-                    node.body,
-                    enclosing,
-                    f"{prefix}{node.name}.",
-                    node.name.endswith("Index"),
-                )
-    visit(tree.body, (), "", False)
-    return found
-
-
 # ---------------------------------------------------------------------------
 # rule checks
 # ---------------------------------------------------------------------------
 
 
 def _check_mr001(
-    fn: _Function,
+    fn: FunctionInfo,
     module_names: set[str],
     local_names: set[str],
     enclosing_names: set[str],
-    emit: "list[Finding]",
+    emit: list[Finding],
     path: str,
 ) -> None:
     """Mutation of module-level state inside an MR function."""
@@ -380,10 +190,10 @@ def _check_mr001(
             and (name in module_names or name in declared_global)
         )
 
-    for node in _shallow_nodes(fn.node):
+    for node in shallow_nodes(fn.node):
         if isinstance(node, ast.Global):
             declared_global.update(node.names)
-    for node in _shallow_nodes(fn.node):
+    for node in shallow_nodes(fn.node):
         if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
             targets = (
                 node.targets if isinstance(node, ast.Assign) else [node.target]
@@ -392,35 +202,23 @@ def _check_mr001(
                 if isinstance(target, ast.Name) and target.id in declared_global:
                     fire(node, target.id, "assigns")
                 elif isinstance(target, (ast.Attribute, ast.Subscript)):
-                    root = _root_name(target)
+                    root = root_name(target)
                     if is_module_ref(root):
                         fire(node, root, "writes into")
         elif isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
             if node.func.attr in _MUTATORS:
-                root = _root_name(node.func.value)
+                root = root_name(node.func.value)
                 if is_module_ref(root):
                     fire(node, root, f"calls .{node.func.attr}() on")
 
 
-def _set_expr(node: ast.expr, set_names: set[str]) -> bool:
-    """Whether *node* provably evaluates to a set/frozenset."""
-    if isinstance(node, (ast.Set, ast.SetComp)):
-        return True
-    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
-        return node.func.id in ("set", "frozenset")
-    if isinstance(node, ast.Name):
-        return node.id in set_names
-    if isinstance(node, ast.BinOp) and isinstance(
-        node.op, (ast.BitAnd, ast.BitOr, ast.BitXor, ast.Sub)
-    ):
-        return _set_expr(node.left, set_names) or _set_expr(node.right, set_names)
-    return False
+_set_expr = set_expr
 
 
-def _check_mr002(fn: _Function, emit: "list[Finding]", path: str) -> None:
+def _check_mr002(fn: FunctionInfo, emit: list[Finding], path: str) -> None:
     """Iteration over a set in a function that emits/returns data."""
     feeds_output = False
-    for node in _shallow_nodes(fn.node):
+    for node in shallow_nodes(fn.node):
         if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
             if node.func.attr in ("emit", "write"):
                 feeds_output = True
@@ -432,10 +230,10 @@ def _check_mr002(fn: _Function, emit: "list[Finding]", path: str) -> None:
         return
 
     set_names: set[str] = set()
-    for node in _shallow_nodes(fn.node):
+    for node in shallow_nodes(fn.node):
         if isinstance(node, ast.Assign) and _set_expr(node.value, set_names):
             for target in node.targets:
-                set_names.update(_target_names(target))
+                set_names.update(target_names(target))
 
     def fire(node: ast.AST, what: str) -> None:
         emit.append(
@@ -450,7 +248,7 @@ def _check_mr002(fn: _Function, emit: "list[Finding]", path: str) -> None:
             )
         )
 
-    for node in _shallow_nodes(fn.node):
+    for node in shallow_nodes(fn.node):
         if isinstance(node, (ast.For, ast.AsyncFor)):
             if _set_expr(node.iter, set_names):
                 fire(node, "a set")
@@ -460,51 +258,61 @@ def _check_mr002(fn: _Function, emit: "list[Finding]", path: str) -> None:
 
 
 def _check_mr003(
-    fn: _Function, module_imports: set[str], emit: "list[Finding]", path: str
+    fn: FunctionInfo,
+    bindings: ImportBindings,
+    local_names: set[str],
+    emit: list[Finding],
+    path: str,
 ) -> None:
-    """Unseeded randomness / wall-clock reads in MR or kernel code."""
+    """Unseeded randomness / wall-clock reads in MR or kernel code.
 
-    def fire(node: ast.AST, what: str) -> None:
+    Calls are resolved through the import-binding pass, so aliases
+    (``import time as t; t.time()``) and from-imports (``from random
+    import random as rnd; rnd()``) are caught under their canonical
+    dotted names.
+    """
+    for node in shallow_nodes(fn.node):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        root = func.id if isinstance(func, ast.Name) else root_name(func)
+        if root is None or root in local_names:
+            continue
+        dotted = bindings.resolve(func)
+        if dotted is None:
+            continue
+        what = nondet_reason(dotted)
+        if what is None:
+            continue
         emit.append(
             Finding(
                 "MR003",
                 path,
-                getattr(node, "lineno", fn.node.lineno),
-                getattr(node, "col_offset", 0),
+                node.lineno,
+                node.col_offset,
                 fn.qualname,
                 f"calls {what} — kernel/MR code must be deterministic; "
                 "use random.Random(seed) or pass values in",
             )
         )
 
-    for node in _shallow_nodes(fn.node):
-        if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute)):
-            continue
-        attr = node.func.attr
-        root = _root_name(node.func.value)
-        if root is None or root not in module_imports:
-            continue
-        if root == "random" and attr != "Random":
-            fire(node, f"random.{attr}() (process-global, unseeded RNG)")
-        elif root == "time" and attr in _CLOCK_ATTRS:
-            fire(node, f"time.{attr}() (wall clock)")
-        elif root == "os" and attr == "urandom":
-            fire(node, "os.urandom() (entropy source)")
-        elif root == "uuid" and attr in ("uuid1", "uuid4"):
-            fire(node, f"uuid.{attr}() (random identifier)")
-        elif root == "datetime" and attr in ("now", "utcnow", "today"):
-            fire(node, f"datetime …{attr}() (wall clock)")
 
-
-def _unpicklable_call(node: ast.expr) -> str | None:
+def _unpicklable_call(node: ast.expr, bindings: ImportBindings) -> str | None:
     """Describe *node* if it constructs an unpicklable object."""
     if not isinstance(node, ast.Call):
         return None
     func = node.func
+    dotted = bindings.resolve(func)
+    if dotted is not None:
+        parts = dotted.split(".")
+        if parts[0] in _UNPICKLABLE_ROOTS or (
+            len(parts) > 1 and parts[-1] in _UNPICKLABLE_NAMES
+        ):
+            return f"{dotted}(...)"
     if isinstance(func, ast.Name) and func.id in _UNPICKLABLE_NAMES:
         return f"{func.id}(...)"
     if isinstance(func, ast.Attribute):
-        root = _root_name(func.value)
+        root = root_name(func.value)
         if root in _UNPICKLABLE_ROOTS or (
             root is not None and func.attr in _UNPICKLABLE_NAMES
         ):
@@ -512,43 +320,46 @@ def _unpicklable_call(node: ast.expr) -> str | None:
     return None
 
 
-def _scope_unpicklable_bindings(nodes: Iterable[ast.AST]) -> dict[str, str]:
+def _scope_unpicklable_bindings(
+    nodes: Iterable[ast.AST], bindings: ImportBindings
+) -> dict[str, str]:
     """Names bound to unpicklable constructions within *nodes*."""
-    bindings: dict[str, str] = {}
+    found: dict[str, str] = {}
     for node in nodes:
         if isinstance(node, ast.Assign):
-            what = _unpicklable_call(node.value)
+            what = _unpicklable_call(node.value, bindings)
             if what is not None:
                 for target in node.targets:
-                    for name in _target_names(target):
-                        bindings[name] = what
+                    for name in target_names(target):
+                        found[name] = what
         elif isinstance(node, (ast.With, ast.AsyncWith)):
             for item in node.items:
-                what = _unpicklable_call(item.context_expr)
+                what = _unpicklable_call(item.context_expr, bindings)
                 if what is not None and item.optional_vars is not None:
-                    for name in _target_names(item.optional_vars):
-                        bindings[name] = what
-    return bindings
+                    for name in target_names(item.optional_vars):
+                        found[name] = what
+    return found
 
 
 def _check_mr004(
-    fn: _Function,
+    fn: FunctionInfo,
     tree: ast.Module,
+    bindings: ImportBindings,
     local_names: set[str],
-    emit: "list[Finding]",
+    emit: list[Finding],
     path: str,
 ) -> None:
     """Closure capture of unpicklable objects in MR functions."""
     outer: dict[str, str] = {}
     # module scope first, then enclosing functions innermost-last so the
     # nearest binding wins
-    outer.update(_scope_unpicklable_bindings(tree.body))
+    outer.update(_scope_unpicklable_bindings(tree.body, bindings))
     for enclosing in fn.enclosing:
-        outer.update(_scope_unpicklable_bindings(_shallow_nodes(enclosing)))
+        outer.update(_scope_unpicklable_bindings(shallow_nodes(enclosing), bindings))
     if not outer:
         return
     flagged: set[str] = set()
-    for node in _shallow_nodes(fn.node):
+    for node in shallow_nodes(fn.node):
         if not (isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load)):
             continue
         name = node.id
@@ -568,9 +379,9 @@ def _check_mr004(
         )
 
 
-def _check_mr005(fn: _Function, emit: "list[Finding]", path: str) -> None:
+def _check_mr005(fn: FunctionInfo, emit: list[Finding], path: str) -> None:
     """Stage-2 emit keys must be inline composite tuples (>= 2 parts)."""
-    for node in _shallow_nodes(fn.node):
+    for node in shallow_nodes(fn.node):
         if not (
             isinstance(node, ast.Call)
             and isinstance(node.func, ast.Attribute)
@@ -594,7 +405,7 @@ def _check_mr005(fn: _Function, emit: "list[Finding]", path: str) -> None:
             )
 
 
-def _check_mr006(fn: _Function, emit: "list[Finding]", path: str) -> None:
+def _check_mr006(fn: FunctionInfo, emit: list[Finding], path: str) -> None:
     """Mutable default arguments on MR functions."""
     args = fn.node.args
     defaults = [*args.defaults, *(d for d in args.kw_defaults if d is not None)]
@@ -635,7 +446,7 @@ def _is_noop_body(body: list[ast.stmt]) -> bool:
     return True
 
 
-def _check_mr007(fn: _Function, emit: "list[Finding]", path: str) -> None:
+def _check_mr007(fn: FunctionInfo, emit: list[Finding], path: str) -> None:
     """Silent exception swallowing inside MR/kernel code.
 
     Fires on a bare ``except:`` always (it also catches worker-control
@@ -644,7 +455,7 @@ def _check_mr007(fn: _Function, emit: "list[Finding]", path: str) -> None:
     ``pass``/``...`` — a failure absorbed there never reaches the retry
     layer, so the task reports success over partial output.
     """
-    for node in _shallow_nodes(fn.node):
+    for node in shallow_nodes(fn.node):
         if not isinstance(node, ast.ExceptHandler):
             continue
         if node.type is None:
@@ -671,7 +482,7 @@ def _check_mr007(fn: _Function, emit: "list[Finding]", path: str) -> None:
         )
 
 
-def _check_mr008(fn: _Function, emit: "list[Finding]", path: str) -> None:
+def _check_mr008(fn: FunctionInfo, emit: list[Finding], path: str) -> None:
     """Per-record serialization or scalar verification inside loops of
     batch-path modules.
 
@@ -684,7 +495,7 @@ def _check_mr008(fn: _Function, emit: "list[Finding]", path: str) -> None:
     sanctioned batch form of the same call.
     """
     seen: set[tuple[int, int]] = set()
-    for node in _shallow_nodes(fn.node):
+    for node in shallow_nodes(fn.node):
         if not isinstance(node, (ast.For, ast.While)):
             continue
         for inner in ast.walk(node):
@@ -696,7 +507,7 @@ def _check_mr008(fn: _Function, emit: "list[Finding]", path: str) -> None:
             elif (
                 isinstance(func, ast.Attribute)
                 and func.attr == "dumps"
-                and _root_name(func) == "pickle"
+                and root_name(func) == "pickle"
             ):
                 what = "per-record pickle.dumps() in a loop"
             else:
@@ -724,6 +535,12 @@ def _check_mr008(fn: _Function, emit: "list[Finding]", path: str) -> None:
 # ---------------------------------------------------------------------------
 
 
+def _owns_pragma(name: str) -> bool:
+    """mrlint warns about every pragma name that is not an MR1xx rule
+    (those belong to mrflow)."""
+    return not name.startswith("MR1")
+
+
 def lint_source(source: str, path: str = "<string>") -> list[Finding]:
     """Lint one module's source text; returns findings sorted by location."""
     try:
@@ -739,57 +556,56 @@ def lint_source(source: str, path: str = "<string>") -> list[Finding]:
                 f"syntax error: {exc.msg}",
             )
         ]
-    module_names = _module_bindings(tree)
-    module_imports = _module_imports(tree)
+    module_names = module_bindings(tree)
+    bindings = ImportBindings.collect(tree)
     basename = os.path.basename(path)
     is_stage2 = "stage2" in basename
     is_batch_path = "batch" in basename or "stage2" in basename
     findings: list[Finding] = []
-    for fn in _discover(tree):
-        local_names = _local_bindings(fn.node)
+    for fn in discover_functions(tree):
+        if not (fn.is_mr or fn.is_kernel):
+            continue
+        local_names = local_bindings(fn.node)
         enclosing_names: set[str] = set()
         for enclosing in fn.enclosing:
-            enclosing_names.update(_local_bindings(enclosing))
+            enclosing_names.update(local_bindings(enclosing))
         if fn.is_mr:
             _check_mr001(fn, module_names, local_names, enclosing_names, findings, path)
             _check_mr002(fn, findings, path)
-            _check_mr004(fn, tree, local_names, findings, path)
+            _check_mr004(fn, tree, bindings, local_names, findings, path)
             _check_mr006(fn, findings, path)
             if is_stage2:
                 _check_mr005(fn, findings, path)
         if fn.is_mr or fn.is_kernel:
-            _check_mr003(fn, module_imports, findings, path)
+            _check_mr003(fn, bindings, local_names, findings, path)
             _check_mr007(fn, findings, path)
             if is_batch_path:
                 _check_mr008(fn, findings, path)
         if fn.is_kernel and not fn.is_mr:
             _check_mr002(fn, findings, path)
+    suppressions = Suppressions.parse(source)
+    if suppressions.by_line:
+        findings = apply_suppressions(findings, suppressions, path, _owns_pragma)
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
     return findings
 
 
 def lint_file(path: str) -> list[Finding]:
     """Lint one ``.py`` file."""
+    path = os.fspath(path)
     with open(path, "r", encoding="utf-8") as handle:
         return lint_source(handle.read(), path)
-
-
-def _iter_py_files(paths: Iterable[str]) -> Iterator[str]:
-    for path in paths:
-        if os.path.isdir(path):
-            for dirpath, dirnames, filenames in os.walk(path):
-                dirnames.sort()
-                dirnames[:] = [d for d in dirnames if d != "__pycache__"]
-                for filename in sorted(filenames):
-                    if filename.endswith(".py"):
-                        yield os.path.join(dirpath, filename)
-        else:
-            yield path
 
 
 def lint_paths(paths: Iterable[str]) -> list[Finding]:
     """Lint every ``.py`` file under *paths* (files or directory trees)."""
     findings: list[Finding] = []
-    for filename in _iter_py_files(paths):
+    for filename in iter_py_files(paths):
         findings.extend(lint_file(filename))
     return findings
+
+
+# retained for backward compatibility with older imports
+_iter_py_files = iter_py_files
+_discover = discover_functions
+_Function = FunctionInfo

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from typing import TYPE_CHECKING
 
 from repro.data.increase import increase_dataset
 from repro.data.loaders import read_records, write_records
@@ -26,6 +27,9 @@ from repro.join.driver import JoinReport, ssjoin_rs, ssjoin_self
 from repro.join.records import FIELD_SEP, RecordSchema, rid_of
 from repro.mapreduce.cluster import ClusterConfig, SimulatedCluster
 from repro.mapreduce.dfs import InMemoryDFS
+
+if TYPE_CHECKING:
+    from repro.analysis.common import Finding
 
 
 def _add_join_options(parser: argparse.ArgumentParser) -> None:
@@ -342,17 +346,98 @@ def _cmd_trace_report(args: argparse.Namespace) -> int:
     return status
 
 
-def _cmd_lint(args: argparse.Namespace) -> int:
-    from repro.analysis.mrlint import lint_paths
+def _emit_findings(
+    findings: list[Finding], fmt: str, rules: dict[str, str], tool: str
+) -> int:
+    """Render findings in *fmt* and return the process exit status."""
+    from repro.analysis.reporting import render_findings
 
-    findings = lint_paths(args.paths)
-    for finding in findings:
-        print(finding.format())
+    output = render_findings(findings, fmt, rules, tool)
+    if output:
+        print(output)
     if findings:
         print(f"{len(findings)} finding(s)", file=sys.stderr)
         return 1
-    print("mrlint: clean", file=sys.stderr)
+    print(f"{tool}: clean", file=sys.stderr)
     return 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis.mrlint import RULES, lint_paths
+
+    findings = lint_paths(args.paths)
+    rules = dict(RULES)
+    tool = "mrlint"
+    if args.flow:
+        from repro.analysis.mrflow import FLOW_RULES, analyze_paths
+
+        findings = sorted(
+            [*findings, *analyze_paths(args.paths)],
+            key=lambda f: (f.path, f.line, f.col, f.rule),
+        )
+        rules.update(FLOW_RULES)
+        tool = "mrlint+mrflow"
+    return _emit_findings(findings, args.format, rules, tool)
+
+
+def _cmd_flow(args: argparse.Namespace) -> int:
+    from repro.analysis import counter_names
+    from repro.analysis.mrflow import (
+        FLOW_RULES,
+        analyze_paths,
+        build_counter_registry,
+        render_counter_registry,
+    )
+    from repro.analysis.reporting import (
+        apply_baseline,
+        load_baseline,
+        write_baseline,
+    )
+
+    if args.write_counter_registry or args.check_registry:
+        registry = build_counter_registry(args.paths)
+        rendered = render_counter_registry(registry)
+        registry_path = counter_names.__file__
+        if args.write_counter_registry:
+            with open(registry_path, "w", encoding="utf-8") as handle:
+                handle.write(rendered)
+            print(
+                f"{len(registry)} counter name(s) -> {registry_path}",
+                file=sys.stderr,
+            )
+            return 0
+        with open(registry_path, "r", encoding="utf-8") as handle:
+            committed = handle.read()
+        if committed != rendered:
+            print(
+                "counter registry is stale: regenerate with "
+                "'python -m repro flow --write-counter-registry'",
+                file=sys.stderr,
+            )
+            missing = registry - counter_names.KNOWN_COUNTER_NAMES
+            extra = counter_names.KNOWN_COUNTER_NAMES - registry
+            for name in sorted(missing):
+                print(f"  + {name}", file=sys.stderr)
+            for name in sorted(extra):
+                print(f"  - {name}", file=sys.stderr)
+            return 1
+        print("counter registry is in sync", file=sys.stderr)
+        return 0
+
+    findings = analyze_paths(args.paths)
+    if args.write_baseline:
+        write_baseline(args.write_baseline, findings)
+        print(
+            f"{len(findings)} finding(s) -> baseline {args.write_baseline}",
+            file=sys.stderr,
+        )
+        return 0
+    if args.baseline:
+        baseline = load_baseline(args.baseline)
+        findings, stale = apply_baseline(findings, baseline)
+        for entry in stale:
+            print(f"stale baseline entry: {entry}", file=sys.stderr)
+    return _emit_findings(findings, args.format, dict(FLOW_RULES), "mrflow")
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
@@ -409,7 +494,40 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_lint.add_argument("paths", nargs="+",
                         help="python files or directory trees to lint")
+    p_lint.add_argument("--format", choices=["text", "json", "sarif"],
+                        default="text",
+                        help="finding output format (default: text)")
+    p_lint.add_argument("--flow", action="store_true",
+                        help="also run the interprocedural mrflow analysis "
+                             "(MR101-MR105) over the same paths")
     p_lint.set_defaults(func=_cmd_lint)
+
+    p_flow = sub.add_parser(
+        "flow",
+        help="whole-program dataflow analysis of cross-stage MR contracts: "
+             "interprocedural determinism taint, emit-shape vs reducer/"
+             "partitioner checks, counter-name registry, shared-memory "
+             "lifecycle (repro.analysis.mrflow)",
+    )
+    p_flow.add_argument("paths", nargs="+",
+                        help="python files or directory trees to analyze "
+                             "as one program")
+    p_flow.add_argument("--format", choices=["text", "json", "sarif"],
+                        default="text",
+                        help="finding output format (default: text)")
+    p_flow.add_argument("--baseline", default=None,
+                        help="subtract findings recorded in this baseline "
+                             "file; only new findings fail the run")
+    p_flow.add_argument("--write-baseline", default=None, metavar="PATH",
+                        help="record current findings as the accepted "
+                             "baseline at PATH and exit 0")
+    p_flow.add_argument("--write-counter-registry", action="store_true",
+                        help="regenerate repro/analysis/counter_names.py "
+                             "from the counter sites under PATHS")
+    p_flow.add_argument("--check-registry", action="store_true",
+                        help="exit 1 if the committed counter registry "
+                             "does not match the source tree")
+    p_flow.set_defaults(func=_cmd_flow)
 
     p_trace = sub.add_parser(
         "trace-report",

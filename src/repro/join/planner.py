@@ -195,7 +195,9 @@ def _route_profiles(
             routes: "tuple[int, ...] | set[int]" = ranks  # ranks are distinct
         else:
             routes = {rank % num_groups for rank in ranks}
-        for route in routes:
+        # sorted: set order would leak into members' dict insertion order
+        # and from there into float-accumulation order downstream
+        for route in sorted(routes):
             members.setdefault(route, []).append(idx)
     scale = sample.scale
     token_lists = sample.token_rank_lists

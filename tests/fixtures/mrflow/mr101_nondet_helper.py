@@ -1,0 +1,18 @@
+"""MR101: nondeterminism reaches a mapper through a helper call.
+
+The mapper itself is clean under mrlint's intra-function MR003 — the
+unseeded RNG call sits one hop away in ``_jittered_weight``.
+"""
+
+import random
+
+
+def _jittered_weight(length: int) -> float:
+    return length + random.random()
+
+
+def token_mapper(record, ctx):
+    rid, tokens = record
+    for position, token in enumerate(tokens):
+        weight = _jittered_weight(len(tokens))
+        ctx.emit((token, len(tokens)), (rid, position, weight))

@@ -1,0 +1,18 @@
+"""MR102: the reducer destructures a value arity no mapper emits.
+
+The mapper emits 3-tuple values; the reducer unpacks 4 fields from the
+value stream, so every record would raise ``ValueError`` at runtime —
+or silently bind shifted fields after a careless schema change.
+"""
+
+
+def prefix_mapper(record, ctx):
+    rid, tokens = record
+    for token in tokens[:3]:
+        ctx.emit((token, len(tokens)), (rid, len(tokens), token))
+
+
+def pairs_reducer(key, values, ctx):
+    for rid, length, token, flags in values:
+        if flags:
+            ctx.emit(key, (rid, length, token))

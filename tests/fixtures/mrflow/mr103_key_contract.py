@@ -1,0 +1,18 @@
+"""MR103: a partition selector indexes beyond every emitted key shape.
+
+The mapper emits ``(token, length)`` 2-tuple keys, but the job's
+partition lambda reads ``key[2]`` — an index that no emitted key has.
+"""
+
+
+def token_mapper(record, ctx):
+    rid, tokens = record
+    for token in tokens:
+        ctx.emit((token, len(tokens)), (rid, 1))
+
+
+def build_job(GroupJob):
+    return GroupJob(
+        mapper=token_mapper,
+        partition=lambda key, n: key[2] % n,
+    )

@@ -1,0 +1,14 @@
+"""MR104: a typo'd counter name that is not in the generated registry.
+
+``stage2.pairs_outptu`` (sic) silently diverges from the real
+``stage2.pairs_output`` counter — it would merge into nothing and the
+dashboard would read zero forever.
+"""
+
+
+def pairs_reducer(key, values, ctx):
+    emitted = 0
+    for value in values:
+        ctx.emit(key, value)
+        emitted += 1
+    ctx.counters.increment("stage2.pairs_outptu", emitted)

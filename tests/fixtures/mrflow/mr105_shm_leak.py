@@ -1,0 +1,17 @@
+"""MR105: a shared-memory segment that leaks on the exception path.
+
+The segment is closed on the happy path, but the payload copy between
+create and close can raise (e.g. a size mismatch), leaving the segment
+orphaned in /dev/shm — and this module has no sweep backstop.
+"""
+
+from multiprocessing import shared_memory
+
+
+def publish_segment(name: str, payload: bytes) -> str:
+    seg = shared_memory.SharedMemory(name=name, create=True, size=len(payload))
+    view = memoryview(seg.buf)
+    view[: len(payload)] = payload
+    view.release()
+    seg.close()
+    return name

@@ -1,0 +1,21 @@
+"""Seeds exactly one MR009 violation: a stale suppression pragma.
+
+The pragma in ``mapper`` is used — it silences the MR003 the unseeded
+``random.random()`` call would raise — so it stays quiet.  The pragma
+in ``reducer`` sits on a line that violates nothing, so MR009 flags it
+as stale.
+"""
+
+import random
+
+
+def mapper(line, ctx):
+    jitter = random.random()  # mrlint: disable=MR003
+    ctx.emit((line, 1), (line, jitter))
+
+
+def reducer(key, values, ctx):
+    total = 0  # mrlint: disable=MR003
+    for _value in values:
+        total += 1
+    ctx.emit(key, total)

@@ -1,0 +1,441 @@
+"""Whole-program dataflow analyzer: every MR1xx rule fires on its
+fixture exactly once, the real source tree is flow-clean, and the
+reporting/baseline/registry machinery round-trips.
+
+Fixtures live in ``tests/fixtures/mrflow/``; each seeds exactly one
+violation of its rule next to sanctioned code, pinning both the
+detection and the non-detection side.
+"""
+
+import json
+import textwrap
+from pathlib import Path
+
+from repro.analysis import counter_names
+from repro.analysis.common import Finding
+from repro.analysis.mrflow import (
+    FLOW_RULES,
+    analyze_paths,
+    build_counter_registry,
+    render_counter_registry,
+)
+from repro.analysis.reporting import (
+    apply_baseline,
+    load_baseline,
+    render_findings,
+    write_baseline,
+)
+from repro.cli import main
+
+FIXTURES = Path(__file__).parent / "fixtures" / "mrflow"
+SRC = Path(__file__).parent.parent / "src"
+
+
+def rules_fired(findings: list[Finding]) -> list[str]:
+    return [f.rule for f in findings]
+
+
+def analyze_source(source: str, tmp_path: Path, name: str = "jobs.py") -> list[Finding]:
+    path = tmp_path / name
+    path.write_text(textwrap.dedent(source))
+    return analyze_paths([str(path)])
+
+
+class TestRuleFixtures:
+    def test_mr101_nondet_through_helper(self):
+        findings = analyze_paths([str(FIXTURES / "mr101_nondet_helper.py")])
+        assert rules_fired(findings) == ["MR101"]
+        assert findings[0].function == "token_mapper"
+        assert "_jittered_weight" in findings[0].message
+        assert "random.random" in findings[0].message
+
+    def test_mr102_reducer_value_arity(self):
+        findings = analyze_paths([str(FIXTURES / "mr102_reducer_arity.py")])
+        assert rules_fired(findings) == ["MR102"]
+        assert findings[0].function == "pairs_reducer"
+        assert "4-tuples" in findings[0].message
+
+    def test_mr103_partition_out_of_bounds(self):
+        findings = analyze_paths([str(FIXTURES / "mr103_key_contract.py")])
+        assert rules_fired(findings) == ["MR103"]
+        assert "key[2]" in findings[0].message
+
+    def test_mr104_counter_typo(self):
+        findings = analyze_paths([str(FIXTURES / "mr104_counter_typo.py")])
+        assert rules_fired(findings) == ["MR104"]
+        assert "stage2.pairs_outptu" in findings[0].message
+
+    def test_mr105_shm_exception_leak(self):
+        findings = analyze_paths([str(FIXTURES / "mr105_shm_leak.py")])
+        assert rules_fired(findings) == ["MR105"]
+        assert findings[0].function == "publish_segment"
+        assert "'seg'" in findings[0].message
+
+    def test_every_flow_rule_has_a_fixture(self):
+        covered = set()
+        for path in sorted(FIXTURES.glob("*.py")):
+            covered.update(rules_fired(analyze_paths([str(path)])))
+        assert covered == set(FLOW_RULES)
+
+    def test_fixture_directory_as_one_program(self):
+        # analyzed together, the fixtures still fire one finding each —
+        # cross-module resolution must not invent extra taint or shapes
+        findings = analyze_paths([str(FIXTURES)])
+        assert sorted(rules_fired(findings)) == sorted(FLOW_RULES)
+
+
+class TestInterproceduralTaint:
+    def test_two_hop_chain(self, tmp_path):
+        findings = analyze_source(
+            """
+            import time
+
+            def _stamp():
+                return time.time()
+
+            def _decorate(rid):
+                return (rid, _stamp())
+
+            def audit_mapper(record, ctx):
+                rid, tokens = record
+                ctx.emit((rid, 1), _decorate(rid))
+            """,
+            tmp_path,
+        )
+        assert rules_fired(findings) == ["MR101"]
+        assert "_decorate -> _stamp" in findings[0].message
+
+    def test_direct_taint_stays_mrlints_turf(self, tmp_path):
+        # a zero-hop source inside the mapper is MR003 territory; mrflow
+        # must not duplicate it
+        findings = analyze_source(
+            """
+            import random
+
+            def token_mapper(record, ctx):
+                ctx.emit((record, 1), random.random())
+            """,
+            tmp_path,
+        )
+        assert findings == []
+
+    def test_seeded_rng_helper_is_clean(self, tmp_path):
+        findings = analyze_source(
+            """
+            import random
+
+            def _sampler(seed):
+                return random.Random(seed)
+
+            def sample_mapper(record, ctx):
+                rng = _sampler(42)
+                ctx.emit((record, 1), rng.random())
+            """,
+            tmp_path,
+        )
+        assert findings == []
+
+    def test_sorted_set_helper_is_clean(self, tmp_path):
+        findings = analyze_source(
+            """
+            def _unique_tokens(tokens):
+                return sorted({t for t in tokens})
+
+            def token_mapper(record, ctx):
+                rid, tokens = record
+                for token in _unique_tokens(tokens):
+                    ctx.emit((token, len(tokens)), (rid, 1))
+            """,
+            tmp_path,
+        )
+        assert findings == []
+
+    def test_import_alias_seeds_taint(self, tmp_path):
+        findings = analyze_source(
+            """
+            from random import random as rnd
+
+            def _noise():
+                return rnd()
+
+            def token_mapper(record, ctx):
+                ctx.emit((record, 1), _noise())
+            """,
+            tmp_path,
+        )
+        assert rules_fired(findings) == ["MR101"]
+
+
+class TestShapes:
+    def test_matching_arity_is_clean(self, tmp_path):
+        findings = analyze_source(
+            """
+            def prefix_mapper(record, ctx):
+                rid, tokens = record
+                for token in tokens:
+                    ctx.emit((token, len(tokens)), (rid, len(tokens)))
+
+            def pairs_reducer(key, values, ctx):
+                for rid, length in values:
+                    ctx.emit(key, (rid, length))
+            """,
+            tmp_path,
+        )
+        assert findings == []
+
+    def test_tuple_concat_and_slice_arities(self, tmp_path):
+        # (step, role) + value[1:] keeps the arity algebra honest
+        findings = analyze_source(
+            """
+            def route_mapper(record, ctx):
+                rid, tokens = record
+                value = (rid, len(tokens), tokens[0])
+                key = ("route", 7) + value[:2]
+                ctx.emit(key, value)
+
+            def group_reducer(key, values, ctx):
+                shard = key[3]
+                for rid, length, head in values:
+                    ctx.emit((shard, rid), (rid, length, head))
+            """,
+            tmp_path,
+        )
+        assert findings == []
+
+    def test_unknown_shape_disarms_module(self, tmp_path):
+        # one dynamic emit shape gates the shape rules off entirely
+        findings = analyze_source(
+            """
+            def opaque_mapper(record, ctx):
+                ctx.emit(make_key(record), make_value(record))
+
+            def pairs_reducer(key, values, ctx):
+                for a, b, c, d, e, f in values:
+                    ctx.emit(key[9], (a, b))
+            """,
+            tmp_path,
+        )
+        assert findings == []
+
+
+class TestCounterRegistry:
+    def test_committed_registry_matches_source_tree(self):
+        registry = build_counter_registry([str(SRC)])
+        assert registry == counter_names.KNOWN_COUNTER_NAMES
+        expected = render_counter_registry(registry)
+        committed = Path(counter_names.__file__).read_text()
+        assert committed == expected
+
+    def test_dynamic_prefixes_are_exempt(self, tmp_path):
+        findings = analyze_source(
+            """
+            def stats_reducer(key, values, ctx):
+                for value in values:
+                    ctx.counters.increment("hist.bucket_0", 1)
+                    ctx.emit(key, value)
+            """,
+            tmp_path,
+        )
+        assert findings == []
+
+    def test_name_resolved_through_constant(self, tmp_path):
+        findings = analyze_source(
+            """
+            _PAIRS = "stage2.pairs_outptu"
+
+            def pairs_reducer(key, values, ctx):
+                for value in values:
+                    ctx.emit(key, value)
+                ctx.counters.increment(_PAIRS, 1)
+            """,
+            tmp_path,
+        )
+        assert rules_fired(findings) == ["MR104"]
+
+
+class TestShmLifecycle:
+    def test_finally_release_is_clean(self, tmp_path):
+        findings = analyze_source(
+            """
+            from multiprocessing import shared_memory
+
+            def publish(name, payload):
+                seg = shared_memory.SharedMemory(name=name, create=True, size=8)
+                try:
+                    seg.buf[: len(payload)] = payload
+                finally:
+                    seg.close()
+            """,
+            tmp_path,
+        )
+        assert findings == []
+
+    def test_module_sweeper_downgrades_exception_path(self, tmp_path):
+        # happy-path close + an orphan sweeper is the executor's pattern
+        findings = analyze_source(
+            """
+            import os
+            from multiprocessing import shared_memory
+
+            def sweep_segments(prefix):
+                for entry in sorted(os.listdir("/dev/shm")):
+                    if entry.startswith(prefix):
+                        seg = shared_memory.SharedMemory(name=entry)
+                        seg.unlink()
+
+            def publish(name, payload):
+                seg = shared_memory.SharedMemory(name=name, create=True, size=8)
+                seg.buf[: len(payload)] = payload
+                seg.close()
+            """,
+            tmp_path,
+        )
+        assert findings == []
+
+    def test_never_released_fires_even_with_sweeper(self, tmp_path):
+        findings = analyze_source(
+            """
+            from multiprocessing import shared_memory
+
+            def sweep_segments(prefix):
+                seg = shared_memory.SharedMemory(name=prefix)
+                seg.unlink()
+
+            def publish(name):
+                seg = shared_memory.SharedMemory(name=name, create=True, size=8)
+                return seg.name
+            """,
+            tmp_path,
+        )
+        assert rules_fired(findings) == ["MR105"]
+        assert "never" in findings[0].message
+
+    def test_escaped_segment_is_not_flagged(self, tmp_path):
+        # handing the segment to another owner transfers responsibility
+        findings = analyze_source(
+            """
+            from multiprocessing import shared_memory
+
+            def publish(name, registry):
+                seg = shared_memory.SharedMemory(name=name, create=True, size=8)
+                registry.adopt(seg)
+            """,
+            tmp_path,
+        )
+        assert findings == []
+
+
+class TestSuppressions:
+    def test_pragma_silences_flow_finding(self, tmp_path):
+        source = (FIXTURES / "mr101_nondet_helper.py").read_text()
+        line_of_interest = "weight = _jittered_weight(len(tokens))"
+        assert line_of_interest in source
+        suppressed = source.replace(
+            line_of_interest,
+            line_of_interest + "  # mrlint: disable=MR101",
+        )
+        path = tmp_path / "mr101_suppressed.py"
+        path.write_text(suppressed)
+        assert analyze_paths([str(path)]) == []
+
+    def test_stale_flow_pragma_fires_mr009(self, tmp_path):
+        findings = analyze_source(
+            """
+            def token_mapper(record, ctx):
+                rid, tokens = record  # mrlint: disable=MR101
+                ctx.emit((rid, 1), (rid, len(tokens)))
+            """,
+            tmp_path,
+        )
+        assert rules_fired(findings) == ["MR009"]
+        assert "unused suppression" in findings[0].message
+
+    def test_mr0xx_pragmas_belong_to_mrlint(self, tmp_path):
+        # mrflow must not claim a stale MR003 pragma — mrlint owns it
+        findings = analyze_source(
+            """
+            def token_mapper(record, ctx):
+                rid, tokens = record  # mrlint: disable=MR003
+                ctx.emit((rid, 1), (rid, len(tokens)))
+            """,
+            tmp_path,
+        )
+        assert findings == []
+
+
+class TestReportingAndBaseline:
+    def _findings(self):
+        return analyze_paths([str(FIXTURES / "mr101_nondet_helper.py")])
+
+    def test_json_format(self):
+        findings = self._findings()
+        document = json.loads(render_findings(findings, "json", FLOW_RULES, "mrflow"))
+        assert document["count"] == 1
+        assert document["findings"][0]["rule"] == "MR101"
+
+    def test_sarif_format(self):
+        findings = self._findings()
+        document = json.loads(render_findings(findings, "sarif", FLOW_RULES, "mrflow"))
+        assert document["version"] == "2.1.0"
+        run = document["runs"][0]
+        assert run["tool"]["driver"]["name"] == "mrflow"
+        assert {r["id"] for r in run["tool"]["driver"]["rules"]} == set(FLOW_RULES)
+        result = run["results"][0]
+        assert result["ruleId"] == "MR101"
+        assert result["locations"][0]["physicalLocation"]["region"]["startLine"] > 0
+
+    def test_baseline_round_trip(self, tmp_path):
+        findings = self._findings()
+        baseline_path = tmp_path / "baseline.json"
+        write_baseline(str(baseline_path), findings)
+        baseline = load_baseline(str(baseline_path))
+        new, stale = apply_baseline(findings, baseline)
+        assert new == []
+        assert stale == []
+
+    def test_baseline_surfaces_new_and_stale(self, tmp_path):
+        findings = self._findings()
+        baseline_path = tmp_path / "baseline.json"
+        write_baseline(str(baseline_path), findings)
+        baseline = load_baseline(str(baseline_path))
+        extra = Finding("MR104", findings[0].path, 1, 0, "other", "typo")
+        new, stale = apply_baseline([extra], baseline)
+        assert [f.rule for f in new] == ["MR104"]
+        assert len(stale) == 1 and "MR101" in stale[0]
+
+
+class TestRepoIsFlowClean:
+    def test_src_tree_is_flow_clean(self):
+        assert analyze_paths([str(SRC)]) == []
+
+
+class TestCli:
+    def test_flow_clean_exits_zero(self, capsys):
+        assert main(["flow", str(SRC / "repro" / "join")]) == 0
+        assert "clean" in capsys.readouterr().err
+
+    def test_flow_findings_exit_one(self, capsys):
+        assert main(["flow", str(FIXTURES / "mr101_nondet_helper.py")]) == 1
+        captured = capsys.readouterr()
+        assert "MR101" in captured.out
+        assert "1 finding(s)" in captured.err
+
+    def test_flow_sarif_output_parses(self, capsys):
+        main(["flow", str(FIXTURES), "--format", "sarif"])
+        document = json.loads(capsys.readouterr().out)
+        assert document["version"] == "2.1.0"
+
+    def test_flow_baseline_gates_exit(self, tmp_path, capsys):
+        target = str(FIXTURES / "mr105_shm_leak.py")
+        baseline = str(tmp_path / "baseline.json")
+        assert main(["flow", target, "--write-baseline", baseline]) == 0
+        assert main(["flow", target, "--baseline", baseline]) == 0
+        capsys.readouterr()
+
+    def test_flow_check_registry(self, capsys):
+        assert main(["flow", str(SRC), "--check-registry"]) == 0
+        assert "in sync" in capsys.readouterr().err
+
+    def test_lint_flow_combines_rule_sets(self, capsys):
+        assert main(["lint", "--flow", str(FIXTURES / "mr101_nondet_helper.py")]) == 1
+        assert "MR101" in capsys.readouterr().out

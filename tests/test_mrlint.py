@@ -172,6 +172,103 @@ class TestDiscovery:
         assert f":{finding.line}:" in text
 
 
+class TestImportAliases:
+    def test_module_alias_resolves_for_mr003(self):
+        source = textwrap.dedent(
+            """
+            import time as t
+
+            def token_mapper(record, ctx):
+                ctx.emit((record, 1), t.time())
+            """
+        )
+        findings = lint_source(source, "jobs.py")
+        assert rules_fired(findings) == ["MR003"]
+        assert "time.time" in findings[0].message
+
+    def test_member_alias_resolves_for_mr003(self):
+        source = textwrap.dedent(
+            """
+            from random import random as rnd
+
+            def token_mapper(record, ctx):
+                ctx.emit((record, 1), rnd())
+            """
+        )
+        findings = lint_source(source, "jobs.py")
+        assert rules_fired(findings) == ["MR003"]
+        assert "random.random" in findings[0].message
+
+    def test_local_shadow_of_alias_is_clean(self):
+        source = textwrap.dedent(
+            """
+            from random import random as rnd
+
+            def token_mapper(record, ctx):
+                rnd = lambda: 0.5
+                ctx.emit((record, 1), rnd())
+            """
+        )
+        assert lint_source(source, "jobs.py") == []
+
+
+class TestSuppressions:
+    def test_pragma_silences_finding(self):
+        source = textwrap.dedent(
+            """
+            import random
+
+            def token_mapper(record, ctx):
+                jitter = random.random()  # mrlint: disable=MR003
+                ctx.emit((record, 1), jitter)
+            """
+        )
+        assert lint_source(source, "jobs.py") == []
+
+    def test_unused_pragma_fires_mr009(self):
+        findings = lint_file(FIXTURES / "mr009_unused_suppression.py")
+        assert rules_fired(findings) == ["MR009"]
+        assert "unused suppression" in findings[0].message
+
+    def test_pragma_inside_docstring_is_ignored(self):
+        source = textwrap.dedent(
+            '''
+            def token_mapper(record, ctx):
+                """Docs may mention # mrlint: disable=MR003 freely."""
+                ctx.emit((record, 1), record)
+            '''
+        )
+        assert lint_source(source, "jobs.py") == []
+
+    def test_disable_all_and_multiple_names(self):
+        source = textwrap.dedent(
+            """
+            import random
+
+            SEEN = []
+
+            def token_mapper(record, ctx):
+                SEEN.append(random.random())  # mrlint: disable=MR001, MR003
+                ctx.emit((record, 1), record)
+
+            def count_mapper(record, ctx):
+                SEEN.append(random.random())  # mrlint: disable=all
+                ctx.emit((record, 1), record)
+            """
+        )
+        assert lint_source(source, "jobs.py") == []
+
+    def test_mr1xx_pragmas_belong_to_mrflow(self):
+        # a stale MR101 pragma is mrflow's to report, not mrlint's
+        source = textwrap.dedent(
+            """
+            def token_mapper(record, ctx):
+                ctx.emit((record, 1), record)  # mrlint: disable=MR101
+            """
+        )
+        assert lint_source(source, "jobs.py") == []
+
+
 class TestRepoIsClean:
     def test_src_tree_lints_clean(self):
         assert lint_paths([str(SRC)]) == []
