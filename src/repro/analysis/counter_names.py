@@ -29,6 +29,8 @@ KNOWN_COUNTER_NAMES: frozenset[str] = frozenset(
         'plan.splits',
         'reduce.group_records',
         'resume.stages_skipped',
+        'run.checked_metrics',
+        'run.regressions',
         'sanitize.checks',
         'sanitize.index_bytes_drift',
         'sanitize.unsorted_reduce_input',
@@ -55,5 +57,10 @@ KNOWN_COUNTER_NAMES: frozenset[str] = frozenset(
         'task.lost',
         'task.retries',
         'task.speculative',
+        'telemetry.heartbeats',
+        'telemetry.maxrss_kb',
+        'telemetry.phases',
+        'telemetry.stragglers',
+        'telemetry.tasks',
     }
 )

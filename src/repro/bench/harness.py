@@ -275,6 +275,85 @@ def stage_breakdown_scaleup(
 # ---------------------------------------------------------------------------
 
 
+# ---------------------------------------------------------------------------
+# CI perf-gate smoke bench
+# ---------------------------------------------------------------------------
+
+
+def bench_smoke_rows(
+    num_records: int = 2000,
+    rounds: int = 3,
+    threshold: float = 0.7,
+    num_nodes: int = 10,
+    slow_stage2: bool = False,
+) -> dict:
+    """One quick end-to-end bench whose rows feed ``runs check``.
+
+    Runs a small DBLP self-join *rounds* times on fresh clusters and
+    reports best-of simulated stage times plus two machine-independent
+    facts: the output digest (identity) and ``stage2_share_pct``, the
+    kernel stage's share of the simulated total — a scale-free ratio
+    that survives cross-machine comparison against the committed
+    ``BENCH_kernel.json`` baseline (``runs check --ratios-only``).
+
+    ``slow_stage2`` deliberately degrades the Stage-2 plan (all tokens
+    into one group, so one reducer receives every candidate pair) —
+    output is identical, but the kernel stage slows severalfold.  The
+    CI perf gate uses it to prove the checker actually fails on a real
+    slowdown.
+    """
+    import hashlib
+
+    from repro.data.synthetic import generate_dblp
+
+    records = generate_dblp(num_records, seed=7)
+    overrides: dict = {}
+    if slow_stage2:
+        overrides = {"routing": "grouped", "num_groups": 1}
+    config = JoinConfig(
+        threshold=threshold, stage1="bto", kernel="pk", stage3="brj",
+        **overrides,
+    )
+    best: JoinReport | None = None
+    total_all: list[float] = []
+    pairs = 0
+    digest = ""
+    for _round in range(rounds):
+        cluster = make_cluster(num_nodes)
+        cluster.dfs.write("records", records)
+        report = ssjoin_self(cluster, "records", config)
+        total_all.append(round(report.total_simulated_s, 4))
+        if best is None or report.total_simulated_s < best.total_simulated_s:
+            best = report
+            pairs = int(
+                report.counters().get("stage3.record_pairs_output", 0)
+            )
+            output = sorted(cluster.dfs.read_all(report.output_file))
+            digest = hashlib.sha256(
+                "\n".join(map(str, output)).encode("utf-8")
+            ).hexdigest()
+    assert best is not None
+    times = best.stage_times()
+    total = best.total_simulated_s or 1.0
+    workload = f"dblp x1[:{num_records}] seed 7, bto-pk-brj, jaccard>={threshold}"
+    if slow_stage2:
+        workload += ", slow-stage2 (1 token group)"
+    return {
+        "e2e_smoke": {
+            "workload": workload,
+            "rounds": rounds,
+            "pairs": pairs,
+            "output_digest": digest,
+            "stage1_best_s": round(times["stage1"], 4),
+            "stage2_best_s": round(times["stage2"], 4),
+            "stage3_best_s": round(times["stage3"], 4),
+            "total_best_s": round(best.total_simulated_s, 4),
+            "total_all_s": total_all,
+            "stage2_share_pct": round(100.0 * times["stage2"] / total, 2),
+        }
+    }
+
+
 def groups_sweep(
     records: Sequence[str],
     group_counts: Iterable[int | None],

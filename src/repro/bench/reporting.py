@@ -117,6 +117,78 @@ def format_histograms(histograms: dict, title: str = "histograms") -> str:
     return format_table(headers, rows, title=title)
 
 
+def format_runs_diff(diff: dict) -> str:
+    """Render a :func:`repro.obs.runs.diff_runs` document as text:
+    headline identity facts, a stage-time table and the changed
+    counters (unchanged counters are omitted)."""
+    lines = [f"runs diff: {diff['a']} -> {diff['b']}"]
+    kind_a, kind_b = diff["kind"]
+    workload_a, workload_b = diff["workload"]
+    lines.append(
+        f"  kind: {kind_a}"
+        + ("" if kind_a == kind_b else f" -> {kind_b}")
+    )
+    lines.append(
+        f"  workload: {workload_a}"
+        + ("" if workload_a == workload_b else f" -> {workload_b}")
+    )
+    if any(diff["config_digest"]):
+        lines.append(
+            "  config: identical" if diff["same_config"] else "  config: differs"
+        )
+    pairs_a, pairs_b = diff["pairs"]
+    if pairs_a is not None or pairs_b is not None:
+        marker = "" if pairs_a == pairs_b else "  << DIFFERS"
+        lines.append(f"  pairs: {pairs_a} -> {pairs_b}{marker}")
+    rss_a, rss_b = diff["maxrss_kb"]
+    if rss_a is not None or rss_b is not None:
+        lines.append(f"  maxrss_kb: {rss_a} -> {rss_b}")
+    if diff["stage_rows"]:
+        lines.append(
+            format_table(
+                ["stage", "a_s", "b_s", "delta_pct"],
+                [list(row) for row in diff["stage_rows"]],
+                title="stage times (simulated)",
+            )
+        )
+    if diff["counter_rows"]:
+        lines.append(
+            format_table(
+                ["counter", "a", "b"],
+                [list(row) for row in diff["counter_rows"]],
+                title="changed counters",
+            )
+        )
+    else:
+        lines.append("counters: identical")
+    return "\n".join(lines)
+
+
+def format_regression_findings(findings: list) -> str:
+    """Render :func:`repro.obs.runs.compare_baseline` findings, one row
+    per checked metric, regressions flagged in the last column."""
+    def short(value: object) -> object:
+        # digests would blow the column out to 64 chars
+        if isinstance(value, str) and len(value) > 12:
+            return value[:12] + ".."
+        return value
+
+    headers = ["section", "metric", "baseline", "current", "ratio", "kind", "status"]
+    rows = [
+        [
+            f.section,
+            f.metric,
+            short(f.baseline),
+            short(f.current),
+            f.ratio,
+            f.kind,
+            "REGRESSED" if f.regressed else "ok",
+        ]
+        for f in findings
+    ]
+    return format_table(headers, rows, title="baseline check")
+
+
 def format_speedup_series(rows: list[dict], baseline_key: int) -> str:
     """Fig. 10-style relative speedup: time(baseline) / time(n) per combo."""
     by_combo: dict[str, dict[int, float]] = {}

@@ -122,6 +122,17 @@ def _add_join_options(parser: argparse.ArgumentParser) -> None:
                         help="launch a speculative duplicate attempt for "
                              "tasks still running after this long "
                              "(default: off; first completed attempt wins)")
+    parser.add_argument("--progress", action="store_true",
+                        help="live progress on stderr: per-phase bars, "
+                             "throughput-based ETA and straggler flags fed "
+                             "by worker heartbeats; degrades to plain "
+                             "'progress:' log lines when stderr is not a "
+                             "TTY; observe-only, output is unchanged")
+    parser.add_argument("--runs-dir", default=None, metavar="DIR",
+                        help="run-manifest registry directory (default: "
+                             "$REPRO_RUNS_DIR or .repro-runs)")
+    parser.add_argument("--no-run-manifest", action="store_true",
+                        help="do not record this run in the registry")
     parser.add_argument("--checkpoint", default=None, metavar="DIR",
                         help="persist each completed stage's output (plus an "
                              "identity manifest) under DIR so a killed join "
@@ -226,6 +237,41 @@ def _export_trace(args: argparse.Namespace, tracer) -> None:
     print(f"trace ({len(tracer)} events) -> {args.trace}", file=sys.stderr)
 
 
+def _attach_telemetry(args: argparse.Namespace, cluster: SimulatedCluster, tracer):
+    """Attach a TelemetryHub to *cluster* when ``--progress`` was given."""
+    if not args.progress:
+        return None
+    from repro.obs.telemetry import TelemetryHub, make_progress_view
+
+    cluster.telemetry = TelemetryHub(
+        view=make_progress_view(stream=sys.stderr), tracer=tracer
+    )
+    return cluster.telemetry
+
+
+def _record_run(
+    args: argparse.Namespace, kind: str, workload: str, report: JoinReport
+) -> None:
+    """Write the run manifest unless ``--no-run-manifest``."""
+    if args.no_run_manifest:
+        return
+    from repro.obs.runs import (
+        build_run_manifest,
+        resolve_runs_dir,
+        write_run_manifest,
+    )
+
+    doc = build_run_manifest(
+        kind=kind,
+        workload=workload,
+        config=_build_config(args),
+        report=report,
+        argv=sys.argv[1:],
+    )
+    path = write_run_manifest(resolve_runs_dir(args.runs_dir), doc)
+    print(f"run {doc['id']} -> {path}", file=sys.stderr)
+
+
 def _emit(args: argparse.Namespace, pairs: list, report: JoinReport) -> None:
     lines = []
     for line1, line2, similarity in pairs:
@@ -280,14 +326,19 @@ def _cmd_selfjoin(args: argparse.Namespace) -> int:
     records = read_records(args.input)
     cluster = _make_cluster(args)
     tracer = _attach_tracer(args, cluster)
+    hub = _attach_telemetry(args, cluster, tracer)
     try:
         cluster.dfs.write("input", records)
         report = ssjoin_self(
             cluster, "input", _build_config(args),
             checkpoint=_make_checkpoint(args),
         )
+        if hub is not None:
+            hub.close()
+            print(hub.summary_line(), file=sys.stderr)
         _emit(args, sorted(cluster.dfs.read_all(report.output_file)), report)
         _export_trace(args, tracer)
+        _record_run(args, "selfjoin", args.input, report)
     finally:
         if hasattr(cluster, "close"):
             cluster.close()
@@ -299,6 +350,7 @@ def _cmd_rsjoin(args: argparse.Namespace) -> int:
     s_records = read_records(args.s_input)
     cluster = _make_cluster(args)
     tracer = _attach_tracer(args, cluster)
+    hub = _attach_telemetry(args, cluster, tracer)
     try:
         cluster.dfs.write("r", r_records)
         cluster.dfs.write("s", s_records)
@@ -306,8 +358,12 @@ def _cmd_rsjoin(args: argparse.Namespace) -> int:
             cluster, "r", "s", _build_config(args),
             checkpoint=_make_checkpoint(args),
         )
+        if hub is not None:
+            hub.close()
+            print(hub.summary_line(), file=sys.stderr)
         _emit(args, sorted(cluster.dfs.read_all(report.output_file)), report)
         _export_trace(args, tracer)
+        _record_run(args, "rsjoin", f"{args.r_input},{args.s_input}", report)
     finally:
         if hasattr(cluster, "close"):
             cluster.close()
@@ -440,6 +496,118 @@ def _cmd_flow(args: argparse.Namespace) -> int:
     return _emit_findings(findings, args.format, dict(FLOW_RULES), "mrflow")
 
 
+def _runs_dir(args: argparse.Namespace) -> str:
+    from repro.obs.runs import resolve_runs_dir
+
+    return resolve_runs_dir(args.runs_dir)
+
+
+def _cmd_runs_list(args: argparse.Namespace) -> int:
+    from repro.bench.reporting import format_table
+    from repro.obs.runs import list_runs
+
+    runs = list_runs(_runs_dir(args))
+    if not runs:
+        print(f"no runs recorded under {_runs_dir(args)!r}", file=sys.stderr)
+        return 0
+    rows = [
+        [
+            doc.get("id", "?"),
+            doc.get("kind", "?"),
+            doc.get("workload", "?"),
+            doc.get("combo", "-"),
+            doc.get("pairs", "-"),
+            doc.get("stage_times_s", {}).get("total", "-"),
+        ]
+        for doc in runs
+    ]
+    print(format_table(
+        ["id", "kind", "workload", "combo", "pairs", "total_s"], rows
+    ))
+    return 0
+
+
+def _cmd_runs_show(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs.runs import load_run
+
+    doc = load_run(_runs_dir(args), args.run)
+    print(json.dumps(doc, indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_runs_diff(args: argparse.Namespace) -> int:
+    from repro.bench.reporting import format_runs_diff
+    from repro.obs.runs import diff_runs, load_run
+
+    directory = _runs_dir(args)
+    diff = diff_runs(load_run(directory, args.a), load_run(directory, args.b))
+    print(format_runs_diff(diff))
+    return 0
+
+
+def _cmd_runs_check(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.bench.reporting import format_regression_findings
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.runs import compare_baseline, load_run
+
+    with open(args.baseline, "r", encoding="utf-8") as handle:
+        baseline = json.load(handle)
+    current = load_run(_runs_dir(args), args.run)
+    findings = compare_baseline(
+        baseline,
+        current,
+        tolerance=args.tolerance,
+        ratios_only=args.ratios_only,
+        sections=args.sections.split(",") if args.sections else None,
+    )
+    regressions = [f for f in findings if f.regressed]
+    registry = MetricsRegistry()
+    registry.increment("run.checked_metrics", len(findings))
+    registry.increment("run.regressions", len(regressions))
+    if findings:
+        print(format_regression_findings(findings))
+    counters = registry.counters()
+    print(
+        "run check: "
+        f"checked={counters.get('run.checked_metrics', 0)} "
+        f"regressions={counters.get('run.regressions', 0)}",
+        file=sys.stderr,
+    )
+    return 1 if regressions else 0
+
+
+def _cmd_runs_bench(args: argparse.Namespace) -> int:
+    from repro.bench.harness import bench_smoke_rows
+    from repro.obs.atomicio import atomic_write_json
+    from repro.obs.runs import (
+        build_run_manifest,
+        resolve_runs_dir,
+        write_run_manifest,
+    )
+
+    rows = bench_smoke_rows(
+        num_records=args.records,
+        rounds=args.rounds,
+        slow_stage2=args.slow_stage2,
+    )
+    atomic_write_json(args.output, rows, indent=2)
+    print(f"bench rows -> {args.output}", file=sys.stderr)
+    if not args.no_run_manifest:
+        doc = build_run_manifest(
+            kind="bench",
+            workload=rows["e2e_smoke"]["workload"],
+            rows=rows,
+            argv=sys.argv[1:],
+        )
+        path = write_run_manifest(resolve_runs_dir(args.runs_dir), doc)
+        print(f"run {doc['id']} -> {path}", file=sys.stderr)
+    return 0
+
+
 def _cmd_generate(args: argparse.Namespace) -> int:
     if args.corpus == "dblp":
         records = generate_dblp(args.num_records, seed=args.seed)
@@ -528,6 +696,84 @@ def build_parser() -> argparse.ArgumentParser:
                         help="exit 1 if the committed counter registry "
                              "does not match the source tree")
     p_flow.set_defaults(func=_cmd_flow)
+
+    p_runs = sub.add_parser(
+        "runs",
+        help="browse the run-manifest registry (.repro-runs) and gate "
+             "benchmarks against committed baselines",
+    )
+    runs_sub = p_runs.add_subparsers(dest="runs_command", required=True)
+
+    def _add_runs_dir(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--runs-dir", default=None, metavar="DIR",
+                       help="registry directory (default: $REPRO_RUNS_DIR "
+                            "or .repro-runs)")
+
+    p_runs_list = runs_sub.add_parser("list", help="list recorded runs")
+    _add_runs_dir(p_runs_list)
+    p_runs_list.set_defaults(func=_cmd_runs_list)
+
+    p_runs_show = runs_sub.add_parser(
+        "show", help="print one run manifest as JSON"
+    )
+    p_runs_show.add_argument("run",
+                             help="run id, unique prefix, 'latest', or a "
+                                  "manifest file path")
+    _add_runs_dir(p_runs_show)
+    p_runs_show.set_defaults(func=_cmd_runs_show)
+
+    p_runs_diff = runs_sub.add_parser(
+        "diff", help="compare two runs: stage times, changed counters"
+    )
+    p_runs_diff.add_argument("a", help="baseline run ref")
+    p_runs_diff.add_argument("b", help="candidate run ref")
+    _add_runs_dir(p_runs_diff)
+    p_runs_diff.set_defaults(func=_cmd_runs_diff)
+
+    p_runs_check = runs_sub.add_parser(
+        "check",
+        help="compare bench rows against a baseline file with noise "
+             "thresholds; exit 1 on sustained slowdowns (the CI perf gate)",
+    )
+    p_runs_check.add_argument("run",
+                              help="current run: id, 'latest', or a bench "
+                                   "rows / manifest JSON file")
+    p_runs_check.add_argument("--baseline", required=True, metavar="PATH",
+                              help="baseline rows document, e.g. "
+                                   "benchmarks/results/BENCH_kernel.json")
+    p_runs_check.add_argument("--tolerance", type=float, default=0.5,
+                              help="allowed bad-direction slowdown ratio "
+                                   "above 1.0 before a metric regresses "
+                                   "(default: 0.5 = 1.5x)")
+    p_runs_check.add_argument("--ratios-only", action="store_true",
+                              help="check only scale-free ratio metrics "
+                                   "(*_share_pct/*_overhead_pct) — for "
+                                   "baselines measured on other hardware")
+    p_runs_check.add_argument("--sections", default=None,
+                              help="comma-separated section allowlist "
+                                   "(default: all sections present in both)")
+    _add_runs_dir(p_runs_check)
+    p_runs_check.set_defaults(func=_cmd_runs_check)
+
+    p_runs_bench = runs_sub.add_parser(
+        "bench",
+        help="run the quick e2e smoke bench and write its rows document "
+             "(feeds 'runs check')",
+    )
+    p_runs_bench.add_argument("-o", "--output", required=True,
+                              help="rows JSON output path")
+    p_runs_bench.add_argument("--records", type=int, default=2000,
+                              help="DBLP corpus size (default: 2000)")
+    p_runs_bench.add_argument("--rounds", type=int, default=3,
+                              help="best-of rounds (default: 3)")
+    p_runs_bench.add_argument("--slow-stage2", action="store_true",
+                              help="deliberately degrade the Stage-2 plan "
+                                   "(one token group -> one hot reducer); "
+                                   "used by CI to prove the gate trips")
+    p_runs_bench.add_argument("--no-run-manifest", action="store_true",
+                              help="do not record the bench in the registry")
+    _add_runs_dir(p_runs_bench)
+    p_runs_bench.set_defaults(func=_cmd_runs_bench)
 
     p_trace = sub.add_parser(
         "trace-report",

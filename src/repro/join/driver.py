@@ -277,6 +277,20 @@ def _run_stages(
                 checkpoint.save_stage(name, cluster.dfs, outputs)
 
 
+def _merge_telemetry(cluster: SimulatedCluster, report: JoinReport) -> None:
+    """Fold the cluster's telemetry-hub counters into the report.
+
+    The ``telemetry.*`` keys describe the observation machinery, not
+    the workload — differential comparisons strip them (see
+    :func:`repro.obs.telemetry.strip_telemetry_counters`).
+    """
+    hub = getattr(cluster, "telemetry", None)
+    if hub is None:
+        return
+    for name, value in hub.counters().items():
+        report.extra_counters[name] = report.extra_counters.get(name, 0) + value
+
+
 def ssjoin_self(
     cluster: SimulatedCluster,
     records_file: str,
@@ -349,6 +363,7 @@ def ssjoin_self(
                 ("stage3", s3, [output_file], {"algorithm": config.stage3}),
             ],
         )
+    _merge_telemetry(cluster, report)
     return report
 
 
@@ -424,6 +439,7 @@ def ssjoin_rs(
                 ("stage3", s3, [output_file], {"algorithm": config.stage3}),
             ],
         )
+    _merge_telemetry(cluster, report)
     return report
 
 

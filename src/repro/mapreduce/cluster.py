@@ -65,6 +65,7 @@ from repro.mapreduce.hashing import stable_hash
 from repro.mapreduce.job import Context, MapReduceJob
 from repro.mapreduce.types import PhaseStats, TaskStats, approx_bytes
 from repro.obs.metrics import observe_into
+from repro.obs.telemetry import HeartbeatEmitter, TelemetryHub
 from repro.obs.trace import Tracer, trace_span
 
 _TaskResult = TypeVar("_TaskResult", bound=tuple)
@@ -155,14 +156,16 @@ def execute_map_task(
     map_slots: int,
     *,
     tracer: Tracer | None = None,
+    heartbeat: HeartbeatEmitter | None = None,
 ) -> tuple[TaskStats, list[tuple[int, tuple, tuple]], dict[str, int]]:
     """Run one map task (+ combiner + partitioning).
 
     Returns ``(stats, partitioned, counters)`` where ``partitioned`` is
     a list of ``(partition_index, key, value)`` triples in emission
     order and ``counters`` is the task's counter snapshot.  When a
-    *tracer* is attached, the task records a span — observe-only, the
-    returned triple is identical either way.
+    *tracer* is attached, the task records a span; when a *heartbeat*
+    emitter is attached, it is advanced per input record — both
+    observe-only, the returned triple is identical either way.
     """
     span = trace_span(tracer, f"map:{task_id}", "task", job=job.name, task=task_id)
     ctx = Context(
@@ -181,8 +184,13 @@ def execute_map_task(
     setup_cpu = time.perf_counter() - t0
     record = None
     try:
-        for record in records:
-            job.mapper(record, ctx)
+        if heartbeat is None:
+            for record in records:
+                job.mapper(record, ctx)
+        else:
+            for record in records:
+                job.mapper(record, ctx)
+                heartbeat.advance()
         if job.map_teardown is not None:
             job.map_teardown(ctx)
     except NON_RETRYABLE:
@@ -257,6 +265,8 @@ def execute_map_task(
         output_bytes=output_bytes,
     )
     span.close()
+    if heartbeat is not None:
+        heartbeat.finish(len(records))
     return stats, partitioned, ctx.counters.as_dict()
 
 
@@ -289,6 +299,7 @@ def execute_reduce_task(
     memory_limit_bytes: int | None,
     *,
     tracer: Tracer | None = None,
+    heartbeat: HeartbeatEmitter | None = None,
 ) -> tuple[TaskStats, list, dict[str, int]]:
     """Run one reduce task over its partition's ``(key, value)`` list.
 
@@ -317,6 +328,8 @@ def execute_reduce_task(
             job.reducer(group_key, values, ctx)
             for _ in values:  # drain whatever the reducer did not consume
                 pass
+            if heartbeat is not None:
+                heartbeat.advance()
         if job.reduce_teardown is not None:
             job.reduce_teardown(ctx)
     except NON_RETRYABLE:
@@ -371,6 +384,8 @@ def execute_reduce_task(
         kernel_work=kernel_work,
     )
     span.close()
+    if heartbeat is not None:
+        heartbeat.finish(len(bucket))
     return stats, ctx._written, counter_snapshot
 
 
@@ -405,6 +420,10 @@ class SimulatedCluster:
         #: attach a :class:`repro.obs.trace.Tracer` to record job,
         #: phase and task spans (observe-only; ``None`` = no tracing)
         self.tracer: Tracer | None = None
+        #: attach a :class:`repro.obs.telemetry.TelemetryHub` to receive
+        #: phase/task progress events and per-task heartbeats
+        #: (observe-only; ``None`` = no telemetry)
+        self.telemetry: TelemetryHub | None = None
         #: deterministic fault-injection schedule (``None`` = no faults)
         self.fault_plan = fault_plan
         #: retry/speculation knobs; ``None`` = :data:`DEFAULT_RETRY_POLICY`
@@ -425,8 +444,11 @@ class SimulatedCluster:
             broadcast_data, broadcast_bytes, broadcast_cpu = self._load_broadcast(job)
             map_inputs = self._collect_map_inputs(job)
 
+            hub = self.telemetry
             partitions: list[list[tuple]] = [[] for _ in range(job.num_reducers)]
             with trace_span(self.tracer, "map", "phase", job=job.name) as phase_span:
+                if hub is not None:
+                    hub.phase_started(job.name, "map", len(map_inputs))
                 for task_stats, partitioned, counters in self._execute_map_tasks(
                     job, map_inputs, broadcast_data, broadcast_bytes, broadcast_cpu
                 ):
@@ -434,6 +456,13 @@ class SimulatedCluster:
                     for p, key, value in partitioned:
                         partitions[p].append((key, value))
                     job_counters.merge_dict(counters)
+                    if hub is not None:
+                        hub.task_finished(
+                            job.name, "map", task_stats.task_id,
+                            task_stats.input_records,
+                        )
+                if hub is not None:
+                    hub.phase_finished(job.name, "map")
                 phase_span.set(tasks=len(stats.map_tasks))
 
             with trace_span(
@@ -458,12 +487,21 @@ class SimulatedCluster:
             with trace_span(
                 self.tracer, "reduce", "phase", job=job.name
             ) as phase_span:
+                if hub is not None:
+                    hub.phase_started(job.name, "reduce", len(reduce_inputs))
                 for task_stats, written, counters in self._execute_reduce_tasks(
                     job, reduce_inputs
                 ):
                     stats.reduce_tasks.append(task_stats)
                     output_records.extend(written)
                     job_counters.merge_dict(counters)
+                    if hub is not None:
+                        hub.task_finished(
+                            job.name, "reduce", task_stats.task_id,
+                            task_stats.input_records,
+                        )
+                if hub is not None:
+                    hub.phase_finished(job.name, "reduce")
                 phase_span.set(
                     tasks=len(stats.reduce_tasks), partitions=job.num_reducers
                 )
@@ -583,10 +621,16 @@ class SimulatedCluster:
                 input_name: str = input_name,
                 records: list = records,
             ) -> tuple[TaskStats, list[tuple[int, tuple, tuple]], dict[str, int]]:
+                hub = self.telemetry
                 return execute_map_task(
                     job, task_id, input_name, records,
                     broadcast_data, broadcast_bytes, broadcast_cpu, limit, slots,
                     tracer=self.tracer,
+                    heartbeat=(
+                        None
+                        if hub is None
+                        else hub.emitter_for(job.name, "map", task_id)
+                    ),
                 )
 
             yield self._attempt_task(job, "map", task_id, run_once)
@@ -600,8 +644,14 @@ class SimulatedCluster:
             def run_once(
                 partition_index: int = partition_index, bucket: list = bucket
             ) -> tuple[TaskStats, list, dict[str, int]]:
+                hub = self.telemetry
                 return execute_reduce_task(
-                    job, partition_index, bucket, limit, tracer=self.tracer
+                    job, partition_index, bucket, limit, tracer=self.tracer,
+                    heartbeat=(
+                        None
+                        if hub is None
+                        else hub.emitter_for(job.name, "reduce", partition_index)
+                    ),
                 )
 
             yield self._attempt_task(job, "reduce", partition_index, run_once)

@@ -65,6 +65,7 @@ import itertools
 import multiprocessing
 import os
 import pickle
+import queue as stdlib_queue
 import shutil
 import tempfile
 import time
@@ -106,6 +107,7 @@ from repro.mapreduce.types import (
     merge_executor_stats,
 )
 from repro.obs.metrics import observe_into
+from repro.obs.telemetry import HeartbeatEmitter, TelemetryHub
 from repro.obs.trace import Tracer, trace_span
 
 _PICKLE = pickle.HIGHEST_PROTOCOL
@@ -191,6 +193,9 @@ _W_BCAST_CACHE: dict[str, dict] = {}
 #: the engine stops trusting shared memory for the rest of its life and
 #: every spill takes the disk path regardless of the transport setting
 _W_FORCE_DISK = False
+#: heartbeat side channel back to the parent's TelemetryHub (None when
+#: telemetry is off; inherited through the fork like the job registry)
+_W_HB_QUEUE = None
 
 
 def _set_worker_globals(jobs: Sequence[MapReduceJob], dfs: InMemoryDFS | None) -> None:
@@ -205,7 +210,13 @@ def _force_disk_spill(flag: bool) -> None:
     _W_FORCE_DISK = flag
 
 
-def _worker_init(jobs: Sequence[MapReduceJob], dfs: InMemoryDFS | None) -> None:
+def _worker_init(
+    jobs: Sequence[MapReduceJob],
+    dfs: InMemoryDFS | None,
+    hb_queue=None,
+) -> None:
+    global _W_HB_QUEUE
+    _W_HB_QUEUE = hb_queue
     _set_worker_globals(jobs, dfs)
     # a freshly forked worker may inherit the degraded-parent disk
     # override from a sibling executor in the same process; pool
@@ -247,6 +258,20 @@ def _broadcast_for(path: str | None) -> dict:
         _W_BCAST_CACHE.clear()  # at most one phase's payload stays cached
         _W_BCAST_CACHE[path] = cached
     return cached
+
+
+def _worker_heartbeat(
+    hb_interval: float | None, job_name: str, phase: str, task_id: int
+) -> HeartbeatEmitter | None:
+    """A heartbeat emitter sinking into the worker's queue, or None.
+
+    Also None in a degraded parent running chunks inline: there the
+    queue global was never set, and the hub gets its completion signal
+    from the dispatch loop anyway.
+    """
+    if hb_interval is None or _W_HB_QUEUE is None:
+        return None
+    return HeartbeatEmitter(_W_HB_QUEUE.put, job_name, phase, task_id, hb_interval)
 
 
 #: one map task's shuffle output location: ``("shm", segment_name)``,
@@ -405,6 +430,7 @@ def _run_map_chunk(args: tuple) -> tuple:
         shm_prefix,
         trace,
         plan,
+        hb_interval,
     ) = common
     job = _W_JOBS[jid]
     broadcast = _broadcast_for(bcast_path)
@@ -435,6 +461,7 @@ def _run_map_chunk(args: tuple) -> tuple:
                 memory_limit,
                 map_slots,
                 tracer=tracer,
+                heartbeat=_worker_heartbeat(hb_interval, job.name, "map", task_id),
             )
             if fault is not None and fault.kind == "corrupt":
                 raise CorruptOutputError(job.name, "map", task_id, attempt)
@@ -468,7 +495,7 @@ def _run_reduce_chunk(args: tuple) -> tuple:
     ``(partition_index, attempt, segment_refs)``.  Same ok/err contract
     as :func:`_run_map_chunk`."""
     chunk_index, jid, common, tasks = args
-    memory_limit, trace, plan = common
+    memory_limit, trace, plan, hb_interval = common
     job = _W_JOBS[jid]
     tracer = Tracer() if trace else None
     oks: list[tuple[int, int, tuple]] = []
@@ -484,7 +511,10 @@ def _run_reduce_chunk(args: tuple) -> tuple:
                 apply_fault(fault, job.name, "reduce", partition_index, attempt)
             bucket = _read_segments(refs)
             result = execute_reduce_task(
-                job, partition_index, bucket, memory_limit, tracer=tracer
+                job, partition_index, bucket, memory_limit, tracer=tracer,
+                heartbeat=_worker_heartbeat(
+                    hb_interval, job.name, "reduce", partition_index
+                ),
             )
             if fault is not None and fault.kind == "corrupt":
                 raise CorruptOutputError(job.name, "reduce", partition_index, attempt)
@@ -708,6 +738,11 @@ class PersistentExecutor:
         self.fault_plan: FaultPlan | None = None
         #: retry/speculation knobs (set by the cluster; None = defaults)
         self.retry_policy: RetryPolicy | None = None
+        #: live heartbeat collector (set by the cluster; observe-only)
+        self.telemetry: TelemetryHub | None = None
+        # side channel the workers inherit at fork time; heartbeats are
+        # plain tuples so the queue never pickles user objects
+        self._hb_queue = None
         #: True once repeated pool deaths exhausted the respawn budget;
         #: the engine then runs everything inline (sequential fallback)
         self.degraded = False
@@ -782,6 +817,14 @@ class PersistentExecutor:
 
     def _ensure_pool(self) -> bool:
         """Fork the pool if absent or stale; returns True on a fork."""
+        if (
+            self._pool is not None
+            and self.telemetry is not None
+            and self._hb_queue is None
+        ):
+            # hub attached after the fork: workers have no side channel,
+            # so re-fork with one
+            self._stale = True
         if self._pool is not None and self._stale:
             self._teardown_pool()
         if self._pool is not None:
@@ -802,10 +845,12 @@ class PersistentExecutor:
                 for index, block in enumerate(dfs_file.blocks):
                     self._block_refs[id(block.records)] = (name, index)
         ctx = multiprocessing.get_context("fork")
+        if self.telemetry is not None and self._hb_queue is None:
+            self._hb_queue = ctx.Queue()
         self._pool = ctx.Pool(
             self.workers,
             initializer=_worker_init,
-            initargs=(tuple(self._jobs), self._dfs),
+            initargs=(tuple(self._jobs), self._dfs, self._hb_queue),
         )
         self._holder["pool"] = self._pool
         self._worker_pids = {
@@ -919,6 +964,21 @@ class PersistentExecutor:
         flights: list[_Flight] = []
         chunk_seq = 0
         inline_mode = self.degraded
+        hub = self.telemetry
+        pooled: set[int] = set()
+        final_seen: set[int] = set()
+
+        def drain_heartbeats() -> None:
+            if hub is None or self._hb_queue is None:
+                return
+            while True:
+                try:
+                    beat = self._hb_queue.get_nowait()
+                except stdlib_queue.Empty:
+                    return
+                hub.heartbeat(beat)
+                if beat[5] and beat[0] == job.name and beat[1] == phase:
+                    final_seen.add(beat[2])
 
         def build_payload(batch: list[int]) -> tuple:
             nonlocal chunk_seq
@@ -947,6 +1007,7 @@ class PersistentExecutor:
                 absorb(func(build_payload(batch)))
                 return
             payload = build_payload(batch)
+            pooled.update(e[0] for e in payload[3])
             handle = self._pool.apply_async(func, (payload,))
             flights.append(
                 _Flight(handle, [(e[0], e[1]) for e in payload[3]])
@@ -963,6 +1024,10 @@ class PersistentExecutor:
                     continue  # a duplicate attempt lost the race
                 results[t] = core
                 won_attempt[t] = attempt
+                if hub is not None:
+                    hub.task_finished(
+                        job.name, phase, t, core[0].input_records
+                    )
             for t, _attempt, exc, retryable in errs:
                 if pending.get(t, 0) > 0:
                     pending[t] -= 1
@@ -1058,6 +1123,7 @@ class PersistentExecutor:
                 submit(chunk)
 
         while len(results) < len(order):
+            drain_heartbeats()
             if not flights:
                 if inline_mode:
                     # inline submits are synchronous; anything still
@@ -1133,6 +1199,19 @@ class PersistentExecutor:
             if flights:
                 flights[0].handle.wait(policy.poll_interval_s)
 
+        # final beats ride the queue's feeder thread, so they can trail
+        # the pool's own result delivery; give every pooled task's final
+        # beat a bounded grace window before the phase closes (after
+        # which the hub's finished-phase guard would drop them).  Tasks
+        # whose worker died without beating are covered by the deadline.
+        if hub is not None and self._hb_queue is not None and pooled:
+            deadline = time.perf_counter() + 1.0
+            while not pooled <= final_seen:
+                drain_heartbeats()
+                if pooled <= final_seen or time.perf_counter() >= deadline:
+                    break
+                time.sleep(0.005)
+        drain_heartbeats()
         if env_sanitize() and set(results) != set(order):
             raise RuntimeError(
                 f"dispatch satisfied {len(results)} of {len(order)} tasks"
@@ -1209,6 +1288,7 @@ class PersistentExecutor:
             shm_prefix,
             self.tracer is not None,
             self.fault_plan,
+            self.telemetry.interval_s if self.telemetry is not None else None,
         )
         order: list[int] = []
         task_payloads: dict[int, tuple] = {}
@@ -1295,7 +1375,12 @@ class PersistentExecutor:
                 if kind == "disk"
             )
             ex.bytes_to_workers += 24 * len(refs)
-        common = (memory_limit, self.tracer is not None, self.fault_plan)
+        common = (
+            memory_limit,
+            self.tracer is not None,
+            self.fault_plan,
+            self.telemetry.interval_s if self.telemetry is not None else None,
+        )
         order = [p for p, _refs in reduce_tasks]
         task_payloads: dict[int, tuple] = {p: (refs,) for p, refs in reduce_tasks}
         # LPT scheduling: submit the heaviest partitions (by shuffled
@@ -1456,6 +1541,8 @@ class PersistentParallelCluster(SimulatedCluster):
         self.executor.tracer = self.tracer
         self.executor.fault_plan = self.fault_plan
         self.executor.retry_policy = self.retry_policy
+        self.executor.telemetry = self.telemetry
+        hub = self.telemetry
         job_span = trace_span(
             self.tracer, job.name, "job", reducers=job.num_reducers
         )
@@ -1468,19 +1555,27 @@ class PersistentParallelCluster(SimulatedCluster):
         try:
             # ---- map phase -------------------------------------------
             phase_span = trace_span(self.tracer, "map", "phase", job=job.name)
+            if hub is not None:
+                hub.phase_started(job.name, "map", len(map_inputs))
             if self._use_map_pool(map_inputs):
-                task_results, shuffle, stats.map_executor = (
-                    self.executor.run_map_phase(
-                        job,
-                        map_inputs,
-                        broadcast_data,
-                        broadcast_bytes,
-                        broadcast_cpu,
-                        limit,
-                        cfg.map_slots,
-                        job.num_reducers,
+                if hub is not None:
+                    hub.set_live(True)
+                try:
+                    task_results, shuffle, stats.map_executor = (
+                        self.executor.run_map_phase(
+                            job,
+                            map_inputs,
+                            broadcast_data,
+                            broadcast_bytes,
+                            broadcast_cpu,
+                            limit,
+                            cfg.map_slots,
+                            job.num_reducers,
+                        )
                     )
-                )
+                finally:
+                    if hub is not None:
+                        hub.set_live(False)
                 for task_stats, counters in task_results:
                     stats.map_tasks.append(task_stats)
                     job_counters.merge_dict(counters)
@@ -1494,6 +1589,11 @@ class PersistentParallelCluster(SimulatedCluster):
                     for p, key, value in partitioned:
                         partitions[p].append((key, value))
                     job_counters.merge_dict(counters)
+                    if hub is not None:
+                        hub.task_finished(
+                            job.name, "map",
+                            task_stats.task_id, task_stats.input_records,
+                        )
                 stats.map_executor = ExecutorPhaseStats(
                     mode="inline", tasks=len(map_inputs)
                 )
@@ -1502,6 +1602,8 @@ class PersistentParallelCluster(SimulatedCluster):
                     for bucket in partitions
                     for pair in bucket
                 )
+            if hub is not None:
+                hub.phase_finished(job.name, "map")
             phase_span.set(
                 tasks=len(stats.map_tasks), mode=stats.map_executor.mode
             )
@@ -1529,12 +1631,20 @@ class PersistentParallelCluster(SimulatedCluster):
 
             output_records: list = []
             phase_span = trace_span(self.tracer, "reduce", "phase", job=job.name)
+            if hub is not None:
+                hub.phase_started(job.name, "reduce", len(nonempty))
             if self._use_reduce_pool(shuffle, len(nonempty)):
                 assert shuffle is not None
                 reduce_tasks = [(p, shuffle.refs_for(p)) for p in nonempty]
-                task_results, stats.reduce_executor = (
-                    self.executor.run_reduce_phase(job, reduce_tasks, limit)
-                )
+                if hub is not None:
+                    hub.set_live(True)
+                try:
+                    task_results, stats.reduce_executor = (
+                        self.executor.run_reduce_phase(job, reduce_tasks, limit)
+                    )
+                finally:
+                    if hub is not None:
+                        hub.set_live(False)
                 for task_stats, written, counters in task_results:
                     stats.reduce_tasks.append(task_stats)
                     output_records.extend(written)
@@ -1550,7 +1660,11 @@ class PersistentParallelCluster(SimulatedCluster):
                         bucket = partitions[p]
                     def run_once(p: int = p, bucket: list = bucket) -> tuple:
                         return execute_reduce_task(
-                            job, p, bucket, limit, tracer=self.tracer
+                            job, p, bucket, limit, tracer=self.tracer,
+                            heartbeat=(
+                                None if hub is None
+                                else hub.emitter_for(job.name, "reduce", p)
+                            ),
                         )
 
                     task_stats, written, counters = self._attempt_task(
@@ -1559,7 +1673,13 @@ class PersistentParallelCluster(SimulatedCluster):
                     stats.reduce_tasks.append(task_stats)
                     output_records.extend(written)
                     job_counters.merge_dict(counters)
+                    if hub is not None:
+                        hub.task_finished(
+                            job.name, "reduce", p, task_stats.input_records
+                        )
                 stats.reduce_executor = reduce_ex
+            if hub is not None:
+                hub.phase_finished(job.name, "reduce")
             phase_span.set(
                 tasks=len(stats.reduce_tasks),
                 mode=stats.reduce_executor.mode,

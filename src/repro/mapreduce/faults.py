@@ -67,6 +67,7 @@ __all__ = [
     "apply_fault",
     "count_fault",
     "mark_worker_process",
+    "strip_counters",
     "strip_fault_counters",
     "task_error_from",
 ]
@@ -421,17 +422,24 @@ def count_fault(sink: dict[str, int], spec: FaultSpec) -> None:
         sink[key] = sink.get(key, 0) + 1
 
 
-def strip_fault_counters(counters: dict[str, int]) -> dict[str, int]:
-    """Counters without fault-tolerance bookkeeping keys — what must be
-    identical between a faulted (absorbed) run and a clean run."""
-    excluded = FAULT_COUNTER_PREFIXES + tuple(
-        f"hist.{prefix}" for prefix in FAULT_COUNTER_PREFIXES
-    )
+def strip_counters(
+    counters: dict[str, int], prefixes: tuple[str, ...]
+) -> dict[str, int]:
+    """Counters without any key under *prefixes* (or their ``hist.``
+    histogram-encoded variants) — the shared helper behind the fault
+    and telemetry differential comparisons."""
+    excluded = prefixes + tuple(f"hist.{prefix}" for prefix in prefixes)
     return {
         name: value
         for name, value in counters.items()
         if not name.startswith(excluded)
     }
+
+
+def strip_fault_counters(counters: dict[str, int]) -> dict[str, int]:
+    """Counters without fault-tolerance bookkeeping keys — what must be
+    identical between a faulted (absorbed) run and a clean run."""
+    return strip_counters(counters, FAULT_COUNTER_PREFIXES)
 
 
 # ---------------------------------------------------------------------------

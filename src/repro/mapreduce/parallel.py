@@ -31,6 +31,15 @@ pipeline, see :mod:`repro.mapreduce.executor`.
 Determinism: ``Pool.map`` preserves task order, so partition contents
 and output files are byte-identical to the sequential executor's
 (asserted by the test suite).
+
+Telemetry: this cluster inherits :meth:`SimulatedCluster.run_job`, so
+an attached :class:`~repro.obs.telemetry.TelemetryHub` receives phase
+and task-completion events from the parent-side result loop.  The
+per-phase fork pool has no heartbeat side channel, so mid-task worker
+heartbeats are not emitted here — the persistent engine
+(:mod:`repro.mapreduce.executor`) is the pooled path with live
+heartbeats.  Inline fallbacks (and the sequential cluster) emit
+heartbeats directly from the parent process.
 """
 
 from __future__ import annotations

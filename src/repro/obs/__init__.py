@@ -12,10 +12,16 @@ output with tracing on vs off).
   worker→parent counter merge path.
 * :mod:`repro.obs.report` — post-run critical-path and reduce-skew
   analyzer behind ``python -m repro trace-report``.
+* :mod:`repro.obs.telemetry` — live heartbeats, resource profiling,
+  straggler flags and the ``--progress`` view.
+* :mod:`repro.obs.runs` — persistent run-manifest registry and the
+  bench perf-regression checker (``python -m repro runs ...``).
+* :mod:`repro.obs.atomicio` — atomic (tmp + rename) artifact writes.
 """
 
 from __future__ import annotations
 
+from repro.obs.atomicio import atomic_write_json, atomic_write_text
 from repro.obs.metrics import (
     HIST_PREFIX,
     HistogramSnapshot,
@@ -35,9 +41,45 @@ from repro.obs.report import (
     p99_over_median,
     validate_trace,
 )
+from repro.obs.runs import (
+    RegressionFinding,
+    build_run_manifest,
+    compare_baseline,
+    diff_runs,
+    list_runs,
+    load_run,
+    resolve_runs_dir,
+    write_run_manifest,
+)
+from repro.obs.telemetry import (
+    HeartbeatEmitter,
+    ProgressView,
+    TelemetryHub,
+    make_progress_view,
+    rusage_now,
+    rusage_watermarks,
+    strip_telemetry_counters,
+)
 from repro.obs.trace import NULL_SPAN, Span, Tracer, trace_span
 
 __all__ = [
+    "atomic_write_json",
+    "atomic_write_text",
+    "HeartbeatEmitter",
+    "ProgressView",
+    "TelemetryHub",
+    "make_progress_view",
+    "rusage_now",
+    "rusage_watermarks",
+    "strip_telemetry_counters",
+    "RegressionFinding",
+    "build_run_manifest",
+    "compare_baseline",
+    "diff_runs",
+    "list_runs",
+    "load_run",
+    "resolve_runs_dir",
+    "write_run_manifest",
     "HIST_PREFIX",
     "HistogramSnapshot",
     "MetricsRegistry",

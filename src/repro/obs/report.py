@@ -279,6 +279,8 @@ class TraceDigest:
     jobs: list[JobDigest]
     skew: list[SkewDigest]
     stage_walls: dict[str, float]
+    #: telemetry counter lanes ("C" events): name -> sample count
+    counter_lanes: dict[str, int] = field(default_factory=dict)
 
 
 def _phase_digest(phase: TraceSpan, tasks: list[TraceSpan]) -> tuple[float, int, float, str, float]:
@@ -383,6 +385,12 @@ def digest_trace(doc: dict[str, Any], path: str = "<trace>") -> TraceDigest:
                 )
             )
 
+    counter_lanes: dict[str, int] = {}
+    for event in doc.get("traceEvents", ()):
+        if isinstance(event, dict) and event.get("ph") == "C":
+            name = str(event.get("name", "?"))
+            counter_lanes[name] = counter_lanes.get(name, 0) + 1
+
     return TraceDigest(
         path=path,
         wall_us=wall,
@@ -391,6 +399,7 @@ def digest_trace(doc: dict[str, Any], path: str = "<trace>") -> TraceDigest:
         jobs=jobs,
         skew=skew,
         stage_walls=stage_walls,
+        counter_lanes=counter_lanes,
     )
 
 
@@ -409,8 +418,16 @@ def format_trace_report(digest: TraceDigest) -> str:
         f"trace: {digest.path}",
         f"  combo {digest.combo}, wall {_ms(digest.wall_us)}, "
         f"{digest.lanes} lane(s)",
-        "  critical path (stage → job → phase, straggler = longest task):",
     ]
+    if digest.counter_lanes:
+        lanes = ", ".join(
+            f"{name} ({count} samples)"
+            for name, count in sorted(digest.counter_lanes.items())
+        )
+        lines.append(f"  counter lanes: {lanes}")
+    lines.append(
+        "  critical path (stage → job → phase, straggler = longest task):"
+    )
     total = sum(digest.stage_walls.values()) or 1.0
     for stage_name, stage_wall in digest.stage_walls.items():
         lines.append(

@@ -34,10 +34,11 @@ as parallel tracks on the timeline.
 
 from __future__ import annotations
 
-import json
 import os
 import time
 from typing import Any, Iterable
+
+from repro.obs.atomicio import atomic_write_json
 
 __all__ = ["Span", "Tracer", "trace_span", "NULL_SPAN"]
 
@@ -156,6 +157,24 @@ class Tracer:
             }
         )
 
+    def counter(self, name: str, **values: float) -> None:
+        """Record a counter-lane sample (Chrome ``"C"`` event).
+
+        Renders as a stacked-area lane in the trace viewer; telemetry
+        uses it for memory watermarks and queue depth over time.
+        """
+        self._events.append(
+            {
+                "name": name,
+                "cat": "telemetry",
+                "ph": "C",
+                "ts": time.perf_counter() * _US,
+                "pid": self.pid,
+                "tid": 0,
+                "args": dict(values),
+            }
+        )
+
     # -- cross-process merge ----------------------------------------------
 
     def raw_events(self) -> list[dict[str, Any]]:
@@ -232,7 +251,9 @@ class Tracer:
         return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
 
     def export(self, path: str) -> None:
-        """Write the trace to *path* as Chrome trace-event JSON."""
-        with open(path, "w", encoding="utf-8") as handle:
-            json.dump(self.to_json(), handle, indent=None, separators=(",", ":"))
-            handle.write("\n")
+        """Write the trace to *path* as Chrome trace-event JSON.
+
+        Atomic (temp file + rename): a run killed mid-export leaves
+        either no trace or the complete previous one, never a prefix.
+        """
+        atomic_write_json(path, self.to_json())

@@ -71,6 +71,13 @@ def pair_keys(pairs) -> list[tuple[int, int]]:
     return sorted({(min(a, b), max(a, b)) for a, b, _s in pairs})
 
 
+@pytest.fixture(autouse=True)
+def _isolated_runs_dir(tmp_path, monkeypatch):
+    """Run manifests are on by default in the CLI; point the registry
+    at a per-test directory so tests never pollute ``.repro-runs``."""
+    monkeypatch.setenv("REPRO_RUNS_DIR", str(tmp_path / "repro-runs"))
+
+
 @pytest.fixture
 def rng() -> random.Random:
     return random.Random(0xC0FFEE)

@@ -11,11 +11,14 @@ from repro.bench.reporting import (
     format_filter_counters,
     format_histograms,
     format_plan_counters,
+    format_regression_findings,
+    format_runs_diff,
     format_speedup_series,
     format_table,
     rows_to_table,
 )
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.runs import RegressionFinding
 
 
 def test_format_table_golden():
@@ -152,6 +155,85 @@ def test_format_plan_counters_grouped_scalar_golden():
 def test_format_plan_counters_empty_for_static_runs():
     assert format_plan_counters({}) == ""
     assert format_plan_counters({"stage2.pairs_output": 3}) == ""
+
+
+def test_format_runs_diff_golden():
+    diff = {
+        "a": "20260101-000000-aaaaaaaa",
+        "b": "20260102-000000-bbbbbbbb",
+        "kind": ("selfjoin", "selfjoin"),
+        "workload": ("dblp.tsv", "dblp.tsv"),
+        "config_digest": ("aaa", "bbb"),
+        "same_config": False,
+        "pairs": (123, 124),
+        "maxrss_kb": (26000, 27000),
+        "stage_rows": [
+            ("stage1", 37.21, 38.33, 3.02),
+            ("total", 96.93, 99.94, 3.11),
+        ],
+        "counter_rows": [("stage2.pairs_output", 123, 124)],
+    }
+    assert format_runs_diff(diff) == (
+        "runs diff: 20260101-000000-aaaaaaaa -> 20260102-000000-bbbbbbbb\n"
+        "  kind: selfjoin\n"
+        "  workload: dblp.tsv\n"
+        "  config: differs\n"
+        "  pairs: 123 -> 124  << DIFFERS\n"
+        "  maxrss_kb: 26000 -> 27000\n"
+        "stage times (simulated)\n"
+        "stage   a_s    b_s    delta_pct\n"
+        "------  -----  -----  ---------\n"
+        "stage1  37.21  38.33  3.02     \n"
+        "total   96.93  99.94  3.11     \n"
+        "changed counters\n"
+        "counter              a    b  \n"
+        "-------------------  ---  ---\n"
+        "stage2.pairs_output  123  124"
+    )
+
+
+def test_format_runs_diff_identical_counters_golden():
+    diff = {
+        "a": "a", "b": "b",
+        "kind": ("selfjoin", "rsjoin"),
+        "workload": ("x", "y"),
+        "config_digest": (None, None),
+        "same_config": True,
+        "pairs": (None, None),
+        "maxrss_kb": (None, None),
+        "stage_rows": [],
+        "counter_rows": [],
+    }
+    assert format_runs_diff(diff) == (
+        "runs diff: a -> b\n"
+        "  kind: selfjoin -> rsjoin\n"
+        "  workload: x -> y\n"
+        "counters: identical"
+    )
+
+
+def test_format_regression_findings_golden():
+    findings = [
+        RegressionFinding(
+            "e2e_smoke", "output_digest",
+            "bcc92def885beb3fa5", "bcc92def885beb3fa5",
+            1.0, "identity", False,
+        ),
+        RegressionFinding(
+            "e2e_smoke", "stage2_best_s", 40.0, 85.0, 2.125, "time", True
+        ),
+    ]
+    assert format_regression_findings(findings) == (
+        "baseline check\n"
+        "section    metric         baseline        current         ratio  "
+        "kind      status   \n"
+        "---------  -------------  --------------  --------------  -----  "
+        "--------  ---------\n"
+        "e2e_smoke  output_digest  bcc92def885b..  bcc92def885b..  1.00   "
+        "identity  ok       \n"
+        "e2e_smoke  stage2_best_s  40.00           85.00           2.12   "
+        "time      REGRESSED"
+    )
 
 
 def test_format_histograms_golden():

@@ -1,0 +1,280 @@
+"""Run registry: manifests, diffing, and the perf-regression checker."""
+
+import json
+
+import pytest
+
+from repro.bench.harness import bench_smoke_rows
+from repro.cli import main
+from repro.join.config import JoinConfig
+from repro.join.driver import ssjoin_self
+from repro.mapreduce.cluster import ClusterConfig, SimulatedCluster
+from repro.mapreduce.dfs import InMemoryDFS
+from repro.obs.runs import (
+    build_run_manifest,
+    compare_baseline,
+    diff_runs,
+    list_runs,
+    load_run,
+    resolve_runs_dir,
+    write_run_manifest,
+)
+from tests.conftest import random_records
+
+
+def _join_report(rng, threshold=0.8):
+    cluster = SimulatedCluster(
+        ClusterConfig(num_nodes=4), InMemoryDFS(num_nodes=4, block_bytes=512)
+    )
+    cluster.dfs.write("records", random_records(rng, 60))
+    config = JoinConfig(threshold=threshold)
+    return config, ssjoin_self(cluster, "records", config)
+
+
+# ---------------------------------------------------------------------------
+# registry
+# ---------------------------------------------------------------------------
+
+
+def test_resolve_runs_dir_precedence(monkeypatch):
+    monkeypatch.delenv("REPRO_RUNS_DIR", raising=False)
+    assert resolve_runs_dir() == ".repro-runs"
+    monkeypatch.setenv("REPRO_RUNS_DIR", "/tmp/env-runs")
+    assert resolve_runs_dir() == "/tmp/env-runs"
+    assert resolve_runs_dir("explicit") == "explicit"
+
+
+def test_manifest_roundtrip(tmp_path, rng):
+    config, report = _join_report(rng)
+    doc = build_run_manifest(
+        kind="selfjoin", workload="records", config=config, report=report
+    )
+    assert doc["kind"] == "selfjoin"
+    assert doc["combo"] == report.combo
+    assert doc["pairs"] == report.counters().get("stage3.record_pairs_output", 0)
+    assert doc["stage_times_s"]["total"] > 0
+    assert doc["rusage"]["maxrss_kb"] > 0
+    assert doc["config_digest"]
+    assert doc["id"].endswith(doc["config_digest"][:8])
+
+    directory = str(tmp_path / "reg")
+    path = write_run_manifest(directory, doc)
+    assert json.loads(open(path).read())["id"] == doc["id"]
+    runs = list_runs(directory)
+    assert [run["id"] for run in runs] == [doc["id"]]
+    assert load_run(directory, "latest")["id"] == doc["id"]
+    assert load_run(directory, doc["id"][:10])["id"] == doc["id"]
+    assert load_run(directory, path)["id"] == doc["id"]
+
+
+def test_manifest_id_collisions_get_suffixed(tmp_path, rng):
+    config, report = _join_report(rng)
+    directory = str(tmp_path / "reg")
+    docs = []
+    for _ in range(3):
+        doc = build_run_manifest(
+            kind="selfjoin", workload="records", config=config, report=report
+        )
+        write_run_manifest(directory, doc)
+        docs.append(doc)
+    ids = [doc["id"] for doc in docs]
+    assert len(set(ids)) == 3
+
+
+def test_load_run_errors(tmp_path):
+    directory = str(tmp_path / "reg")
+    with pytest.raises(FileNotFoundError):
+        load_run(directory, "latest")
+    write_run_manifest(directory, {"id": "20260101-000000-aaaa"})
+    write_run_manifest(directory, {"id": "20260101-000000-bbbb"})
+    with pytest.raises(KeyError, match="no run matching"):
+        load_run(directory, "zzz")
+    with pytest.raises(KeyError, match="ambiguous"):
+        load_run(directory, "20260101")
+
+
+def test_diff_runs(rng):
+    config, report = _join_report(rng)
+    a = build_run_manifest(
+        kind="selfjoin", workload="records", config=config, report=report
+    )
+    config2, report2 = _join_report(rng, threshold=0.5)
+    b = build_run_manifest(
+        kind="selfjoin", workload="records", config=config2, report=report2
+    )
+    diff = diff_runs(a, b)
+    assert diff["a"] == a["id"] and diff["b"] == b["id"]
+    assert not diff["same_config"]
+    stages = [row[0] for row in diff["stage_rows"]]
+    assert {"stage1", "stage2", "stage3", "total"} <= set(stages)
+    assert diff["pairs"][0] is not None and diff["pairs"][1] is not None
+    assert diff["counter_rows"], "different runs must change counters"
+
+
+# ---------------------------------------------------------------------------
+# regression checker
+# ---------------------------------------------------------------------------
+
+_BASE_ROWS = {
+    "e2e_smoke": {
+        "workload": "dblp, bto-pk-brj",
+        "rounds": 3,
+        "pairs": 529,
+        "output_digest": "abc123",
+        "stage2_best_s": 40.0,
+        "total_best_s": 140.0,
+        "total_all_s": [140.0, 150.0],
+        "stage2_share_pct": 30.0,
+        "some_speedup": 2.0,
+        "output_identical": True,
+    }
+}
+
+
+def _current(**overrides):
+    rows = json.loads(json.dumps(_BASE_ROWS))
+    rows["e2e_smoke"].update(overrides)
+    return rows
+
+
+def test_within_noise_stays_green():
+    findings = compare_baseline(
+        _BASE_ROWS, _current(stage2_best_s=44.0, stage2_share_pct=33.0)
+    )
+    assert findings and not any(f.regressed for f in findings)
+
+
+def test_injected_slowdown_regresses():
+    findings = compare_baseline(_BASE_ROWS, _current(stage2_best_s=85.0))
+    bad = {f.metric for f in findings if f.regressed}
+    assert bad == {"stage2_best_s"}
+    (finding,) = [f for f in findings if f.regressed]
+    assert finding.ratio == pytest.approx(85.0 / 40.0)
+    assert finding.kind == "time"
+
+
+def test_identity_metrics_must_match_exactly():
+    findings = compare_baseline(
+        _BASE_ROWS,
+        _current(pairs=530, output_digest="def456", output_identical=False),
+    )
+    bad = {f.metric for f in findings if f.regressed}
+    assert bad == {"pairs", "output_digest", "output_identical"}
+
+
+def test_higher_better_and_ratio_direction():
+    # faster time and higher speedup must never regress
+    findings = compare_baseline(
+        _BASE_ROWS,
+        _current(stage2_best_s=10.0, some_speedup=9.0, stage2_share_pct=5.0),
+    )
+    assert not any(f.regressed for f in findings)
+    # collapsed speedup regresses
+    findings = compare_baseline(_BASE_ROWS, _current(some_speedup=0.5))
+    assert {f.metric for f in findings if f.regressed} == {"some_speedup"}
+
+
+def test_ratios_only_keeps_scale_free_metrics():
+    findings = compare_baseline(
+        _BASE_ROWS, _current(stage2_best_s=400.0, stage2_share_pct=75.0),
+        ratios_only=True,
+    )
+    assert {f.metric for f in findings} == {"stage2_share_pct"}
+    assert all(f.regressed for f in findings)
+
+
+def test_sample_lists_and_strings_are_skipped():
+    findings = compare_baseline(
+        _BASE_ROWS, _current(total_all_s=[9999.0], workload="other")
+    )
+    checked = {f.metric for f in findings}
+    assert "total_all_s" not in checked
+    assert "workload" not in checked
+
+
+def test_manifest_rows_are_unwrapped():
+    manifest = {"id": "x", "rows": _current(stage2_best_s=85.0)}
+    findings = compare_baseline(_BASE_ROWS, manifest)
+    assert any(f.regressed for f in findings)
+
+
+# ---------------------------------------------------------------------------
+# CLI end-to-end
+# ---------------------------------------------------------------------------
+
+
+def test_cli_check_gate_exit_codes(tmp_path, capsys):
+    base = tmp_path / "base.json"
+    good = tmp_path / "good.json"
+    slow = tmp_path / "slow.json"
+    base.write_text(json.dumps(_BASE_ROWS))
+    good.write_text(json.dumps(_current(stage2_best_s=42.0)))
+    slow.write_text(json.dumps(_current(stage2_best_s=95.0)))
+
+    assert main(["runs", "check", str(good), "--baseline", str(base)]) == 0
+    assert "regressions=0" in capsys.readouterr().err
+
+    assert main(["runs", "check", str(slow), "--baseline", str(base)]) == 1
+    captured = capsys.readouterr()
+    assert "REGRESSED" in captured.out
+    assert "regressions=1" in captured.err
+
+    # tight tolerance turns the within-noise run into a failure too
+    assert main([
+        "runs", "check", str(good), "--baseline", str(base),
+        "--tolerance", "0.01",
+    ]) == 1
+
+
+def test_cli_bench_and_registry_flow(tmp_path, capsys):
+    registry = str(tmp_path / "reg")
+    rows_path = tmp_path / "rows.json"
+    assert main([
+        "runs", "bench", "-o", str(rows_path),
+        "--records", "300", "--rounds", "1", "--runs-dir", registry,
+    ]) == 0
+    rows = json.loads(rows_path.read_text())
+    smoke = rows["e2e_smoke"]
+    assert smoke["pairs"] > 0 and smoke["output_digest"]
+    assert 0.0 < smoke["stage2_share_pct"] < 100.0
+
+    runs = list_runs(registry)
+    assert len(runs) == 1 and runs[0]["kind"] == "bench"
+
+    # same rows vs themselves: every metric checks out, exit 0
+    assert main([
+        "runs", "check", "latest", "--baseline", str(rows_path),
+        "--runs-dir", registry,
+    ]) == 0
+    capsys.readouterr()
+
+    assert main(["runs", "list", "--runs-dir", registry]) == 0
+    assert runs[0]["id"] in capsys.readouterr().out
+
+
+def test_cli_selfjoin_writes_manifest_and_diff(tmp_path, capsys, rng):
+    records_file = tmp_path / "records.tsv"
+    records_file.write_text("\n".join(random_records(rng, 50)) + "\n")
+    registry = str(tmp_path / "reg")
+    out = tmp_path / "out.tsv"
+    for threshold in ("0.8", "0.5"):
+        assert main([
+            "selfjoin", str(records_file), "-o", str(out),
+            "--threshold", threshold, "--runs-dir", registry,
+        ]) == 0
+    runs = list_runs(registry)
+    assert len(runs) == 2
+    capsys.readouterr()
+    assert main([
+        "runs", "diff", runs[0]["id"], runs[1]["id"], "--runs-dir", registry,
+    ]) == 0
+    text = capsys.readouterr().out
+    assert "config: differs" in text
+    assert "stage times (simulated)" in text
+
+    # --no-run-manifest leaves the registry alone
+    assert main([
+        "selfjoin", str(records_file), "-o", str(out),
+        "--threshold", "0.8", "--runs-dir", registry, "--no-run-manifest",
+    ]) == 0
+    assert len(list_runs(registry)) == 2
