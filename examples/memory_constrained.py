@@ -4,11 +4,14 @@
 Simulates the paper's insufficient-memory scenario: a reducer group
 whose candidate list does not fit in task memory.  Shows
 
-1. the plain BK kernel failing with ``InsufficientMemoryError``,
+1. the plain BK kernel failing with ``InsufficientMemoryError`` when
+   automatic degradation is opted out of,
 2. reduce-based block processing completing under the same budget by
    spilling blocks to local disk,
 3. map-based block processing completing by replicating blocks through
    the shuffle,
+4. the default behaviour: the driver absorbing the OOM by re-planning
+   down the degradation ladder, no configuration needed,
 
 and compares their costs (shuffle volume vs local-disk traffic).
 
@@ -51,7 +54,7 @@ def main() -> None:
     print(f"joining {len(RECORDS)} records with a {BUDGET_MB * 1024:.0f} KB "
           "per-task memory budget\n")
 
-    plain = JoinConfig(kernel="bk", **ROUTING)
+    plain = JoinConfig(kernel="bk", auto_degrade=False, **ROUTING)
     try:
         run(plain)
         print("plain BK: completed (increase the dataset to see it fail)")
@@ -67,6 +70,12 @@ def main() -> None:
         print(f"  stage-2 shuffle bytes: {report.stage2.shuffle_bytes:,}")
         print(f"  local-disk spill bytes: "
               f"{counters.get(SPILL_WRITTEN, 0) + counters.get(SPILL_READ, 0):,}")
+
+    auto = JoinConfig(kernel="bk", **ROUTING)  # auto_degrade is the default
+    report, num_pairs = run(auto)
+    print(f"\nautomatic degradation: completed, {num_pairs} pairs")
+    print(f"  replans: {len(report.memory_steps)}, "
+          f"steps: {' -> '.join(report.memory_steps)}")
 
 
 if __name__ == "__main__":

@@ -21,6 +21,9 @@ KNOWN_COUNTER_NAMES: frozenset[str] = frozenset(
         'framework.reduce_input_records',
         'framework.reduce_output_records',
         'framework.shuffle_bytes',
+        'memory.escalations',
+        'memory.peak_bytes',
+        'memory.replans',
         'plan.batch_size',
         'plan.num_groups',
         'plan.routing_grouped',
@@ -33,6 +36,7 @@ KNOWN_COUNTER_NAMES: frozenset[str] = frozenset(
         'run.regressions',
         'sanitize.checks',
         'sanitize.index_bytes_drift',
+        'sanitize.memory_over_release',
         'sanitize.unsorted_reduce_input',
         'sanitize.violations',
         'shuffle.partition_bytes',
@@ -60,6 +64,7 @@ KNOWN_COUNTER_NAMES: frozenset[str] = frozenset(
         'telemetry.heartbeats',
         'telemetry.maxrss_kb',
         'telemetry.phases',
+        'telemetry.rss_pressure',
         'telemetry.stragglers',
         'telemetry.tasks',
     }

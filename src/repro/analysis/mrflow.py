@@ -31,6 +31,11 @@ MR105    a ``multiprocessing.shared_memory`` segment is created but not
          closed/unlinked on every path: no release at all, or an
          exception between create and release would leak the segment
          and the module has no orphan-sweep backstop
+MR106    simulated task memory charged via ``reserve_memory_for`` (the
+         charged byte count captured into a variable) is not
+         ``release_memory``-ed on every exception edge — an exception
+         mid-group leaves the byte meter inflated, so every later
+         reservation in the task sees a phantom budget deficit
 =======  ==============================================================
 
 Shapes use a constant-arity tuple abstraction: emit keys/values are
@@ -91,6 +96,7 @@ FLOW_RULES: dict[str, str] = {
     "MR103": "key selector indexes beyond every emitted key shape (or split key lost its components)",
     "MR104": "counter/metric name not in the generated registry",
     "MR105": "shared-memory segment not released on every path (leak on exception)",
+    "MR106": "charged task memory not released on every exception edge",
 }
 
 #: counter-name families built dynamically at runtime (f-strings); names
@@ -1131,6 +1137,163 @@ def _check_mr105(
 
 
 # ---------------------------------------------------------------------------
+# MR106: charged-memory release discipline
+# ---------------------------------------------------------------------------
+
+
+def _charge_sites(fn: FunctionInfo) -> dict[str, list[ast.stmt]]:
+    """Variables capturing charged bytes: ``Assign``/``AugAssign``
+    statements whose RHS calls ``reserve_memory_for``.
+
+    Bare ``reserve_memory(...)`` expression statements (the PK kernels'
+    delta metering against an index's live bytes) have no captured
+    balance to leak and are deliberately not anchored.
+    """
+    sites: dict[str, list[ast.stmt]] = {}
+    for node in shallow_nodes(fn.node):
+        if (
+            isinstance(node, ast.Assign)
+            and len(node.targets) == 1
+            and isinstance(node.targets[0], ast.Name)
+        ):
+            var, value = node.targets[0].id, node.value
+        elif isinstance(node, ast.AugAssign) and isinstance(node.target, ast.Name):
+            var, value = node.target.id, node.value
+        else:
+            continue
+        if any(
+            isinstance(call, ast.Call)
+            and isinstance(call.func, ast.Attribute)
+            and call.func.attr == "reserve_memory_for"
+            for call in ast.walk(value)
+        ):
+            sites.setdefault(var, []).append(node)
+    return sites
+
+
+def _check_mr106(mod: _Module, findings: list[Finding]) -> None:
+    for fn in sorted(mod.functions.values(), key=lambda f: f.qualname):
+        charges = _charge_sites(fn)
+        if not charges:
+            continue
+        parents: dict[ast.AST, ast.AST] = {}
+        for parent in ast.walk(fn.node):
+            for child in ast.iter_child_nodes(parent):
+                parents[child] = parent
+        release_calls = [
+            node
+            for node in ast.walk(fn.node)
+            if isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "release_memory"
+        ]
+
+        def owning_release(name_node: ast.Name) -> ast.Call | None:
+            for call in release_calls:
+                if any(sub is name_node for sub in ast.walk(call)):
+                    return call
+            return None
+
+        releases: dict[str, list[ast.AST]] = {var: [] for var in charges}
+        escaped: set[str] = set()
+        for use in ast.walk(fn.node):
+            if (
+                isinstance(use, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda))
+                and use is not fn.node
+            ):
+                for name in ast.walk(use):
+                    if isinstance(name, ast.Name) and name.id in charges:
+                        # captured by a closure: ownership unclear
+                        escaped.add(name.id)
+            if not (
+                isinstance(use, ast.Name)
+                and use.id in charges
+                and isinstance(use.ctx, ast.Load)
+            ):
+                continue
+            call = owning_release(use)
+            if call is not None:
+                releases[use.id].append(call)
+                continue
+            # the balance handed to another call, or returned/yielded,
+            # transfers ownership out of this function — stand down
+            cursor = parents.get(use)
+            while cursor is not None and not isinstance(cursor, ast.stmt):
+                if isinstance(cursor, (ast.Call, ast.Yield, ast.YieldFrom)):
+                    escaped.add(use.id)
+                    break
+                cursor = parents.get(cursor)
+            if isinstance(cursor, ast.Return):
+                escaped.add(use.id)
+
+        for var in sorted(charges):
+            if var in escaped:
+                continue
+            sites = charges[var]
+            var_releases = releases[var]
+            if not var_releases:
+                findings.append(
+                    Finding(
+                        "MR106",
+                        mod.path,
+                        sites[0].lineno,
+                        sites[0].col_offset,
+                        fn.qualname,
+                        f"task memory charged into {var!r} via "
+                        "reserve_memory_for is never released in this "
+                        "function — the byte meter stays inflated for the "
+                        "rest of the task",
+                    )
+                )
+                continue
+            for site in sites:
+                protected = False
+                for release in var_releases:
+                    for ancestor in _ancestors(release, parents):
+                        if not isinstance(ancestor, ast.Try):
+                            continue
+                        in_final = _contains(ancestor.finalbody, release)
+                        in_handler = any(
+                            _contains(handler.body, release)
+                            for handler in ancestor.handlers
+                        )
+                        if (in_final or in_handler) and _contains(
+                            ancestor.body, site
+                        ):
+                            protected = True
+                            break
+                    if protected:
+                        break
+                if not protected:
+                    # charge immediately followed by its release leaves no
+                    # raising statement in between; treat as safe
+                    holder = parents.get(site)
+                    body = getattr(holder, "body", None)
+                    if isinstance(body, list) and site in body:
+                        index = body.index(site)
+                        if index + 1 < len(body) and any(
+                            release in ast.walk(body[index + 1])
+                            for release in var_releases
+                        ):
+                            protected = True
+                if not protected:
+                    findings.append(
+                        Finding(
+                            "MR106",
+                            mod.path,
+                            site.lineno,
+                            site.col_offset,
+                            fn.qualname,
+                            f"task memory charged into {var!r} is not "
+                            "released on every exception edge — an exception "
+                            "between reserve_memory_for and release_memory "
+                            "leaves the bytes charged; release in a finally "
+                            "block",
+                        )
+                    )
+
+
+# ---------------------------------------------------------------------------
 # entry point
 # ---------------------------------------------------------------------------
 
@@ -1160,6 +1323,7 @@ def analyze_paths(
             _check_mr103(mod, shapes, findings)
         _check_mr104(mod, program, registry, findings)
         _check_mr105(mod, program, creators, findings)
+        _check_mr106(mod, findings)
     by_path: dict[str, list[Finding]] = {}
     for finding in findings:
         by_path.setdefault(finding.path, []).append(finding)

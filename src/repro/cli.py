@@ -102,6 +102,27 @@ def _add_join_options(parser: argparse.ArgumentParser) -> None:
                              "filter admissibility (sampled oracle) and index "
                              "byte accounting; output is unchanged, counters "
                              "appear under --stats (also: REPRO_SANITIZE=1)")
+    parser.add_argument("--memory-budget-mb", type=float, default=None,
+                        metavar="MB",
+                        help="per-task memory budget for plan-time admission: "
+                             "estimate Stage-2 reducer footprints from the "
+                             "prefix sample and pre-select routing, Section-5 "
+                             "blocks and batch size to fit; pairs are "
+                             "identical with or without a budget")
+    parser.add_argument("--no-auto-degrade", action="store_true",
+                        help="fail fast on Stage-2 memory exhaustion instead "
+                             "of degrading the plan down the escalation "
+                             "ladder (finer routing -> BK kernel -> blocks -> "
+                             "scalar) and re-running the stage")
+    parser.add_argument("--max-replan-retries", type=int, default=6,
+                        metavar="N",
+                        help="escalation-ladder rungs allowed before a "
+                             "Stage-2 memory error is re-raised (default: 6)")
+    parser.add_argument("--rss-cap-mb", type=int, default=None, metavar="MB",
+                        help="soft real-memory watchdog: when worker-reported "
+                             "maxrss crosses this cap, raise the simulated "
+                             "memory signal so the degradation ladder engages "
+                             "before the OS OOM killer would")
     parser.add_argument("--trace", default=None, metavar="PATH",
                         help="record a span timeline of the whole join and "
                              "write it as Chrome trace-event JSON (open in "
@@ -111,8 +132,11 @@ def _add_join_options(parser: argparse.ArgumentParser) -> None:
                         help="deterministic fault injection: a plan file "
                              "(JSON) or inline spec list like "
                              "'crash:*:map:1:0;sleep:*:reduce:0:0:0.3' "
-                             "(kind:job:phase:task:attempt[:sleep_s]); "
-                             "absorbable plans leave the output bit-identical")
+                             "(kind:job:phase:task:attempt[:sleep_s|cap_mb]); "
+                             "absorbable plans leave the output bit-identical; "
+                             "'squeeze' lowers the simulated memory budget to "
+                             "cap_mb MB and is absorbed by the degradation "
+                             "ladder, not by task retries")
     parser.add_argument("--max-task-retries", type=int, default=None,
                         metavar="N",
                         help="attempts allowed per task before the join "
@@ -167,6 +191,9 @@ def _build_config(args: argparse.Namespace) -> JoinConfig:
         adaptive=args.adaptive,
         split_threshold=args.split_threshold,
         split_factor=args.split_factor,
+        memory_budget_mb=args.memory_budget_mb,
+        auto_degrade=not args.no_auto_degrade,
+        max_replan_retries=args.max_replan_retries,
     )
 
 
@@ -238,13 +265,18 @@ def _export_trace(args: argparse.Namespace, tracer) -> None:
 
 
 def _attach_telemetry(args: argparse.Namespace, cluster: SimulatedCluster, tracer):
-    """Attach a TelemetryHub to *cluster* when ``--progress`` was given."""
-    if not args.progress:
+    """Attach a TelemetryHub to *cluster* for ``--progress`` and/or the
+    ``--rss-cap-mb`` real-memory watchdog."""
+    rss_cap_mb = getattr(args, "rss_cap_mb", None)
+    if not args.progress and rss_cap_mb is None:
         return None
     from repro.obs.telemetry import TelemetryHub, make_progress_view
 
+    view = make_progress_view(stream=sys.stderr) if args.progress else None
     cluster.telemetry = TelemetryHub(
-        view=make_progress_view(stream=sys.stderr), tracer=tracer
+        view=view,
+        tracer=tracer,
+        rss_cap_kb=rss_cap_mb * 1024 if rss_cap_mb is not None else None,
     )
     return cluster.telemetry
 
@@ -296,6 +328,13 @@ def _emit(args: argparse.Namespace, pairs: list, report: JoinReport) -> None:
     if counters.get("resume.stages_skipped"):
         print(
             f"  resume: stages_skipped={counters['resume.stages_skipped']}",
+            file=sys.stderr,
+        )
+    if counters.get("memory.replans"):
+        steps = " -> ".join(report.memory_steps) or "replayed"
+        print(
+            f"  memory: replans={counters['memory.replans']}, "
+            f"steps: {steps}",
             file=sys.stderr,
         )
     if args.stats:
@@ -563,6 +602,7 @@ def _cmd_runs_check(args: argparse.Namespace) -> int:
         tolerance=args.tolerance,
         ratios_only=args.ratios_only,
         sections=args.sections.split(",") if args.sections else None,
+        memory_tolerance=args.memory_tolerance,
     )
     regressions = [f for f in findings if f.regressed]
     registry = MetricsRegistry()
@@ -749,6 +789,11 @@ def build_parser() -> argparse.ArgumentParser:
                               help="check only scale-free ratio metrics "
                                    "(*_share_pct/*_overhead_pct) — for "
                                    "baselines measured on other hardware")
+    p_runs_check.add_argument("--memory-tolerance", type=float, default=None,
+                              metavar="RATIO",
+                              help="separate tolerance for the *maxrss_kb "
+                                   "memory-watermark class (higher is worse; "
+                                   "default: same as --tolerance)")
     p_runs_check.add_argument("--sections", default=None,
                               help="comma-separated section allowlist "
                                    "(default: all sections present in both)")

@@ -221,6 +221,23 @@ class JoinCheckpoint:
     def completed_stages(self) -> list[str]:
         return sorted(self._manifest.get("stages", {}))
 
+    # -- memory-degradation steps -----------------------------------------
+
+    def save_memory_steps(self, steps: list[str]) -> None:
+        """Persist the runtime degradation-ladder steps applied so far.
+
+        Written (atomically, like every manifest update) each time the
+        driver replans Stage 2 after a memory fault, so a resumed run
+        replays the degraded plan via :meth:`memory_steps` instead of
+        rediscovering it rung by rung.
+        """
+        self._manifest["memory_steps"] = list(steps)
+        self._write_manifest()
+
+    def memory_steps(self) -> list[str]:
+        """Degradation steps recorded by the interrupted run (in order)."""
+        return list(self._manifest.get("memory_steps", []))
+
     # -- stages -----------------------------------------------------------
 
     def save_stage(self, stage: str, dfs, files: list[str]) -> None:

@@ -123,6 +123,23 @@ class JoinConfig:
     #: is bit-identical with the flag on or off.  ``REPRO_SANITIZE=1``
     #: force-enables it regardless of this field.
     sanitize: bool = False
+    #: plan-time memory admission (see :mod:`repro.join.memory`): budget
+    #: in megabytes the Stage-2 plan must fit under.  The driver
+    #: estimates per-group reducer footprints from the prefix sample and
+    #: pre-selects routing granularity, a Section-5 :class:`BlockPolicy`
+    #: and batch size so the estimated peak stays below the budget.
+    #: ``None`` (default) skips admission; runtime degradation still
+    #: applies.  Pairs are identical with or without a budget.
+    memory_budget_mb: float | None = None
+    #: runtime degradation: when ``True`` (default) the driver treats a
+    #: Stage-2 :class:`repro.mapreduce.types.InsufficientMemoryError` as
+    #: a plan fault and retries the stage down an escalation ladder
+    #: (finer routing → BK kernel → engage/double blocks → shrink batch
+    #: → scalar); ``False`` restores the raw fail-fast behaviour.
+    auto_degrade: bool = True
+    #: bound on driver-level stage replans (escalation-ladder steps)
+    #: before the memory error is re-raised to the caller
+    max_replan_retries: int = 6
 
     def __post_init__(self) -> None:
         if isinstance(self.similarity, str):
@@ -173,6 +190,14 @@ class JoinConfig:
             raise ValueError(
                 "length_class_width and blocks are alternative Section-5 "
                 "strategies; configure at most one"
+            )
+        if self.memory_budget_mb is not None and self.memory_budget_mb <= 0:
+            raise ValueError(
+                f"memory_budget_mb must be > 0 or None, got {self.memory_budget_mb}"
+            )
+        if self.max_replan_retries < 0:
+            raise ValueError(
+                f"max_replan_retries must be >= 0, got {self.max_replan_retries}"
             )
 
     @property

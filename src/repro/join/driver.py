@@ -25,6 +25,14 @@ from dataclasses import dataclass, field, replace as dataclass_replace
 from repro.join.checkpoint import JoinCheckpoint, checkpoint_identity
 from repro.join.config import JoinConfig
 from repro.join.estimate import sample_prefix_frequencies
+from repro.join.memory import (
+    MEMORY_ESCALATIONS,
+    MEMORY_REPLANS,
+    apply_degradations,
+    apply_step,
+    next_escalation,
+    plan_admission,
+)
 from repro.join.planner import Stage2Plan, plan_stage2
 from repro.join.stage1 import stage1_jobs
 from repro.join.stage2 import stage2_self_job
@@ -34,7 +42,11 @@ from repro.mapreduce.cluster import ClusterConfig, SimulatedCluster
 from repro.mapreduce.dfs import InMemoryDFS
 from repro.mapreduce.faults import RESUME_STAGES_SKIPPED
 from repro.mapreduce.pipeline import run_pipeline
-from repro.mapreduce.types import JobStats, merge_executor_stats
+from repro.mapreduce.types import (
+    InsufficientMemoryError,
+    JobStats,
+    merge_executor_stats,
+)
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import trace_span
 
@@ -50,9 +62,14 @@ class JoinReport:
     stage3: JobStats = field(default_factory=JobStats)
     #: driver-level counters with no owning job:
     #: ``resume.stages_skipped`` (bumped once per stage restored from a
-    #: checkpoint instead of re-run) and the ``plan.*`` counters of an
+    #: checkpoint instead of re-run), the ``plan.*`` counters of an
     #: adaptive run (chosen routing/groups/batch, splits, sample size)
+    #: and the ``memory.*`` admission/replan bookkeeping
     extra_counters: dict[str, int] = field(default_factory=dict)
+    #: runtime degradation-ladder steps applied after Stage-2 memory
+    #: faults, in order (see :mod:`repro.join.memory`); empty for a run
+    #: that never hit a memory fault
+    memory_steps: list[str] = field(default_factory=list)
 
     @property
     def stages(self) -> dict[str, JobStats]:
@@ -177,6 +194,11 @@ class JoinReport:
                     for name in ("length", "bitmap", "positional", "suffix")
                 )
             )
+        if self.memory_steps:
+            lines.append(
+                f"  memory: {len(self.memory_steps)} replan(s): "
+                + " -> ".join(self.memory_steps)
+            )
         if pruned["sanitize_checks"]:
             lines.append(
                 f"  sanitize: {pruned['sanitize_checks']:,} checks, "
@@ -197,35 +219,42 @@ def _adaptive_plan(
     reducers: int,
     r_file: str,
     s_file: str | None = None,
-) -> tuple[JoinConfig, Stage2Plan | None]:
-    """Sample-and-plan hook: the skew-adaptive layer's driver entry.
+) -> tuple[JoinConfig, Stage2Plan | None, dict[str, int]]:
+    """Sample, plan and memory-admit hook of the join drivers.
 
     With ``config.adaptive`` the raw input is sampled *before any job
     runs* (:func:`sample_prefix_frequencies`) and
     :func:`repro.join.planner.plan_stage2` chooses routing, group
     count, batch size and hot-group splits; the returned config carries
-    the choices so every stage sees them.  Deterministic: the sample is
-    seeded, so a resumed run recomputes the identical plan.  Returns
-    ``(config, None)`` untouched when adaptive planning is off.
+    the choices so every stage sees them.  With
+    ``config.memory_budget_mb`` the same sample feeds plan-time memory
+    admission (:func:`repro.join.memory.plan_admission`), which may
+    further degrade the plan until its estimated Stage-2 peak fits the
+    budget.  Deterministic: the sample is seeded, so a resumed run
+    recomputes the identical plan.  Returns ``(config, None, {})``
+    untouched when both features are off.
     """
-    if not config.adaptive:
-        return config, None
+    if not config.adaptive and config.memory_budget_mb is None:
+        return config, None, {}
     r_lines = list(cluster.dfs.read_all(r_file))
     s_lines = list(cluster.dfs.read_all(s_file)) if s_file is not None else None
     sample = sample_prefix_frequencies(r_lines, config, s_lines=s_lines)
-    plan = plan_stage2(sample, config, reducers)
-    if plan.splits and (
-        config.blocks is not None or config.length_class_width is not None
-    ):
-        # Section-5 block/length-class routing has its own key shapes;
-        # keep the plan's routing/batch choices but run unsplit
-        plan = dataclass_replace(plan, splits=())
-    planned = config.with_options(
-        routing=plan.routing,
-        num_groups=plan.num_groups,
-        batch_size=plan.batch_size,
-    )
-    return planned, plan
+    plan = None
+    if config.adaptive:
+        plan = plan_stage2(sample, config, reducers)
+        if plan.splits and (
+            config.blocks is not None or config.length_class_width is not None
+        ):
+            # Section-5 block/length-class routing has its own key shapes;
+            # keep the plan's routing/batch choices but run unsplit
+            plan = dataclass_replace(plan, splits=())
+        config = config.with_options(
+            routing=plan.routing,
+            num_groups=plan.num_groups,
+            batch_size=plan.batch_size,
+        )
+    config, plan, admission = plan_admission(sample, config, plan)
+    return config, plan, admission
 
 
 def _prepare(cluster: SimulatedCluster, config: JoinConfig, jobs: list) -> None:
@@ -250,19 +279,55 @@ def _run_stages(
     tracer,
     checkpoint: JoinCheckpoint | None,
     done: list[str],
-    stages: list[tuple[str, list, list[str], dict]],
+    config: JoinConfig,
+    plan: Stage2Plan | None,
+    build,
+    stages: list,
 ) -> None:
-    """Run (or restore) the join's stages in order.
+    """Run (or restore) the join's stages in order, surviving Stage-2
+    memory faults by degrading the plan.
 
-    *stages* is ``[(name, jobs, output_files, span_args), ...]``.  A
-    stage already recorded in the checkpoint is restored into the
-    cluster DFS instead of re-run — its :class:`JobStats` stays empty
-    and ``resume.stages_skipped`` is bumped — and every freshly run
-    stage is checkpointed before the next one starts.
+    *build(config, plan)* returns the join's stage list
+    ``[(name, jobs, output_files, span_args), ...]`` for one concrete
+    plan; *stages* is the list the caller already built (and whose
+    jobs it registered with the persistent pool — re-invoking *build*
+    would mint fresh job objects and force a pool respawn per stage).
+    *build* is re-invoked only when the plan actually changes.  A stage already recorded in the checkpoint is restored into
+    the cluster DFS instead of re-run — its :class:`JobStats` stays
+    empty and ``resume.stages_skipped`` is bumped — and every freshly
+    run stage is checkpointed before the next one starts.
+
+    A Stage-2 :class:`InsufficientMemoryError` is treated as a *plan
+    fault* when ``config.auto_degrade`` is on: the next escalation-
+    ladder rung (:func:`repro.join.memory.next_escalation`) is applied,
+    the stage jobs are rebuilt and the stage re-runs, bounded by
+    ``config.max_replan_retries``.  Each applied step is persisted in
+    the checkpoint manifest, so a killed-and-resumed run replays the
+    degraded plan instead of rediscovering it rung by rung.  Memory
+    faults in other stages (and exhausted ladders) re-raise unchanged.
     """
-    for name, jobs, outputs, span_args in stages:
-        with trace_span(tracer, name, "stage", **span_args):
-            if checkpoint is not None and name in done:
+    steps: list[str] = []
+    if checkpoint is not None:
+        steps = checkpoint.memory_steps()
+        if steps:
+            config, plan = apply_degradations(config, plan, steps)
+            report.memory_steps.extend(steps)
+            report.extra_counters[MEMORY_REPLANS] = len(steps)
+            report.extra_counters[MEMORY_ESCALATIONS] = len(steps)
+            if tracer is not None:
+                tracer.instant(
+                    "memory-steps-replayed", "fault", steps=list(steps)
+                )
+    if steps:
+        stages = build(config, plan)
+        _prepare(
+            cluster, config, [job for _, jobs, _, _ in stages for job in jobs]
+        )
+    index = 0
+    while index < len(stages):
+        name, jobs, outputs, span_args = stages[index]
+        if checkpoint is not None and name in done:
+            with trace_span(tracer, name, "stage", **span_args):
                 checkpoint.restore_stage(name, cluster.dfs)
                 report.extra_counters[RESUME_STAGES_SKIPPED] = (
                     report.extra_counters.get(RESUME_STAGES_SKIPPED, 0) + 1
@@ -271,10 +336,43 @@ def _run_stages(
                     tracer.instant(
                         "stage-resumed", "fault", stage=name, files=outputs
                     )
-                continue
-            setattr(report, name, run_pipeline(cluster, jobs))
+            index += 1
+            continue
+        try:
+            with trace_span(tracer, name, "stage", **span_args):
+                setattr(report, name, run_pipeline(cluster, jobs))
+        except InsufficientMemoryError as exc:
+            step = None
+            if name == "stage2" and config.auto_degrade:
+                replans = report.extra_counters.get(MEMORY_REPLANS, 0)
+                if replans < config.max_replan_retries:
+                    step = next_escalation(config)
+            if step is None:
+                raise
+            config, plan = apply_step(config, plan, step)
+            report.memory_steps.append(step)
+            report.extra_counters[MEMORY_REPLANS] = (
+                report.extra_counters.get(MEMORY_REPLANS, 0) + 1
+            )
+            report.extra_counters[MEMORY_ESCALATIONS] = (
+                report.extra_counters.get(MEMORY_ESCALATIONS, 0) + 1
+            )
+            if tracer is not None:
+                tracer.instant(
+                    "memory-replan", "fault",
+                    stage=name, step=step, error=str(exc),
+                )
             if checkpoint is not None:
-                checkpoint.save_stage(name, cluster.dfs, outputs)
+                checkpoint.save_memory_steps(report.memory_steps)
+            stages = build(config, plan)
+            _prepare(
+                cluster, config,
+                [job for _, js, _, _ in stages for job in js],
+            )
+            continue
+        if checkpoint is not None:
+            checkpoint.save_stage(name, cluster.dfs, outputs)
+        index += 1
 
 
 def _merge_telemetry(cluster: SimulatedCluster, report: JoinReport) -> None:
@@ -310,7 +408,9 @@ def ssjoin_self(
     config = config or JoinConfig()
     prefix = prefix or f"{records_file}.selfjoin"
     reducers = _num_reducers(config, cluster)
-    config, plan = _adaptive_plan(cluster, config, reducers, records_file)
+    config, plan, admission = _adaptive_plan(
+        cluster, config, reducers, records_file
+    )
 
     token_order_file = f"{prefix}.tokens"
     pairs_file = f"{prefix}.ridpairs"
@@ -318,20 +418,43 @@ def ssjoin_self(
 
     # Every stage's jobs are constructible from DFS file names alone, so
     # build them all before anything runs: clusters with a persistent
-    # worker pool then fork exactly once for the whole join.
-    s1 = stage1_jobs(config, [records_file], token_order_file, reducers)
-    s2 = [
-        stage2_self_job(
-            config, records_file, token_order_file, pairs_file, reducers, plan
+    # worker pool then fork exactly once for the whole join.  The
+    # builder is re-invoked whenever a memory fault degrades the plan.
+    def build(cfg: JoinConfig, pln: Stage2Plan | None) -> list:
+        s1 = stage1_jobs(cfg, [records_file], token_order_file, reducers)
+        s2 = [
+            stage2_self_job(
+                cfg, records_file, token_order_file, pairs_file, reducers, pln
+            )
+        ]
+        s3 = stage3_jobs(
+            cfg, {records_file: 0}, pairs_file, output_file, reducers,
+            is_rs=False,
         )
-    ]
-    s3 = stage3_jobs(
-        config, {records_file: 0}, pairs_file, output_file, reducers, is_rs=False
+        return [
+            ("stage1", s1, [token_order_file], {"algorithm": cfg.stage1}),
+            (
+                "stage2", s2, [pairs_file],
+                {
+                    "kernel": cfg.kernel,
+                    "routing": cfg.routing,
+                    "num_groups": cfg.num_groups or "per-token",
+                    "splits": len(pln.splits) if pln is not None else 0,
+                },
+            ),
+            ("stage3", s3, [output_file], {"algorithm": cfg.stage3}),
+        ]
+
+    stages = build(config, plan)
+    _prepare(
+        cluster, config, [job for _, jobs, _, _ in stages for job in jobs]
     )
-    _prepare(cluster, config, s1 + s2 + s3)
 
     done: list[str] = []
     if checkpoint is not None:
+        # identity is the *admitted* (pre-runtime-degradation) config:
+        # admission is deterministic, so a resumed run recomputes it and
+        # then replays the persisted degradation steps on top
         done = checkpoint.begin(
             checkpoint_identity(
                 "self", config, prefix, cluster.dfs, [records_file], reducers
@@ -341,6 +464,7 @@ def ssjoin_self(
     report = JoinReport(combo=config.combo_name, output_file=output_file)
     if plan is not None:
         report.extra_counters.update(plan.counters())
+    report.extra_counters.update(admission)
     tracer = getattr(cluster, "tracer", None)
     with trace_span(
         tracer, f"ssjoin_self:{records_file}", "join",
@@ -348,20 +472,8 @@ def ssjoin_self(
         routing=config.routing, kernel=config.kernel,
     ):
         _run_stages(
-            cluster, report, tracer, checkpoint, done,
-            [
-                ("stage1", s1, [token_order_file], {"algorithm": config.stage1}),
-                (
-                    "stage2", s2, [pairs_file],
-                    {
-                        "kernel": config.kernel,
-                        "routing": config.routing,
-                        "num_groups": config.num_groups or "per-token",
-                        "splits": len(plan.splits) if plan is not None else 0,
-                    },
-                ),
-                ("stage3", s3, [output_file], {"algorithm": config.stage3}),
-            ],
+            cluster, report, tracer, checkpoint, done, config, plan, build,
+            stages,
         )
     _merge_telemetry(cluster, report)
     return report
@@ -384,27 +496,48 @@ def ssjoin_rs(
     config = config or JoinConfig()
     prefix = prefix or f"{r_file}.rsjoin"
     reducers = _num_reducers(config, cluster)
-    config, plan = _adaptive_plan(cluster, config, reducers, r_file, s_file)
+    config, plan, admission = _adaptive_plan(
+        cluster, config, reducers, r_file, s_file
+    )
 
     token_order_file = f"{prefix}.tokens"
     pairs_file = f"{prefix}.ridpairs"
     output_file = f"{prefix}.joined"
 
-    s1 = stage1_jobs(config, [r_file], token_order_file, reducers)
-    s2 = [
-        stage2_rs_job(
-            config, r_file, s_file, token_order_file, pairs_file, reducers, plan
+    def build(cfg: JoinConfig, pln: Stage2Plan | None) -> list:
+        s1 = stage1_jobs(cfg, [r_file], token_order_file, reducers)
+        s2 = [
+            stage2_rs_job(
+                cfg, r_file, s_file, token_order_file, pairs_file, reducers,
+                pln,
+            )
+        ]
+        s3 = stage3_jobs(
+            cfg,
+            {r_file: 0, s_file: 1},
+            pairs_file,
+            output_file,
+            reducers,
+            is_rs=True,
         )
-    ]
-    s3 = stage3_jobs(
-        config,
-        {r_file: 0, s_file: 1},
-        pairs_file,
-        output_file,
-        reducers,
-        is_rs=True,
+        return [
+            ("stage1", s1, [token_order_file], {"algorithm": cfg.stage1}),
+            (
+                "stage2", s2, [pairs_file],
+                {
+                    "kernel": cfg.kernel,
+                    "routing": cfg.routing,
+                    "num_groups": cfg.num_groups or "per-token",
+                    "splits": len(pln.splits) if pln is not None else 0,
+                },
+            ),
+            ("stage3", s3, [output_file], {"algorithm": cfg.stage3}),
+        ]
+
+    stages = build(config, plan)
+    _prepare(
+        cluster, config, [job for _, jobs, _, _ in stages for job in jobs]
     )
-    _prepare(cluster, config, s1 + s2 + s3)
 
     done: list[str] = []
     if checkpoint is not None:
@@ -417,6 +550,7 @@ def ssjoin_rs(
     report = JoinReport(combo=config.combo_name, output_file=output_file)
     if plan is not None:
         report.extra_counters.update(plan.counters())
+    report.extra_counters.update(admission)
     tracer = getattr(cluster, "tracer", None)
     with trace_span(
         tracer, f"ssjoin_rs:{r_file}:{s_file}", "join",
@@ -424,20 +558,8 @@ def ssjoin_rs(
         routing=config.routing, kernel=config.kernel,
     ):
         _run_stages(
-            cluster, report, tracer, checkpoint, done,
-            [
-                ("stage1", s1, [token_order_file], {"algorithm": config.stage1}),
-                (
-                    "stage2", s2, [pairs_file],
-                    {
-                        "kernel": config.kernel,
-                        "routing": config.routing,
-                        "num_groups": config.num_groups or "per-token",
-                        "splits": len(plan.splits) if plan is not None else 0,
-                    },
-                ),
-                ("stage3", s3, [output_file], {"algorithm": config.stage3}),
-            ],
+            cluster, report, tracer, checkpoint, done, config, plan, build,
+            stages,
         )
     _merge_telemetry(cluster, report)
     return report

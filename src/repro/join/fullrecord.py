@@ -58,18 +58,22 @@ def full_record_job(
         index = PPJoinIndex(sim, threshold, mode="self", evict=True)
         lines: dict[int, str] = {}
         charged = 0
-        for rid, ranks, line in values:
-            charged += ctx.reserve_memory_for(line, "full-record group")
-            for other_rid, similarity in index.probe(rid, ranks):
-                first, second = sorted((rid, other_rid))
-                this, other = (
-                    (line, lines[other_rid]) if first == rid else (lines[other_rid], line)
-                )
-                ctx.write((this, other, similarity))
-                ctx.counters.increment(PAIRS_OUTPUT)
-            index.add(rid, ranks)
-            lines[rid] = line
-        ctx.release_memory(charged)
+        try:
+            for rid, ranks, line in values:
+                charged += ctx.reserve_memory_for(line, "full-record group")
+                for other_rid, similarity in index.probe(rid, ranks):
+                    first, second = sorted((rid, other_rid))
+                    this, other = (
+                        (line, lines[other_rid])
+                        if first == rid
+                        else (lines[other_rid], line)
+                    )
+                    ctx.write((this, other, similarity))
+                    ctx.counters.increment(PAIRS_OUTPUT)
+                index.add(rid, ranks)
+                lines[rid] = line
+        finally:
+            ctx.release_memory(charged)
 
     return MapReduceJob(
         name="fullrecord-self",

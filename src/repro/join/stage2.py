@@ -443,48 +443,51 @@ def make_bk_self_reducer(config: JoinConfig) -> Callable:
             values = sanitizer.sorted_values(values, _projection_size)
         projections: list[tuple] = []
         charged = 0
-        for value in values:
-            charged += ctx.reserve_memory_for(value, "BK candidate list")
-            projections.append(value)
-        total = len(projections)
-        ctx.observe("stage2.group_records", total)
-        ctx.observe("stage2.group_candidates", total * (total - 1) // 2)
-        counters = ctx.counters
-        if batch_size is None:
-            for i, p1 in enumerate(projections):
-                for p2 in projections[i + 1 :]:
-                    counters.increment(CANDIDATE_PAIRS)
-                    similarity = bk_verify(p1, p2, config, counters, sanitizer)
-                    if similarity is not None:
-                        _write_self_pair(ctx, p1[1], p2[1], similarity)
-            ctx.release_memory(charged)
-            return
-        batches = [
-            TokenBatch.from_projections(projections[start:stop])
-            for start, stop in batch_spans(total, batch_size)
-        ]
-        if batches:
-            counters.increment(STAGE2_BATCHES, len(batches))
-        del projections  # the packed blocks now own the token payloads
-        for bi, b1 in enumerate(batches):
-            for i1 in range(b1.count):
-                rid1 = b1.rids[i1]
-                for i2 in range(i1 + 1, b1.count):
-                    counters.increment(CANDIDATE_PAIRS)
-                    similarity = bk_verify_block(
-                        b1, i1, b1, i2, config, counters, sanitizer
-                    )
-                    if similarity is not None:
-                        _write_self_pair(ctx, rid1, b1.rids[i2], similarity)
-                for b2 in batches[bi + 1 :]:
-                    for i2 in range(b2.count):
+        try:
+            for value in values:
+                charged += ctx.reserve_memory_for(value, "BK candidate list")
+                projections.append(value)
+            total = len(projections)
+            ctx.observe("stage2.group_records", total)
+            ctx.observe("stage2.group_candidates", total * (total - 1) // 2)
+            counters = ctx.counters
+            if batch_size is None:
+                for i, p1 in enumerate(projections):
+                    for p2 in projections[i + 1 :]:
+                        counters.increment(CANDIDATE_PAIRS)
+                        similarity = bk_verify(p1, p2, config, counters, sanitizer)
+                        if similarity is not None:
+                            _write_self_pair(ctx, p1[1], p2[1], similarity)
+                return
+            batches = [
+                TokenBatch.from_projections(projections[start:stop])
+                for start, stop in batch_spans(total, batch_size)
+            ]
+            if batches:
+                counters.increment(STAGE2_BATCHES, len(batches))
+            del projections  # the packed blocks now own the token payloads
+            for bi, b1 in enumerate(batches):
+                for i1 in range(b1.count):
+                    rid1 = b1.rids[i1]
+                    for i2 in range(i1 + 1, b1.count):
                         counters.increment(CANDIDATE_PAIRS)
                         similarity = bk_verify_block(
-                            b1, i1, b2, i2, config, counters, sanitizer
+                            b1, i1, b1, i2, config, counters, sanitizer
                         )
                         if similarity is not None:
-                            _write_self_pair(ctx, rid1, b2.rids[i2], similarity)
-        ctx.release_memory(charged)
+                            _write_self_pair(ctx, rid1, b1.rids[i2], similarity)
+                    for b2 in batches[bi + 1 :]:
+                        for i2 in range(b2.count):
+                            counters.increment(CANDIDATE_PAIRS)
+                            similarity = bk_verify_block(
+                                b1, i1, b2, i2, config, counters, sanitizer
+                            )
+                            if similarity is not None:
+                                _write_self_pair(
+                                    ctx, rid1, b2.rids[i2], similarity
+                                )
+        finally:
+            ctx.release_memory(charged)
 
     return reducer
 
@@ -592,19 +595,21 @@ def make_bk_split_self_reducer(config: JoinConfig) -> Callable:
         stored: list[tuple] = []
         charged = 0
         group_records = 0
-        for value in values:
-            group_records += 1
-            if value[0] == REL_R:
-                charged += ctx.reserve_memory_for(value, "BK candidate list")
-                stored.append(value)
-                continue
-            for other in stored:
-                counters.increment(CANDIDATE_PAIRS)
-                similarity = bk_verify(other, value, config, counters, sanitizer)
-                if similarity is not None:
-                    _write_self_pair(ctx, other[1], value[1], similarity)
-        ctx.observe("stage2.group_records", group_records)
-        ctx.release_memory(charged)
+        try:
+            for value in values:
+                group_records += 1
+                if value[0] == REL_R:
+                    charged += ctx.reserve_memory_for(value, "BK candidate list")
+                    stored.append(value)
+                    continue
+                for other in stored:
+                    counters.increment(CANDIDATE_PAIRS)
+                    similarity = bk_verify(other, value, config, counters, sanitizer)
+                    if similarity is not None:
+                        _write_self_pair(ctx, other[1], value[1], similarity)
+            ctx.observe("stage2.group_records", group_records)
+        finally:
+            ctx.release_memory(charged)
 
     return reducer
 
@@ -696,22 +701,24 @@ def make_bk_self_map_blocks_reducer(config: JoinConfig) -> Callable:
         loaded: list[tuple] = []
         charged = 0
         current_step = -1
-        for step, role, rel, rid, n, sig, ranks in values:
-            if step != current_step:
-                ctx.release_memory(charged)
-                charged = 0
-                loaded = []
-                current_step = step
-            projection = (rel, rid, n, sig, ranks)
-            for other in loaded:
-                ctx.counters.increment(CANDIDATE_PAIRS)
-                similarity = bk_verify(other, projection, config, ctx.counters)
-                if similarity is not None:
-                    _write_self_pair(ctx, other[1], rid, similarity)
-            if role == ROLE_LOAD:
-                charged += ctx.reserve_memory_for(projection, "BK loaded block")
-                loaded.append(projection)
-        ctx.release_memory(charged)
+        try:
+            for step, role, rel, rid, n, sig, ranks in values:
+                if step != current_step:
+                    ctx.release_memory(charged)
+                    charged = 0
+                    loaded = []
+                    current_step = step
+                projection = (rel, rid, n, sig, ranks)
+                for other in loaded:
+                    ctx.counters.increment(CANDIDATE_PAIRS)
+                    similarity = bk_verify(other, projection, config, ctx.counters)
+                    if similarity is not None:
+                        _write_self_pair(ctx, other[1], rid, similarity)
+                if role == ROLE_LOAD:
+                    charged += ctx.reserve_memory_for(projection, "BK loaded block")
+                    loaded.append(projection)
+        finally:
+            ctx.release_memory(charged)
 
     return reducer
 
@@ -725,48 +732,39 @@ def make_bk_self_reduce_blocks_reducer(config: JoinConfig) -> Callable:
         charged = 0
         loaded_block = None
         spilled: dict[int, list[tuple]] = {}
-        for block, rel, rid, n, sig, ranks in values:
-            projection = (rel, rid, n, sig, ranks)
-            if loaded_block is None:
-                loaded_block = block
-            if block == loaded_block:
-                for other in loaded:
-                    ctx.counters.increment(CANDIDATE_PAIRS)
-                    similarity = bk_verify(other, projection, config, ctx.counters)
-                    if similarity is not None:
-                        _write_self_pair(ctx, other[1], rid, similarity)
-                charged += ctx.reserve_memory_for(projection, "BK loaded block")
-                loaded.append(projection)
-            else:
-                for other in loaded:
-                    ctx.counters.increment(CANDIDATE_PAIRS)
-                    similarity = bk_verify(other, projection, config, ctx.counters)
-                    if similarity is not None:
-                        _write_self_pair(ctx, other[1], rid, similarity)
-                spilled.setdefault(block, []).append(projection)
-                ctx.counters.increment(
-                    SPILL_WRITTEN, projection_spill_bytes(len(ranks), sig is not None)
-                )
-        ctx.release_memory(charged)
+        try:
+            for block, rel, rid, n, sig, ranks in values:
+                projection = (rel, rid, n, sig, ranks)
+                if loaded_block is None:
+                    loaded_block = block
+                if block == loaded_block:
+                    for other in loaded:
+                        ctx.counters.increment(CANDIDATE_PAIRS)
+                        similarity = bk_verify(other, projection, config, ctx.counters)
+                        if similarity is not None:
+                            _write_self_pair(ctx, other[1], rid, similarity)
+                    charged += ctx.reserve_memory_for(projection, "BK loaded block")
+                    loaded.append(projection)
+                else:
+                    for other in loaded:
+                        ctx.counters.increment(CANDIDATE_PAIRS)
+                        similarity = bk_verify(other, projection, config, ctx.counters)
+                        if similarity is not None:
+                            _write_self_pair(ctx, other[1], rid, similarity)
+                    spilled.setdefault(block, []).append(projection)
+                    ctx.counters.increment(
+                        SPILL_WRITTEN,
+                        projection_spill_bytes(len(ranks), sig is not None),
+                    )
+        finally:
+            ctx.release_memory(charged)
 
         remaining = sorted(spilled)
         for idx, block in enumerate(remaining):
             loaded = []
             charged = 0
-            for projection in spilled[block]:
-                ctx.counters.increment(
-                    SPILL_READ,
-                    projection_spill_bytes(len(projection[4]), projection[3] is not None),
-                )
-                for other in loaded:
-                    ctx.counters.increment(CANDIDATE_PAIRS)
-                    similarity = bk_verify(other, projection, config, ctx.counters)
-                    if similarity is not None:
-                        _write_self_pair(ctx, other[1], projection[1], similarity)
-                charged += ctx.reserve_memory_for(projection, "BK loaded block")
-                loaded.append(projection)
-            for later in remaining[idx + 1 :]:
-                for projection in spilled[later]:
+            try:
+                for projection in spilled[block]:
                     ctx.counters.increment(
                         SPILL_READ,
                         projection_spill_bytes(
@@ -778,7 +776,27 @@ def make_bk_self_reduce_blocks_reducer(config: JoinConfig) -> Callable:
                         similarity = bk_verify(other, projection, config, ctx.counters)
                         if similarity is not None:
                             _write_self_pair(ctx, other[1], projection[1], similarity)
-            ctx.release_memory(charged)
+                    charged += ctx.reserve_memory_for(projection, "BK loaded block")
+                    loaded.append(projection)
+                for later in remaining[idx + 1 :]:
+                    for projection in spilled[later]:
+                        ctx.counters.increment(
+                            SPILL_READ,
+                            projection_spill_bytes(
+                                len(projection[4]), projection[3] is not None
+                            ),
+                        )
+                        for other in loaded:
+                            ctx.counters.increment(CANDIDATE_PAIRS)
+                            similarity = bk_verify(
+                                other, projection, config, ctx.counters
+                            )
+                            if similarity is not None:
+                                _write_self_pair(
+                                    ctx, other[1], projection[1], similarity
+                                )
+            finally:
+                ctx.release_memory(charged)
 
     return reducer
 

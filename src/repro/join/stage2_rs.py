@@ -202,23 +202,27 @@ def make_bk_rs_reducer(config: JoinConfig) -> Callable:
             charged = 0
             group_records = 0
             group_candidates = 0
-            for value in values:
-                group_records += 1
-                if value[0] == REL_R:
-                    charged += ctx.reserve_memory_for(value, "BK stored R partition")
-                    stored_r.append(value)
-                    continue
-                group_candidates += len(stored_r)
-                for r_proj in stored_r:
-                    ctx.counters.increment(CANDIDATE_PAIRS)
-                    similarity = bk_verify(
-                        r_proj, value, config, ctx.counters, sanitizer
-                    )
-                    if similarity is not None:
-                        _write_rs_pair(ctx, r_proj, value, similarity)
-            ctx.observe("stage2.group_records", group_records)
-            ctx.observe("stage2.group_candidates", group_candidates)
-            ctx.release_memory(charged)
+            try:
+                for value in values:
+                    group_records += 1
+                    if value[0] == REL_R:
+                        charged += ctx.reserve_memory_for(
+                            value, "BK stored R partition"
+                        )
+                        stored_r.append(value)
+                        continue
+                    group_candidates += len(stored_r)
+                    for r_proj in stored_r:
+                        ctx.counters.increment(CANDIDATE_PAIRS)
+                        similarity = bk_verify(
+                            r_proj, value, config, ctx.counters, sanitizer
+                        )
+                        if similarity is not None:
+                            _write_rs_pair(ctx, r_proj, value, similarity)
+                ctx.observe("stage2.group_records", group_records)
+                ctx.observe("stage2.group_candidates", group_candidates)
+            finally:
+                ctx.release_memory(charged)
             return
 
         counters = ctx.counters
@@ -259,24 +263,26 @@ def make_bk_rs_reducer(config: JoinConfig) -> Callable:
                             )
                             counters.increment(PAIRS_OUTPUT)
 
-        for value in values:
-            group_records += 1
-            if value[0] == REL_R:
-                flush_s()
-                charged += ctx.reserve_memory_for(value, "BK stored R partition")
-                r_buf.append(value)
-                if len(r_buf) >= batch_size:
-                    flush_r()
-            else:
-                flush_r()
-                group_candidates += stored_count
-                s_buf.append(value)
-                if len(s_buf) >= batch_size:
+        try:
+            for value in values:
+                group_records += 1
+                if value[0] == REL_R:
                     flush_s()
-        flush_s()
-        ctx.observe("stage2.group_records", group_records)
-        ctx.observe("stage2.group_candidates", group_candidates)
-        ctx.release_memory(charged)
+                    charged += ctx.reserve_memory_for(value, "BK stored R partition")
+                    r_buf.append(value)
+                    if len(r_buf) >= batch_size:
+                        flush_r()
+                else:
+                    flush_r()
+                    group_candidates += stored_count
+                    s_buf.append(value)
+                    if len(s_buf) >= batch_size:
+                        flush_s()
+            flush_s()
+            ctx.observe("stage2.group_records", group_records)
+            ctx.observe("stage2.group_candidates", group_candidates)
+        finally:
+            ctx.release_memory(charged)
 
     return reducer
 
@@ -369,23 +375,25 @@ def make_bk_rs_map_blocks_reducer(config: JoinConfig) -> Callable:
         loaded: list[tuple] = []
         charged = 0
         current_step = -1
-        for step, role, rel, rid, true_size, sig, ranks in values:
-            if step != current_step:
-                ctx.release_memory(charged)
-                charged = 0
-                loaded = []
-                current_step = step
-            projection = (rel, rid, true_size, sig, ranks)
-            if role == ROLE_LOAD:
-                charged += ctx.reserve_memory_for(projection, "BK loaded R block")
-                loaded.append(projection)
-                continue
-            for r_proj in loaded:
-                ctx.counters.increment(CANDIDATE_PAIRS)
-                similarity = bk_verify(r_proj, projection, config, ctx.counters)
-                if similarity is not None:
-                    _write_rs_pair(ctx, r_proj, projection, similarity)
-        ctx.release_memory(charged)
+        try:
+            for step, role, rel, rid, true_size, sig, ranks in values:
+                if step != current_step:
+                    ctx.release_memory(charged)
+                    charged = 0
+                    loaded = []
+                    current_step = step
+                projection = (rel, rid, true_size, sig, ranks)
+                if role == ROLE_LOAD:
+                    charged += ctx.reserve_memory_for(projection, "BK loaded R block")
+                    loaded.append(projection)
+                    continue
+                for r_proj in loaded:
+                    ctx.counters.increment(CANDIDATE_PAIRS)
+                    similarity = bk_verify(r_proj, projection, config, ctx.counters)
+                    if similarity is not None:
+                        _write_rs_pair(ctx, r_proj, projection, similarity)
+        finally:
+            ctx.release_memory(charged)
 
     return reducer
 
@@ -401,55 +409,63 @@ def make_bk_rs_reduce_blocks_reducer(config: JoinConfig) -> Callable:
         loaded_block = None
         spilled_r: dict[int, list[tuple]] = {}
         spilled_s: list[tuple] = []
-        for block, rel, rid, true_size, sig, ranks in values:
-            projection = (rel, rid, true_size, sig, ranks)
-            if rel == REL_R:
-                if loaded_block is None:
-                    loaded_block = block
-                if block == loaded_block:
-                    charged += ctx.reserve_memory_for(projection, "BK loaded R block")
-                    loaded.append(projection)
-                else:
-                    spilled_r.setdefault(block, []).append(projection)
+        try:
+            for block, rel, rid, true_size, sig, ranks in values:
+                projection = (rel, rid, true_size, sig, ranks)
+                if rel == REL_R:
+                    if loaded_block is None:
+                        loaded_block = block
+                    if block == loaded_block:
+                        charged += ctx.reserve_memory_for(
+                            projection, "BK loaded R block"
+                        )
+                        loaded.append(projection)
+                    else:
+                        spilled_r.setdefault(block, []).append(projection)
+                        ctx.counters.increment(
+                            SPILL_WRITTEN,
+                            projection_spill_bytes(len(ranks), sig is not None),
+                        )
+                    continue
+                for r_proj in loaded:
+                    ctx.counters.increment(CANDIDATE_PAIRS)
+                    similarity = bk_verify(r_proj, projection, config, ctx.counters)
+                    if similarity is not None:
+                        _write_rs_pair(ctx, r_proj, projection, similarity)
+                if spilled_r:
+                    spilled_s.append(projection)
                     ctx.counters.increment(
                         SPILL_WRITTEN,
                         projection_spill_bytes(len(ranks), sig is not None),
                     )
-                continue
-            for r_proj in loaded:
-                ctx.counters.increment(CANDIDATE_PAIRS)
-                similarity = bk_verify(r_proj, projection, config, ctx.counters)
-                if similarity is not None:
-                    _write_rs_pair(ctx, r_proj, projection, similarity)
-            if spilled_r:
-                spilled_s.append(projection)
-                ctx.counters.increment(
-                    SPILL_WRITTEN,
-                    projection_spill_bytes(len(ranks), sig is not None),
-                )
-        ctx.release_memory(charged)
+        finally:
+            ctx.release_memory(charged)
 
         for block in sorted(spilled_r):
             loaded = []
             charged = 0
-            for projection in spilled_r[block]:
-                ctx.counters.increment(
-                    SPILL_READ,
-                    projection_spill_bytes(len(projection[4]), projection[3] is not None),
-                )
-                charged += ctx.reserve_memory_for(projection, "BK loaded R block")
-                loaded.append(projection)
-            for s_proj in spilled_s:
-                ctx.counters.increment(
-                    SPILL_READ,
-                    projection_spill_bytes(len(s_proj[4]), s_proj[3] is not None),
-                )
-                for r_proj in loaded:
-                    ctx.counters.increment(CANDIDATE_PAIRS)
-                    similarity = bk_verify(r_proj, s_proj, config, ctx.counters)
-                    if similarity is not None:
-                        _write_rs_pair(ctx, r_proj, s_proj, similarity)
-            ctx.release_memory(charged)
+            try:
+                for projection in spilled_r[block]:
+                    ctx.counters.increment(
+                        SPILL_READ,
+                        projection_spill_bytes(
+                            len(projection[4]), projection[3] is not None
+                        ),
+                    )
+                    charged += ctx.reserve_memory_for(projection, "BK loaded R block")
+                    loaded.append(projection)
+                for s_proj in spilled_s:
+                    ctx.counters.increment(
+                        SPILL_READ,
+                        projection_spill_bytes(len(s_proj[4]), s_proj[3] is not None),
+                    )
+                    for r_proj in loaded:
+                        ctx.counters.increment(CANDIDATE_PAIRS)
+                        similarity = bk_verify(r_proj, s_proj, config, ctx.counters)
+                        if similarity is not None:
+                            _write_rs_pair(ctx, r_proj, s_proj, similarity)
+            finally:
+                ctx.release_memory(charged)
 
     return reducer
 

@@ -89,27 +89,29 @@ def _brj_fill_reducer(is_rs: bool) -> Callable:
         record_line: str | None = None
         seen: set[tuple[int, int]] = set()
         charged = 0
-        for value in values:
-            if isinstance(value, str):
-                # the (rid, tag) sort delivers the record first
-                record_line = value
-                charged = ctx.reserve_memory_for(value, "BRJ record half")
-                continue
-            if record_line is None:
-                raise ValueError(
-                    f"RID pair {value!r} references RID {group_key[1]} "
-                    "which has no record in the Stage-3 input"
-                )
-            rid1, rid2, similarity = value
-            if (rid1, rid2) in seen:
-                ctx.counters.increment(DUPLICATE_PAIRS_DROPPED)
-                continue
-            seen.add((rid1, rid2))
-            charged += ctx.reserve_memory_for((rid1, rid2), "BRJ dedup set")
-            side = _half_side(group_key, value, is_rs)
-            ctx.write(((rid1, rid2, similarity), side, record_line))
-        ctx.observe("stage3.pairs_per_rid", len(seen))
-        ctx.release_memory(charged)
+        try:
+            for value in values:
+                if isinstance(value, str):
+                    # the (rid, tag) sort delivers the record first
+                    record_line = value
+                    charged = ctx.reserve_memory_for(value, "BRJ record half")
+                    continue
+                if record_line is None:
+                    raise ValueError(
+                        f"RID pair {value!r} references RID {group_key[1]} "
+                        "which has no record in the Stage-3 input"
+                    )
+                rid1, rid2, similarity = value
+                if (rid1, rid2) in seen:
+                    ctx.counters.increment(DUPLICATE_PAIRS_DROPPED)
+                    continue
+                seen.add((rid1, rid2))
+                charged += ctx.reserve_memory_for((rid1, rid2), "BRJ dedup set")
+                side = _half_side(group_key, value, is_rs)
+                ctx.write(((rid1, rid2, similarity), side, record_line))
+            ctx.observe("stage3.pairs_per_rid", len(seen))
+        finally:
+            ctx.release_memory(charged)
 
     return reducer
 

@@ -57,13 +57,20 @@ from repro.mapreduce.faults import (
     FaultPlan,
     RetryPolicy,
     TaskError,
+    annotate_memory_error,
     apply_fault,
     count_fault,
+    squeezed_limit,
     task_error_from,
 )
 from repro.mapreduce.hashing import stable_hash
 from repro.mapreduce.job import Context, MapReduceJob
-from repro.mapreduce.types import PhaseStats, TaskStats, approx_bytes
+from repro.mapreduce.types import (
+    InsufficientMemoryError,
+    PhaseStats,
+    TaskStats,
+    approx_bytes,
+)
 from repro.obs.metrics import observe_into
 from repro.obs.telemetry import HeartbeatEmitter, TelemetryHub
 from repro.obs.trace import Tracer, trace_span
@@ -251,6 +258,8 @@ def execute_map_task(
         cpu += broadcast_cpu
 
     ctx.counters.increment(MAP_OUTPUT_BYTES, output_bytes)
+    if ctx.peak_memory_bytes:
+        ctx.observe("memory.peak_bytes", ctx.peak_memory_bytes)
     stats = TaskStats(
         task_id=task_id,
         cpu_seconds=cpu,
@@ -352,6 +361,8 @@ def execute_reduce_task(
     if tracer is not None:
         hot = sorted(group_sizes, key=lambda kv: (-kv[1], repr(kv[0])))[:5]
         span.set(top_groups=[(repr(key), size) for key, size in hot])
+    if ctx.peak_memory_bytes:
+        ctx.observe("memory.peak_bytes", ctx.peak_memory_bytes)
 
     ctx.counters.increment(REDUCE_INPUT_GROUPS, groups)
     ctx.counters.increment(REDUCE_INPUT_RECORDS, len(bucket))
@@ -529,12 +540,28 @@ class SimulatedCluster:
 
     # -- execution hooks (overridden by the parallel executor) -----------
 
+    def _check_rss_pressure(
+        self, job: MapReduceJob, phase: str, task_id: int, attempt: int
+    ) -> None:
+        """Surface a latched real-RSS watchdog trip as the simulated
+        memory signal (see :class:`repro.obs.telemetry.TelemetryHub`);
+        a no-op without telemetry or below the cap."""
+        hub = self.telemetry
+        if hub is None:
+            return
+        pressure = hub.consume_pressure()
+        if pressure is not None:
+            observed_kb, cap_kb = pressure
+            raise InsufficientMemoryError(
+                "real RSS watchdog", observed_kb * 1024, cap_kb * 1024
+            ).with_context(job.name, phase, task_id, attempt)
+
     def _attempt_task(
         self,
         job: MapReduceJob,
         phase: str,
         task_id: int,
-        run_once: Callable[[], _TaskResult],
+        run_once: Callable[..., _TaskResult],
     ) -> _TaskResult:
         """Run one task under the cluster's fault plan and retry policy.
 
@@ -551,6 +578,7 @@ class SimulatedCluster:
         extra: dict[str, int] = {}
         attempt = 0
         while True:
+            self._check_rss_pressure(job, phase, task_id, attempt)
             spec = (
                 None
                 if plan is None
@@ -566,10 +594,14 @@ class SimulatedCluster:
                             kind=spec.kind,
                         )
                     apply_fault(spec, job.name, phase, task_id, attempt)
-                result = run_once()
+                result = run_once(
+                    squeeze=spec if spec is not None and spec.kind == "squeeze"
+                    else None
+                )
                 if spec is not None and spec.kind == "corrupt":
                     raise CorruptOutputError(job.name, phase, task_id, attempt)
-            except NON_RETRYABLE:
+            except NON_RETRYABLE as exc:
+                annotate_memory_error(exc, job.name, phase, task_id, attempt)
                 raise
             except Exception as exc:
                 error = (
@@ -617,6 +649,7 @@ class SimulatedCluster:
         for task_id, input_name, records in map_inputs:
 
             def run_once(
+                squeeze=None,
                 task_id: int = task_id,
                 input_name: str = input_name,
                 records: list = records,
@@ -624,7 +657,8 @@ class SimulatedCluster:
                 hub = self.telemetry
                 return execute_map_task(
                     job, task_id, input_name, records,
-                    broadcast_data, broadcast_bytes, broadcast_cpu, limit, slots,
+                    broadcast_data, broadcast_bytes, broadcast_cpu,
+                    squeezed_limit(squeeze, limit), slots,
                     tracer=self.tracer,
                     heartbeat=(
                         None
@@ -642,11 +676,14 @@ class SimulatedCluster:
         for partition_index, bucket in reduce_inputs:
 
             def run_once(
-                partition_index: int = partition_index, bucket: list = bucket
+                squeeze=None,
+                partition_index: int = partition_index,
+                bucket: list = bucket,
             ) -> tuple[TaskStats, list, dict[str, int]]:
                 hub = self.telemetry
                 return execute_reduce_task(
-                    job, partition_index, bucket, limit, tracer=self.tracer,
+                    job, partition_index, bucket, squeezed_limit(squeeze, limit),
+                    tracer=self.tracer,
                     heartbeat=(
                         None
                         if hub is None

@@ -94,14 +94,17 @@ from repro.mapreduce.faults import (
     FaultPlan,
     RetryPolicy,
     TaskError,
+    annotate_memory_error,
     apply_fault,
     count_fault,
     mark_worker_process,
+    squeezed_limit,
     task_error_from,
 )
 from repro.mapreduce.job import MapReduceJob
 from repro.mapreduce.types import (
     ExecutorPhaseStats,
+    InsufficientMemoryError,
     PhaseStats,
     approx_bytes,
     merge_executor_stats,
@@ -458,7 +461,7 @@ def _run_map_chunk(args: tuple) -> tuple:
                 broadcast,
                 broadcast_bytes,
                 broadcast_cpu,
-                memory_limit,
+                squeezed_limit(fault, memory_limit),
                 map_slots,
                 tracer=tracer,
                 heartbeat=_worker_heartbeat(hb_interval, job.name, "map", task_id),
@@ -477,6 +480,7 @@ def _run_map_chunk(args: tuple) -> tuple:
                 (task_id, attempt, (stats, counters, locator, segments, part_bytes))
             )
         except NON_RETRYABLE as exc:
+            annotate_memory_error(exc, job.name, "map", task_id, attempt)
             errs.append((task_id, attempt, exc, False))
         except Exception as exc:
             error = (
@@ -511,7 +515,8 @@ def _run_reduce_chunk(args: tuple) -> tuple:
                 apply_fault(fault, job.name, "reduce", partition_index, attempt)
             bucket = _read_segments(refs)
             result = execute_reduce_task(
-                job, partition_index, bucket, memory_limit, tracer=tracer,
+                job, partition_index, bucket,
+                squeezed_limit(fault, memory_limit), tracer=tracer,
                 heartbeat=_worker_heartbeat(
                     hb_interval, job.name, "reduce", partition_index
                 ),
@@ -520,6 +525,7 @@ def _run_reduce_chunk(args: tuple) -> tuple:
                 raise CorruptOutputError(job.name, "reduce", partition_index, attempt)
             oks.append((partition_index, attempt, result))
         except NON_RETRYABLE as exc:
+            annotate_memory_error(exc, job.name, "reduce", partition_index, attempt)
             errs.append((partition_index, attempt, exc, False))
         except Exception as exc:
             error = (
@@ -980,6 +986,19 @@ class PersistentExecutor:
                 if beat[5] and beat[0] == job.name and beat[1] == phase:
                     final_seen.add(beat[2])
 
+        def check_rss_pressure() -> None:
+            # the telemetry maxrss lane feeds a soft watchdog: a latched
+            # over-cap watermark surfaces here as the simulated memory
+            # signal, before real RSS runs further past the cap
+            if hub is None:
+                return
+            pressure = hub.consume_pressure()
+            if pressure is not None:
+                observed_kb, cap_kb = pressure
+                raise InsufficientMemoryError(
+                    "real RSS watchdog", observed_kb * 1024, cap_kb * 1024
+                ).with_context(job.name, phase, -1, 0)
+
         def build_payload(batch: list[int]) -> tuple:
             nonlocal chunk_seq
             entries = []
@@ -1124,6 +1143,7 @@ class PersistentExecutor:
 
         while len(results) < len(order):
             drain_heartbeats()
+            check_rss_pressure()
             if not flights:
                 if inline_mode:
                     # inline submits are synchronous; anything still
@@ -1658,9 +1678,12 @@ class PersistentParallelCluster(SimulatedCluster):
                     else:
                         assert partitions is not None
                         bucket = partitions[p]
-                    def run_once(p: int = p, bucket: list = bucket) -> tuple:
+                    def run_once(
+                        squeeze=None, p: int = p, bucket: list = bucket
+                    ) -> tuple:
                         return execute_reduce_task(
-                            job, p, bucket, limit, tracer=self.tracer,
+                            job, p, bucket, squeezed_limit(squeeze, limit),
+                            tracer=self.tracer,
                             heartbeat=(
                                 None if hub is None
                                 else hub.emitter_for(job.name, "reduce", p)

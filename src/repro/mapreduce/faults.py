@@ -29,6 +29,12 @@ Fault kinds (:data:`FAULT_KINDS`):
     the attempt stalls for ``sleep_s`` seconds first (straggler);
     with a :class:`RetryPolicy` speculation window this exercises
     speculative duplicate attempts.
+``squeeze``
+    the attempt runs under a lowered simulated memory budget of
+    ``cap_mb`` megabytes (:func:`squeezed_limit`), deterministically
+    forcing :class:`InsufficientMemoryError` on matched attempts so
+    chaos tests can drive the driver's memory-degradation ladder
+    mid-join.
 
 Retry semantics live in :class:`RetryPolicy`; genuine task failures
 are wrapped in :class:`TaskError` (job, phase, task, attempt, input
@@ -64,16 +70,18 @@ __all__ = [
     "RetryPolicy",
     "TaskError",
     "WorkerCrashError",
+    "annotate_memory_error",
     "apply_fault",
     "count_fault",
     "mark_worker_process",
+    "squeezed_limit",
     "strip_counters",
     "strip_fault_counters",
     "task_error_from",
 ]
 
 #: recognized fault kinds (see module docstring)
-FAULT_KINDS = ("raise", "crash", "corrupt", "sleep")
+FAULT_KINDS = ("raise", "crash", "corrupt", "sleep", "squeeze")
 
 # -- counter names (merged into the winning attempt's task counters) -------
 FAULT_INJECTED = "fault.injected"
@@ -84,7 +92,10 @@ RESUME_STAGES_SKIPPED = "resume.stages_skipped"
 
 #: counter-key prefixes that only fault-tolerance machinery produces —
 #: excluded when comparing a faulted run's counters against a clean run
-FAULT_COUNTER_PREFIXES = ("fault.", "task.", "resume.")
+#: ("memory." covers the driver's replan/escalation bookkeeping and the
+#: per-task peak-footprint histogram, both of which legitimately differ
+#: once a squeeze fault forces a degraded re-plan)
+FAULT_COUNTER_PREFIXES = ("fault.", "task.", "resume.", "memory.")
 
 #: exceptions the retry layer must never absorb: they describe the
 #: *workload* (the simulated memory budget), not a transient failure,
@@ -229,6 +240,8 @@ class FaultSpec:
     task: int | str = "*"
     attempt: int | str = 0
     sleep_s: float = 0.05
+    #: lowered simulated budget (megabytes) applied by ``squeeze``
+    cap_mb: float = 0.05
 
     def __post_init__(self) -> None:
         if self.kind not in FAULT_KINDS:
@@ -237,6 +250,8 @@ class FaultSpec:
             )
         if self.phase not in ("map", "reduce", "*"):
             raise ValueError(f"phase must be 'map', 'reduce' or '*', got {self.phase!r}")
+        if self.kind == "squeeze" and self.cap_mb <= 0:
+            raise ValueError(f"cap_mb must be > 0, got {self.cap_mb!r}")
 
     def matches(self, job: str, phase: str, task: int, attempt: int) -> bool:
         return (
@@ -247,10 +262,12 @@ class FaultSpec:
         )
 
     def compact(self) -> str:
-        """The ``kind:job:phase:task:attempt[:sleep_s]`` form."""
+        """The ``kind:job:phase:task:attempt[:sleep_s|cap_mb]`` form."""
         parts = [self.kind, self.job, self.phase, str(self.task), str(self.attempt)]
         if self.kind == "sleep":
             parts.append(repr(self.sleep_s))
+        elif self.kind == "squeeze":
+            parts.append(repr(self.cap_mb))
         return ":".join(parts)
 
 
@@ -289,8 +306,11 @@ class FaultPlan:
     @classmethod
     def parse(cls, text: str) -> "FaultPlan":
         """Parse the compact CLI form: ``;``-separated
-        ``kind:job:phase:task:attempt[:sleep_s]`` items
-        (e.g. ``crash:*:map:1:0;sleep:stage2-*:reduce:*:0:0.3``)."""
+        ``kind:job:phase:task:attempt[:sleep_s|cap_mb]`` items
+        (e.g. ``crash:*:map:1:0;sleep:stage2-*:reduce:*:0:0.3`` or
+        ``squeeze:stage2-*:reduce:*:0:0.02``).  The trailing float is
+        ``sleep_s`` for ``sleep`` faults and ``cap_mb`` for ``squeeze``
+        faults."""
         specs: list[FaultSpec] = []
         for item in text.replace("\n", ";").split(";"):
             item = item.strip()
@@ -300,10 +320,16 @@ class FaultPlan:
             if not 2 <= len(parts) <= 6:
                 raise ValueError(
                     f"bad fault spec {item!r}: expected "
-                    "kind:job[:phase[:task[:attempt[:sleep_s]]]]"
+                    "kind:job[:phase[:task[:attempt[:sleep_s|cap_mb]]]]"
                 )
             parts += ["*"] * (5 - len(parts)) if len(parts) < 5 else []
             kind, job, phase, task, attempt = parts[:5]
+            extras: dict = {}
+            if len(parts) == 6:
+                if kind == "squeeze":
+                    extras["cap_mb"] = float(parts[5])
+                else:
+                    extras["sleep_s"] = float(parts[5])
             specs.append(
                 FaultSpec(
                     kind=kind,
@@ -311,7 +337,7 @@ class FaultPlan:
                     phase=phase,
                     task=_parse_int_or_star(task, "task"),
                     attempt=_parse_int_or_star(attempt, "attempt"),
-                    sleep_s=float(parts[5]) if len(parts) == 6 else 0.05,
+                    **extras,
                 )
             )
         return cls(tuple(specs))
@@ -327,6 +353,7 @@ class FaultPlan:
                         "task": s.task,
                         "attempt": s.attempt,
                         "sleep_s": s.sleep_s,
+                        "cap_mb": s.cap_mb,
                     }
                     for s in self.specs
                 ]
@@ -346,6 +373,7 @@ class FaultPlan:
                     task=entry.get("task", "*"),
                     attempt=entry.get("attempt", 0),
                     sleep_s=entry.get("sleep_s", 0.05),
+                    cap_mb=entry.get("cap_mb", 0.05),
                 )
                 for entry in doc["faults"]
             )
@@ -366,14 +394,16 @@ class FaultPlan:
         cls,
         seed: int,
         num_faults: int = 3,
-        kinds: tuple[str, ...] = FAULT_KINDS,
+        kinds: tuple[str, ...] = ("raise", "crash", "corrupt", "sleep"),
         max_task: int = 4,
         sleep_s: float = 0.02,
     ) -> "FaultPlan":
         """A seeded, *absorbable* plan: every fault targets attempt 0
         only, so a retry budget of two attempts already survives it.
         Same seed, same plan — the differential chaos tests sweep
-        seeds and assert output identity."""
+        seeds and assert output identity.  ``squeeze`` is excluded by
+        default: memory pressure is absorbed by the driver's replan
+        ladder, not by the task-retry budget."""
         rng = random.Random(seed)
         specs = tuple(
             FaultSpec(
@@ -402,6 +432,8 @@ def apply_fault(spec: FaultSpec, job: str, phase: str, task: int, attempt: int) 
     output.  ``crash`` kills the process only inside pool workers;
     inline attempts raise :class:`WorkerCrashError` so the driver
     process survives and treats it as any retryable failure.
+    ``squeeze`` also has no pre-task effect here: the caller lowers
+    the attempt's memory budget via :func:`squeezed_limit` instead.
     """
     if spec.kind == "sleep":
         time.sleep(spec.sleep_s)
@@ -414,6 +446,35 @@ def apply_fault(spec: FaultSpec, job: str, phase: str, task: int, attempt: int) 
             f"injected worker crash: job {job!r} {phase} task {task} "
             f"attempt {attempt}"
         )
+
+
+def squeezed_limit(spec: FaultSpec | None, limit_bytes: int | None) -> int | None:
+    """The effective memory budget for an attempt under *spec*.
+
+    Non-``squeeze`` specs (and no spec at all) leave the limit alone.
+    A ``squeeze`` spec lowers it to ``cap_mb`` — or installs that cap
+    outright when the task had no budget, so squeeze faults also bite
+    on clusters configured without ``memory_per_task_mb``.
+    """
+    if spec is None or spec.kind != "squeeze":
+        return limit_bytes
+    cap = max(1, int(spec.cap_mb * 1024 * 1024))
+    if limit_bytes is None:
+        return cap
+    return min(limit_bytes, cap)
+
+
+def annotate_memory_error(
+    exc: BaseException, job: str, phase: str, task: int, attempt: int
+) -> None:
+    """Attach task context to an :class:`InsufficientMemoryError`.
+
+    Both engines call this at the retry boundary so the non-retryable
+    error names the attempt that hit the budget by the time the driver
+    (or the user) sees it.  A no-op for every other exception type.
+    """
+    if isinstance(exc, InsufficientMemoryError):
+        exc.with_context(job, phase, task, attempt)
 
 
 def count_fault(sink: dict[str, int], spec: FaultSpec) -> None:

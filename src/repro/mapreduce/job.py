@@ -35,6 +35,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator, Sequence
 
+from repro.analysis.sanitize import VIOLATIONS, env_sanitize
 from repro.mapreduce.counters import Counters
 from repro.mapreduce.types import InsufficientMemoryError, approx_bytes
 from repro.obs.metrics import observe_into
@@ -69,6 +70,7 @@ class Context:
         self._written: list[Any] = []
         self._reserved_bytes = 0
         self.peak_memory_bytes = 0
+        self._sanitize = env_sanitize()
 
     # -- emission ---------------------------------------------------------
 
@@ -115,8 +117,23 @@ class Context:
             )
 
     def release_memory(self, num_bytes: int) -> None:
-        """Return *num_bytes* of simulated task memory."""
-        self._reserved_bytes = max(0, self._reserved_bytes - num_bytes)
+        """Return *num_bytes* of simulated task memory.
+
+        Releasing more than is currently reserved is an accounting bug
+        in the caller (charged bytes released twice, or a release that
+        does not match its reserve).  The balance still clamps at zero
+        so the byte meter cannot go negative, but the underflow is no
+        longer silent: under sanitizer mode (``REPRO_SANITIZE=1``) each
+        over-release counts into ``sanitize.violations`` and
+        ``sanitize.memory_over_release``.
+        """
+        remaining = self._reserved_bytes - num_bytes
+        if remaining < 0:
+            remaining = 0
+            if self._sanitize:
+                self.counters.increment(VIOLATIONS)
+                self.counters.increment("sanitize.memory_over_release")
+        self._reserved_bytes = remaining
 
     def reserve_memory_for(self, obj: Any, what: str = "task state") -> int:
         """Charge the approximate size of *obj*; returns the bytes charged

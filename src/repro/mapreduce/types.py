@@ -21,12 +21,47 @@ class InsufficientMemoryError(MemoryError):
         self.what = what
         self.needed_bytes = needed_bytes
         self.limit_bytes = limit_bytes
+        self.job: str | None = None
+        self.phase: str | None = None
+        self.task: int | None = None
+        self.attempt: int | None = None
 
-    def __reduce__(self) -> tuple[type, tuple[str, int, int]]:
+    def with_context(
+        self, job: str, phase: str, task: int, attempt: int
+    ) -> "InsufficientMemoryError":
+        """Attach the (job, phase, task, attempt) that hit the budget.
+
+        Filled in by the retry layer of both engines the moment the
+        error crosses a task boundary, so the final traceback (and the
+        driver's replan decision) can name the offending attempt.
+        Idempotent: the first context attached wins.
+        """
+        if self.job is None:
+            self.job = job
+            self.phase = phase
+            self.task = task
+            self.attempt = attempt
+        return self
+
+    def __str__(self) -> str:
+        base = super().__str__()
+        if self.job is None:
+            return base
+        return (
+            f"{base} [job {self.job!r} {self.phase} task {self.task} "
+            f"attempt {self.attempt}]"
+        )
+
+    def __reduce__(self) -> tuple:
         # default exception pickling would re-call __init__ with the
-        # formatted message only; rebuild from the real fields so the
+        # formatted message only; rebuild from the real fields (and
+        # restore the attached task context via the state dict) so the
         # error survives the trip back from a worker process
-        return (type(self), (self.what, self.needed_bytes, self.limit_bytes))
+        return (
+            type(self),
+            (self.what, self.needed_bytes, self.limit_bytes),
+            self.__dict__.copy(),
+        )
 
 
 def approx_bytes(obj: object) -> int:

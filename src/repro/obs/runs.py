@@ -256,7 +256,7 @@ class RegressionFinding:
     current: Any
     #: slowdown factor in the metric's bad direction (1.0 = unchanged)
     ratio: float
-    #: classification: time | higher_better | ratio | identity
+    #: classification: time | memory | higher_better | ratio | identity
     kind: str
     regressed: bool
 
@@ -275,6 +275,11 @@ def _classify(metric: str, value: Any) -> str | None:
         return "higher_better"
     if metric.endswith("_s") and isinstance(value, (int, float)):
         return "time"
+    # memory watermarks: higher is worse, with their own tolerance —
+    # must precede the bare-int identity fallback, which would demand
+    # byte-exact maxrss across runs
+    if metric.endswith("maxrss_kb") and isinstance(value, (int, float)):
+        return "memory"
     if isinstance(value, int):
         return "identity"
     return None
@@ -287,6 +292,7 @@ def compare_baseline(
     *,
     ratios_only: bool = False,
     sections: list[str] | None = None,
+    memory_tolerance: float | None = None,
 ) -> list[RegressionFinding]:
     """Check *current* bench rows against *baseline* rows.
 
@@ -297,9 +303,20 @@ def compare_baseline(
     metric cannot regress against nothing.  ``ratios_only`` keeps just
     the scale-free ratio class, for comparing a fresh run against a
     baseline measured on different hardware.
+
+    Memory watermarks (``*maxrss_kb``) are a distinct higher-is-worse
+    class with their own *memory_tolerance* (defaults to *tolerance*):
+    RSS is noisier than simulated time but a blowup is exactly what the
+    memory-degradation machinery must prevent.  When both documents
+    carry run-manifest ``rusage`` watermarks, the process-tree peak is
+    checked too, as the ``run.maxrss_kb`` finding.
     """
+    base_rusage = baseline.get("rusage")
+    cur_rusage = current.get("rusage")
     baseline = baseline.get("rows", baseline)
     current = current.get("rows", current)
+    if memory_tolerance is None:
+        memory_tolerance = tolerance
     findings: list[RegressionFinding] = []
     for section in sorted(set(baseline) & set(current)):
         if sections is not None and section not in sections:
@@ -316,7 +333,8 @@ def compare_baseline(
                 continue
             if ratios_only and kind != "ratio":
                 continue
-            ratio, regressed = _judge(kind, base, cur, tolerance)
+            tol = memory_tolerance if kind == "memory" else tolerance
+            ratio, regressed = _judge(kind, base, cur, tol)
             findings.append(
                 RegressionFinding(
                     section=section,
@@ -325,6 +343,29 @@ def compare_baseline(
                     current=cur,
                     ratio=ratio,
                     kind=kind,
+                    regressed=regressed,
+                )
+            )
+    if (
+        not ratios_only
+        and (sections is None or "run" in sections)
+        and isinstance(base_rusage, dict)
+        and isinstance(cur_rusage, dict)
+    ):
+        base_kb = base_rusage.get("maxrss_kb")
+        cur_kb = cur_rusage.get("maxrss_kb")
+        if isinstance(base_kb, (int, float)) and isinstance(cur_kb, (int, float)):
+            ratio, regressed = _judge(
+                "memory", base_kb, cur_kb, memory_tolerance
+            )
+            findings.append(
+                RegressionFinding(
+                    section="run",
+                    metric="maxrss_kb",
+                    baseline=base_kb,
+                    current=cur_kb,
+                    ratio=ratio,
+                    kind="memory",
                     regressed=regressed,
                 )
             )
@@ -346,7 +387,7 @@ def _judge(
         if cur_f <= 0.0:
             return (float("inf"), base_f > 0.0)
         ratio = base_f / cur_f if base_f > 0.0 else 1.0
-    else:  # time and ratio classes: lower is better
+    else:  # time, memory and ratio classes: lower is better
         if base_f <= 0.0:
             return (1.0, False)
         ratio = cur_f / base_f

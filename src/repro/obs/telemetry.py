@@ -33,6 +33,17 @@ scheduling, partitioning, counters that describe the workload, or any
 output byte.  A run with telemetry on is bit-identical (pairs and
 telemetry-stripped counters) to a run with it off — differential-tested
 across both engines, both kernels, self and R-S joins.
+
+One opt-in exception: constructing the hub with ``rss_cap_kb`` arms a
+soft **RSS watchdog** on the maxrss heartbeat lane.  When a beat's
+watermark crosses the cap, the hub latches the observation; the engines
+poll :meth:`TelemetryHub.consume_pressure` between task attempts and
+surface the trip as the *simulated* memory signal
+(:class:`repro.mapreduce.types.InsufficientMemoryError`), which the
+driver's degradation ladder absorbs — so a join under real memory
+pressure degrades its plan instead of dying to the kernel OOM killer.
+Output bytes are still untouched: the ladder replays the stage under a
+plan that produces identical pairs.
 """
 
 from __future__ import annotations
@@ -221,6 +232,7 @@ class TelemetryHub:
         view: "ProgressView | None" = None,
         tracer: Tracer | None = None,
         interval_s: float = 0.2,
+        rss_cap_kb: int | None = None,
     ) -> None:
         self.view = view
         self.tracer = tracer
@@ -228,6 +240,9 @@ class TelemetryHub:
         self.interval_s = interval_s
         #: beats older than this flag the task as a straggler
         self.stale_after_s = interval_s * _STALE_INTERVALS
+        #: arm the soft RSS watchdog at this maxrss watermark
+        #: (``None`` = observe-only, the default)
+        self.rss_cap_kb = rss_cap_kb
         #: live mode: mid-phase heartbeats are expected (pooled phases);
         #: off → the view renders at phase boundaries only
         self._live = False
@@ -235,6 +250,8 @@ class TelemetryHub:
         self._active: _PhaseState | None = None
         self._metrics = MetricsRegistry()
         self._maxrss_kb = 0
+        #: latched watchdog trip: (observed_kb, cap_kb) or None
+        self._pressure: tuple[int, int] | None = None
 
     # -- wiring -------------------------------------------------------------
 
@@ -267,6 +284,17 @@ class TelemetryHub:
         self._metrics.increment("telemetry.heartbeats", 1)
         if maxrss_kb > self._maxrss_kb:
             self._maxrss_kb = maxrss_kb
+        if (
+            self.rss_cap_kb is not None
+            and maxrss_kb > self.rss_cap_kb
+            and self._pressure is None
+        ):
+            # latch once per trip, then ratchet the cap above the
+            # observed watermark: ru_maxrss never goes back down, so a
+            # static cap would re-trip forever and starve the ladder
+            self._pressure = (maxrss_kb, self.rss_cap_kb)
+            self._metrics.increment("telemetry.rss_pressure", 1)
+            self.rss_cap_kb = maxrss_kb * 2
         state.last_beat[task] = (now, records)
         if not final:
             state.live_records[task] = records
@@ -326,6 +354,17 @@ class TelemetryHub:
                 self._metrics.increment("telemetry.stragglers", 1)
 
     # -- read side ----------------------------------------------------------
+
+    def consume_pressure(self) -> tuple[int, int] | None:
+        """Pop the latched RSS-watchdog trip, if any.
+
+        Returns ``(observed_kb, cap_kb)`` once per trip; the engines
+        poll this between task attempts and raise the simulated memory
+        signal so the driver's degradation ladder takes over.
+        """
+        pressure = self._pressure
+        self._pressure = None
+        return pressure
 
     def counters(self) -> dict[str, int]:
         counters = self._metrics.counters()

@@ -1,0 +1,18 @@
+"""MR106: a task-memory charge that leaks on the exception path.
+
+The reducer meters its candidate buffer into the task accountant and
+releases it on the happy path, but the verification pass between
+charge and release can raise — the bytes stay charged, and every
+later reservation in the task sees a phantom-full budget.
+"""
+
+
+def buffered_reducer(route, values, ctx):
+    held = []
+    charged = 0
+    for value in values:
+        charged += ctx.reserve_memory_for(value, "buffered group")
+        held.append(value)
+    for value in held:
+        ctx.write(value)
+    ctx.release_memory(charged)

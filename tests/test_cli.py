@@ -113,3 +113,58 @@ class TestGenerate:
     def test_unknown_command(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])
+
+
+class TestMemoryPressure:
+    def _skewed(self, tmp_path):
+        path = tmp_path / "skewed.tsv"
+        write_records(
+            path,
+            [
+                make_line(i, [f"word{i % 7} word{i % 11} word{i % 13} "
+                              f"word{i % 3} common"])
+                for i in range(200)
+            ],
+        )
+        return path
+
+    def _args(self, path, out):
+        return [
+            "selfjoin", str(path), "-o", str(out),
+            "--threshold", "0.5", "--join-fields", "1", "--kernel", "pk",
+        ]
+
+    def test_squeeze_recovery_reports_memory_line(self, tmp_path, capsys):
+        out = tmp_path / "pairs.tsv"
+        args = self._args(self._skewed(tmp_path), out)
+        assert main(args) == 0
+        clean = read_records(out)
+        capsys.readouterr()
+
+        squeezed = args + ["--faults", "squeeze:stage2-*:reduce:*:0:0.005"]
+        assert main(squeezed) == 0
+        err = capsys.readouterr().err
+        assert "memory: replans=" in err
+        assert read_records(out) == clean
+
+    def test_no_auto_degrade_surfaces_the_error(self, tmp_path):
+        from repro.mapreduce.types import InsufficientMemoryError
+
+        out = tmp_path / "pairs.tsv"
+        args = self._args(self._skewed(tmp_path), out) + [
+            "--faults", "squeeze:stage2-*:reduce:*:0:0.005",
+            "--no-auto-degrade",
+        ]
+        with pytest.raises(InsufficientMemoryError):
+            main(args)
+
+    def test_memory_budget_admits_the_plan(self, tmp_path, capsys):
+        out = tmp_path / "pairs.tsv"
+        args = self._args(self._skewed(tmp_path), out)
+        assert main(args) == 0
+        clean = read_records(out)
+        capsys.readouterr()
+
+        assert main(args + ["--memory-budget-mb", "0.01", "--stats"]) == 0
+        capsys.readouterr()
+        assert read_records(out) == clean

@@ -37,3 +37,4 @@ def test_memory_constrained(monkeypatch, capsys):
     out = run_example(monkeypatch, capsys, "memory_constrained.py")
     assert "OOM" in out
     assert "reduce-based block processing: completed" in out
+    assert "automatic degradation: completed" in out

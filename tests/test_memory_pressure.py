@@ -1,0 +1,653 @@
+"""Memory-pressure survival (ISSUE 10): the squeeze fault, the RSS
+watchdog, plan-time admission, the runtime degradation ladder, and the
+differential chaos matrix proving a squeezed join recovers with
+bit-identical output on both engines — including through a kill +
+``--resume`` mid-degradation.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.naive import naive_rs_join, naive_self_join
+from repro.join.blocks import (
+    MAP_BASED,
+    REDUCE_BASED,
+    SPILL_READ,
+    SPILL_WRITTEN,
+    BlockPolicy,
+    projection_spill_bytes,
+)
+from repro.join.checkpoint import JoinCheckpoint
+from repro.join.config import JoinConfig
+from repro.join.driver import ssjoin_rs, ssjoin_self
+from repro.join.estimate import PrefixSample
+from repro.join.memory import (
+    MEMORY_ADMISSION_ADJUSTMENTS,
+    MEMORY_ADMITTED,
+    MEMORY_EST_PEAK,
+    apply_degradations,
+    apply_step,
+    choose_block_strategy,
+    estimate_group_footprints,
+    estimate_peak_bytes,
+    next_escalation,
+    plan_admission,
+)
+from repro.join.planner import Stage2Plan
+from repro.mapreduce.cluster import ClusterConfig, SimulatedCluster
+from repro.mapreduce.counters import Counters
+from repro.mapreduce.dfs import InMemoryDFS
+from repro.mapreduce.executor import PersistentParallelCluster
+from repro.mapreduce.faults import (
+    FaultPlan,
+    FaultSpec,
+    RetryPolicy,
+    TaskError,
+    squeezed_limit,
+)
+from repro.mapreduce.job import Context
+from repro.mapreduce.types import InsufficientMemoryError
+from repro.obs.telemetry import TelemetryHub
+
+from tests.conftest import (
+    SCHEMA_1,
+    oracle_projections,
+    pair_keys,
+    random_records,
+)
+
+fork_only = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="fork start method unavailable",
+)
+
+FAST_RETRY = RetryPolicy(backoff_s=0.0)
+CONFIG = dict(threshold=0.5, schema=SCHEMA_1)
+
+#: squeeze every first stage-2 reduce attempt down to 5 KB — far below
+#: what the workloads below reserve, so the ladder must engage
+SQUEEZE = "squeeze:stage2-*:reduce:*:0:0.005"
+#: the R-S reducers hold only the R partition, so their peak is lower;
+#: a tighter cap is needed to force degradation
+SQUEEZE_RS = "squeeze:stage2-*:reduce:*:0:0.002"
+
+
+def skewed_records(n=200):
+    """A workload with one hot token shared by every record, so some
+    Stage-2 group is guaranteed to outgrow a squeezed budget."""
+    return [
+        f"{i}\tword{i % 7} word{i % 11} word{i % 13} word{i % 3} common"
+        for i in range(n)
+    ]
+
+
+def make_sim(fault_plan=None, **cfg) -> SimulatedCluster:
+    defaults = dict(
+        num_nodes=4, job_startup_s=0, task_startup_s=0,
+        cpu_scale=1.0, data_scale=1.0,
+    )
+    defaults.update(cfg)
+    return SimulatedCluster(
+        ClusterConfig(**defaults),
+        InMemoryDFS(num_nodes=4, block_bytes=512),
+        fault_plan=fault_plan,
+        retry_policy=FAST_RETRY,
+    )
+
+
+def make_pp(fault_plan=None) -> PersistentParallelCluster:
+    return PersistentParallelCluster(
+        ClusterConfig(
+            num_nodes=4, job_startup_s=0, task_startup_s=0,
+            cpu_scale=1.0, data_scale=1.0,
+        ),
+        InMemoryDFS(num_nodes=4, block_bytes=512),
+        workers=2,
+        min_tasks_for_pool=1,
+        assume_cores=4,
+        fault_plan=fault_plan,
+        retry_policy=FAST_RETRY,
+    )
+
+
+def run_self(cluster, records, config=None, **kwargs):
+    cluster.dfs.write("records", records)
+    report = ssjoin_self(cluster, "records", config or JoinConfig(**CONFIG), **kwargs)
+    return sorted(cluster.dfs.read_all(report.output_file)), report
+
+
+def run_rs(cluster, r, s, config=None, **kwargs):
+    cluster.dfs.write("r", r)
+    cluster.dfs.write("s", s)
+    report = ssjoin_rs(cluster, "r", "s", config or JoinConfig(**CONFIG), **kwargs)
+    return sorted(cluster.dfs.read_all(report.output_file)), report
+
+
+def make_sample(prefix_lists, token_lists, sampled=None, total=None):
+    sampled = len(prefix_lists) if sampled is None else sampled
+    total = sampled if total is None else total
+    return PrefixSample(
+        prefix_counts={},
+        order=(),
+        prefix_rank_lists=tuple(tuple(p) for p in prefix_lists),
+        token_rank_lists=tuple(tuple(t) for t in token_lists),
+        records_sampled=sampled,
+        records_total=total,
+    )
+
+
+# ---------------------------------------------------------------------------
+# the squeeze fault kind
+# ---------------------------------------------------------------------------
+
+
+class TestSqueezeFault:
+    def test_parse_compact_and_json_roundtrip(self):
+        plan = FaultPlan.parse(SQUEEZE)
+        (spec,) = plan.specs
+        assert spec.kind == "squeeze"
+        assert (spec.job, spec.phase, spec.task, spec.attempt) == (
+            "stage2-*", "reduce", "*", 0,
+        )
+        assert spec.cap_mb == 0.005
+        assert FaultPlan.parse(spec.compact()).specs == (spec,)
+        assert FaultPlan.from_json(plan.to_json()) == plan
+
+    def test_cap_must_be_positive(self):
+        with pytest.raises(ValueError):
+            FaultSpec(kind="squeeze", cap_mb=0.0)
+        with pytest.raises(ValueError):
+            FaultPlan.parse("squeeze:*:reduce:*:0:-1")
+
+    def test_squeezed_limit(self):
+        squeeze = FaultSpec(kind="squeeze", cap_mb=0.01)
+        cap = int(0.01 * 1024 * 1024)
+        # lowers an existing budget, installs one where none was set
+        assert squeezed_limit(squeeze, 50 * 1024 * 1024) == cap
+        assert squeezed_limit(squeeze, None) == cap
+        # never *raises* the budget
+        assert squeezed_limit(squeeze, cap // 2) == cap // 2
+        # non-squeeze specs and no spec leave the limit alone
+        assert squeezed_limit(FaultSpec(kind="raise"), 123) == 123
+        assert squeezed_limit(None, 123) == 123
+        assert squeezed_limit(None, None) is None
+
+
+# ---------------------------------------------------------------------------
+# accounting-underflow clamp (satellite: release_memory)
+# ---------------------------------------------------------------------------
+
+
+class TestReleaseUnderflow:
+    def test_over_release_counts_under_sanitizer(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        ctx = Context("reduce", Counters())
+        ctx.reserve_memory(100)
+        ctx.release_memory(150)
+        assert ctx.counters.get("sanitize.violations") == 1
+        assert ctx.counters.get("sanitize.memory_over_release") == 1
+        # the meter clamped at zero: a fresh reserve starts from scratch
+        ctx.reserve_memory(40)
+        ctx.release_memory(40)
+        assert ctx.counters.get("sanitize.memory_over_release") == 1
+
+    def test_underflow_is_silent_without_sanitizer(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+        ctx = Context("reduce", Counters())
+        ctx.reserve_memory(10)
+        ctx.release_memory(99)
+        assert ctx.counters.get("sanitize.memory_over_release") == 0
+
+
+# ---------------------------------------------------------------------------
+# RSS watchdog (telemetry maxrss lane)
+# ---------------------------------------------------------------------------
+
+
+def _beat(maxrss_kb, records=5):
+    return ("stage2", "reduce", 0, 1, records, False, 0.0, 0.0, maxrss_kb, 0.0)
+
+
+class TestRssWatchdog:
+    def test_latch_ratchet_and_consume(self):
+        hub = TelemetryHub(interval_s=0.01, rss_cap_kb=1000)
+        hub.phase_started("stage2", "reduce", 1)
+        hub.heartbeat(_beat(500))
+        assert hub.consume_pressure() is None
+        hub.heartbeat(_beat(1500))
+        # latched once, popped once
+        assert hub.consume_pressure() == (1500, 1000)
+        assert hub.consume_pressure() is None
+        # the cap ratcheted above the watermark: maxrss never goes back
+        # down, so a static cap would re-trip forever
+        assert hub.rss_cap_kb == 3000
+        hub.heartbeat(_beat(2000))
+        assert hub.consume_pressure() is None
+        assert hub.counters()["telemetry.rss_pressure"] == 1
+
+    def test_unarmed_hub_never_trips(self):
+        hub = TelemetryHub(interval_s=0.01)
+        hub.phase_started("stage2", "reduce", 1)
+        hub.heartbeat(_beat(10**9))
+        assert hub.consume_pressure() is None
+        assert "telemetry.rss_pressure" not in hub.counters()
+
+
+# ---------------------------------------------------------------------------
+# plan-time admission
+# ---------------------------------------------------------------------------
+
+
+class TestFootprintModel:
+    def test_individual_routing_footprints(self):
+        sample = make_sample(
+            prefix_lists=[(0,), (0,), (1,)],
+            token_lists=[(0, 1), (0, 2), (1, 3)],
+        )
+        config = JoinConfig(**CONFIG, kernel="bk", batch_size=None)
+        per_record = projection_spill_bytes(2, config.bitmap_filter)
+        footprints = estimate_group_footprints(sample, config)
+        assert footprints == {0: 2 * per_record, 1: per_record}
+        assert estimate_peak_bytes(sample, config) == 2 * per_record
+
+    def test_sample_scale_and_grouped_routing(self):
+        sample = make_sample(
+            prefix_lists=[(0, 2), (1,)],
+            token_lists=[(0, 2, 5), (1, 4)],
+            sampled=2,
+            total=8,  # scale 4x
+        )
+        config = JoinConfig(
+            **CONFIG, kernel="bk", batch_size=None,
+            routing="grouped", num_groups=2,
+        )
+        footprints = estimate_group_footprints(sample, config)
+        # ranks 0 and 2 collapse onto group 0; rank 1 routes to group 1
+        sig = config.bitmap_filter
+        assert footprints[0] == 4 * projection_spill_bytes(3, sig)
+        assert footprints[1] == 4 * projection_spill_bytes(2, sig)
+
+    def test_blocks_divide_and_batch_adds_buffer(self):
+        sample = make_sample(
+            prefix_lists=[(0,)] * 8,
+            token_lists=[(0, 1, 2)] * 8,
+        )
+        base = JoinConfig(**CONFIG, kernel="bk", batch_size=None)
+        peak = estimate_peak_bytes(sample, base)
+        blocked = base.with_options(
+            blocks=BlockPolicy(strategy=REDUCE_BASED, num_blocks=4)
+        )
+        # two resident blocks out of four: half the unblocked peak
+        assert estimate_peak_bytes(sample, blocked) == -(-peak // 2)
+        batched = base.with_options(batch_size=4)
+        assert estimate_peak_bytes(sample, batched) > peak
+
+    def test_empty_sample_estimates_zero(self):
+        sample = make_sample([], [])
+        config = JoinConfig(**CONFIG, kernel="bk", batch_size=None)
+        assert estimate_peak_bytes(sample, config) == 0
+
+    def test_block_strategy_cost_crossover(self):
+        # map-based replication wins at small block counts; once the
+        # replication factor blows up, reduce-based spilling wins
+        for num_blocks in range(2, 8):
+            assert choose_block_strategy(10_000.0, num_blocks) == MAP_BASED
+        for num_blocks in (8, 16, 512):
+            assert choose_block_strategy(10_000.0, num_blocks) == REDUCE_BASED
+        assert choose_block_strategy(10_000.0, 1) == REDUCE_BASED
+
+
+class TestAdmission:
+    def test_no_budget_is_a_no_op(self):
+        sample = make_sample([(0,)], [(0, 1)])
+        config = JoinConfig(**CONFIG)
+        admitted, plan, counters = plan_admission(sample, config, None)
+        assert admitted is config and plan is None and counters == {}
+
+    def test_fitting_plan_is_untouched(self):
+        sample = make_sample([(0,)], [(0, 1)])
+        config = JoinConfig(**CONFIG, kernel="bk", memory_budget_mb=64.0)
+        admitted, _plan, counters = plan_admission(sample, config, None)
+        assert admitted.blocks is None and admitted.kernel == "bk"
+        assert counters[MEMORY_ADMITTED] == 1
+        assert counters[MEMORY_ADMISSION_ADJUSTMENTS] == 0
+
+    def test_oversized_group_is_pre_degraded_under_budget(self):
+        budget_mb = 0.001
+        sample = make_sample(
+            prefix_lists=[(0,)] * 64,
+            token_lists=[tuple(range(40))] * 64,
+            sampled=64,
+            total=640,
+        )
+        config = JoinConfig(**CONFIG, kernel="pk", memory_budget_mb=budget_mb)
+        admitted, _plan, counters = plan_admission(sample, config, None)
+        assert counters[MEMORY_ADMISSION_ADJUSTMENTS] >= 2
+        assert admitted.kernel == "bk" and admitted.blocks is not None
+        allowance = 0.8 * budget_mb * 1024 * 1024
+        assert counters[MEMORY_EST_PEAK] <= allowance
+        assert estimate_peak_bytes(sample, admitted) <= allowance
+
+    def test_admission_is_deterministic(self):
+        sample = make_sample(
+            prefix_lists=[(0,), (1,)] * 20,
+            token_lists=[tuple(range(30))] * 40,
+            sampled=40,
+            total=400,
+        )
+        config = JoinConfig(**CONFIG, kernel="pk", memory_budget_mb=0.002)
+        first = plan_admission(sample, config, None)
+        second = plan_admission(sample, config, None)
+        assert first[0] == second[0] and first[2] == second[2]
+
+
+# ---------------------------------------------------------------------------
+# the degradation ladder
+# ---------------------------------------------------------------------------
+
+
+class TestLadder:
+    def test_escalation_order(self):
+        config = JoinConfig(
+            **CONFIG, kernel="pk", routing="grouped", num_groups=8, batch_size=64,
+        )
+        steps = []
+        while (step := next_escalation(config)) is not None:
+            steps.append(step)
+            config, _ = apply_step(config, None, step)
+            assert len(steps) < 32, "ladder must terminate"
+        assert steps[:4] == [
+            "routing:individual",
+            "kernel:bk",
+            "blocks:reduce:2",
+            "blocks:reduce:4",
+        ]
+        assert "blocks:reduce:4096" in steps
+        assert steps[-4:] == ["batch:32", "batch:16", "batch:8", "batch:none"]
+        assert next_escalation(config) is None
+
+    def test_apply_step_rejects_unknown(self):
+        config = JoinConfig(**CONFIG)
+        for bad in ("routing:grouped", "kernel:gpu", "blocks:weird:3",
+                    "blocks:reduce:x", "frobnicate"):
+            with pytest.raises(ValueError):
+                apply_step(config, None, bad)
+
+    def test_routing_step_clears_plan_splits(self):
+        plan = Stage2Plan(
+            routing="grouped", num_groups=4, batch_size=64,
+            splits=(("common", 2),),
+        )
+        config = JoinConfig(**CONFIG, routing="grouped", num_groups=4)
+        config, plan = apply_step(config, plan, "routing:individual")
+        assert config.routing == "individual" and config.num_groups is None
+        assert plan.routing == "individual" and plan.splits == ()
+
+    def test_blocks_step_clears_length_classes_and_splits(self):
+        config = JoinConfig(**CONFIG, kernel="bk", length_class_width=4)
+        plan = Stage2Plan(
+            routing="individual", num_groups=None, batch_size=None,
+            splits=(("common", 2),),
+        )
+        config, plan = apply_step(config, plan, "blocks:map:4")
+        assert config.blocks == BlockPolicy(strategy=MAP_BASED, num_blocks=4)
+        assert config.length_class_width is None
+        assert plan.splits == ()
+
+    def test_apply_degradations_folds_in_order(self):
+        config = JoinConfig(**CONFIG, kernel="pk", batch_size=64)
+        config, _ = apply_degradations(
+            config, None, ["kernel:bk", "blocks:reduce:2", "blocks:reduce:4"]
+        )
+        assert config.kernel == "bk"
+        assert config.blocks.num_blocks == 4
+        assert config.batch_size == 64
+
+    def test_batch_step_syncs_plan(self):
+        plan = Stage2Plan(routing="individual", num_groups=None, batch_size=64)
+        config = JoinConfig(**CONFIG, batch_size=64)
+        config, plan = apply_step(config, plan, "batch:32")
+        assert config.batch_size == 32 and plan.batch_size == 32
+        config, plan = apply_step(config, plan, "batch:none")
+        assert config.batch_size is None and plan.batch_size is None
+
+
+# ---------------------------------------------------------------------------
+# differential chaos matrix: squeeze -> degrade -> identical output
+# ---------------------------------------------------------------------------
+
+
+class TestSqueezeRecoverySimulated:
+    @pytest.mark.parametrize("kernel", ["bk", "pk"])
+    def test_self_join_recovers_bit_identical(self, kernel):
+        records = skewed_records()
+        config = JoinConfig(**CONFIG, kernel=kernel)
+        clean_pairs, _ = run_self(make_sim(), records, config)
+        pairs, report = run_self(
+            make_sim(fault_plan=FaultPlan.parse(SQUEEZE)), records, config
+        )
+        assert report.counters()["memory.replans"] >= 1
+        assert report.memory_steps
+        assert pairs == clean_pairs
+
+    @pytest.mark.parametrize("kernel", ["bk", "pk"])
+    def test_rs_join_recovers_bit_identical(self, kernel):
+        r = skewed_records(160)
+        s = skewed_records(120)
+        config = JoinConfig(**CONFIG, kernel=kernel)
+        clean_pairs, _ = run_rs(make_sim(), r, s, config)
+        pairs, report = run_rs(
+            make_sim(fault_plan=FaultPlan.parse(SQUEEZE_RS)), r, s, config
+        )
+        assert report.counters()["memory.replans"] >= 1
+        assert pairs == clean_pairs
+
+    def test_no_auto_degrade_surfaces_raw_error(self):
+        records = skewed_records()
+        config = JoinConfig(**CONFIG, kernel="pk", auto_degrade=False)
+        with pytest.raises(InsufficientMemoryError) as excinfo:
+            run_self(
+                make_sim(fault_plan=FaultPlan.parse(SQUEEZE)), records, config
+            )
+        err = excinfo.value
+        assert err.job and err.job.startswith("stage2-")
+        assert err.phase == "reduce"
+        assert err.needed_bytes > err.limit_bytes
+
+    def test_replan_budget_bounds_the_ladder(self):
+        records = skewed_records()
+        # one replan is never enough for this squeeze: the first rung
+        # (pk -> bk) still holds the whole hot group in memory
+        config = JoinConfig(**CONFIG, kernel="pk", max_replan_retries=1)
+        with pytest.raises(InsufficientMemoryError):
+            run_self(
+                make_sim(fault_plan=FaultPlan.parse(SQUEEZE)), records, config
+            )
+
+    def test_memory_summary_line(self):
+        records = skewed_records()
+        config = JoinConfig(**CONFIG, kernel="pk")
+        _, report = run_self(
+            make_sim(fault_plan=FaultPlan.parse(SQUEEZE)), records, config
+        )
+        summary = report.format_summary()
+        assert "memory:" in summary and "replan" in summary
+
+    def test_kill_and_resume_replays_degraded_plan(self, tmp_path):
+        records = skewed_records()
+        config = JoinConfig(**CONFIG, kernel="pk")
+        clean_pairs, _ = run_self(make_sim(), records, config)
+
+        # squeeze stage 2 into degradation, then kill the run in stage 3
+        fatal = make_sim(
+            fault_plan=FaultPlan.parse(SQUEEZE + ";raise:brj-*:map:*:*")
+        )
+        with pytest.raises(TaskError):
+            run_self(fatal, records, config, checkpoint=JoinCheckpoint(tmp_path))
+
+        resumed = make_sim()
+        pairs, report = run_self(
+            resumed, records, config,
+            checkpoint=JoinCheckpoint(tmp_path, resume=True),
+        )
+        assert pairs == clean_pairs
+        assert report.counters()["resume.stages_skipped"] == 2
+        # the degraded plan was replayed from the manifest, not
+        # rediscovered: the replayed steps count as replans again
+        assert report.memory_steps
+        assert report.counters()["memory.replans"] == len(report.memory_steps)
+
+
+@fork_only
+class TestSqueezeRecoveryPersistent:
+    def test_self_join_recovers_bit_identical(self):
+        records = skewed_records()
+        config = JoinConfig(**CONFIG, kernel="pk")
+        clean_pairs, _ = run_self(make_pp(), records, config)
+        pairs, report = run_self(
+            make_pp(fault_plan=FaultPlan.parse(SQUEEZE)), records, config
+        )
+        assert report.counters()["memory.replans"] >= 1
+        assert pairs == clean_pairs
+
+    def test_rs_join_recovers_bit_identical(self):
+        r = skewed_records(160)
+        s = skewed_records(120)
+        config = JoinConfig(**CONFIG, kernel="pk")
+        clean_pairs, _ = run_rs(make_pp(), r, s, config)
+        pairs, report = run_rs(
+            make_pp(fault_plan=FaultPlan.parse(SQUEEZE_RS)), r, s, config
+        )
+        assert report.counters()["memory.replans"] >= 1
+        assert pairs == clean_pairs
+
+
+# ---------------------------------------------------------------------------
+# budget-driven admission end to end
+# ---------------------------------------------------------------------------
+
+
+class TestBudgetEndToEnd:
+    def test_budgeted_run_matches_unbudgeted(self):
+        records = skewed_records()
+        base = JoinConfig(**CONFIG, kernel="pk")
+        clean_pairs, _ = run_self(make_sim(), records, base)
+        budgeted = JoinConfig(**CONFIG, kernel="pk", memory_budget_mb=0.01)
+        pairs, report = run_self(make_sim(), records, budgeted)
+        counters = report.counters()
+        assert counters["memory.admitted"] == 1
+        assert counters["memory.admission_adjustments"] >= 1
+        assert pairs == clean_pairs
+
+    def test_admitted_plan_avoids_runtime_squeeze(self):
+        # admission under a budget at the squeeze cap means the squeezed
+        # run needs no (or strictly fewer) runtime replans
+        records = skewed_records()
+        config = JoinConfig(**CONFIG, kernel="pk", memory_budget_mb=0.005)
+        pairs, report = run_self(
+            make_sim(fault_plan=FaultPlan.parse(SQUEEZE)), records, config
+        )
+        clean_pairs, _ = run_self(make_sim(), records, JoinConfig(**CONFIG))
+        assert pairs == clean_pairs
+        assert report.counters().get("memory.replans", 0) == 0
+
+
+# ---------------------------------------------------------------------------
+# map-based vs reduce-based block equivalence (hypothesis property)
+# ---------------------------------------------------------------------------
+
+
+def _stage2_self(records, config):
+    from repro.join.stage1 import stage1_jobs
+    from repro.join.stage2 import stage2_self_job
+    from repro.mapreduce.pipeline import run_pipeline
+
+    cluster = make_sim()
+    cluster.dfs.write("records", records)
+    run_pipeline(cluster, stage1_jobs(config, ["records"], "tokens", 4))
+    stats = cluster.run_job(stage2_self_job(config, "records", "tokens", "pairs", 4))
+    return cluster.dfs.read_all("pairs"), stats
+
+
+def _stage2_rs(r, s, config):
+    from repro.join.stage1 import stage1_jobs
+    from repro.join.stage2_rs import stage2_rs_job
+    from repro.mapreduce.pipeline import run_pipeline
+
+    cluster = make_sim()
+    cluster.dfs.write("r", r)
+    cluster.dfs.write("s", s)
+    run_pipeline(cluster, stage1_jobs(config, ["r"], "tokens", 4))
+    stats = cluster.run_job(stage2_rs_job(config, "r", "s", "tokens", "pairs", 4))
+    return cluster.dfs.read_all("pairs"), stats
+
+
+def _block_config(strategy, num_blocks):
+    return JoinConfig(
+        **CONFIG, kernel="bk",
+        blocks=None if strategy is None else BlockPolicy(
+            strategy=strategy, num_blocks=num_blocks
+        ),
+    )
+
+
+class TestBlockEquivalenceProperty:
+    @settings(max_examples=12, deadline=None)
+    @given(num_blocks=st.integers(2, 6), seed=st.integers(0, 2**16))
+    def test_self_join_strategies_agree(self, num_blocks, seed):
+        records = random_records(random.Random(seed), 40)
+        plain, _ = _stage2_self(records, _block_config(None, 0))
+        mapped, map_stats = _stage2_self(
+            records, _block_config(MAP_BASED, num_blocks)
+        )
+        reduced, red_stats = _stage2_self(
+            records, _block_config(REDUCE_BASED, num_blocks)
+        )
+        assert pair_keys(mapped) == pair_keys(plain)
+        assert pair_keys(reduced) == pair_keys(plain)
+        oracle = naive_self_join(
+            oracle_projections(records), _block_config(None, 0).sim, 0.5
+        )
+        assert pair_keys(plain) == pair_keys(oracle)
+        # map-based never touches local disk; reduce-based reads every
+        # spilled byte back at least once — exactly once when only one
+        # block spills (num_blocks == 2), more when later blocks are
+        # re-read once per earlier block's pass
+        assert map_stats.counters.get(SPILL_WRITTEN, 0) == 0
+        written = red_stats.counters.get(SPILL_WRITTEN, 0)
+        read = red_stats.counters.get(SPILL_READ, 0)
+        if num_blocks == 2:
+            assert read == written
+        else:
+            assert read >= written
+
+    @settings(max_examples=12, deadline=None)
+    @given(num_blocks=st.integers(2, 6), seed=st.integers(0, 2**16))
+    def test_rs_join_strategies_agree(self, num_blocks, seed):
+        rng = random.Random(seed)
+        r = random_records(rng, 30)
+        s = random_records(rng, 25)
+        plain, _ = _stage2_rs(r, s, _block_config(None, 0))
+        mapped, map_stats = _stage2_rs(r, s, _block_config(MAP_BASED, num_blocks))
+        reduced, red_stats = _stage2_rs(
+            r, s, _block_config(REDUCE_BASED, num_blocks)
+        )
+        assert pair_keys(mapped) == pair_keys(plain)
+        assert pair_keys(reduced) == pair_keys(plain)
+        oracle = naive_rs_join(
+            oracle_projections(r), oracle_projections(s),
+            _block_config(None, 0).sim, 0.5,
+        )
+        assert pair_keys(plain) == pair_keys(oracle)
+        assert map_stats.counters.get(SPILL_WRITTEN, 0) == 0
+        written = red_stats.counters.get(SPILL_WRITTEN, 0)
+        read = red_stats.counters.get(SPILL_READ, 0)
+        if num_blocks == 2:
+            assert read == written
+        else:
+            assert read >= written

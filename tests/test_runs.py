@@ -226,6 +226,64 @@ def test_cli_check_gate_exit_codes(tmp_path, capsys):
     ]) == 1
 
 
+def test_memory_watermarks_gate_with_own_tolerance():
+    base = _current(maxrss_kb=100_000)
+    ok = compare_baseline(
+        base, _current(maxrss_kb=104_000), tolerance=0.01, memory_tolerance=0.10
+    )
+    finding = next(f for f in ok if f.metric == "maxrss_kb")
+    assert finding.kind == "memory" and not finding.regressed
+
+    bad = compare_baseline(
+        base, _current(maxrss_kb=150_000), tolerance=10.0, memory_tolerance=0.10
+    )
+    finding = next(f for f in bad if f.metric == "maxrss_kb")
+    assert finding.regressed and finding.ratio == pytest.approx(1.5)
+
+    better = compare_baseline(base, _current(maxrss_kb=40_000))
+    finding = next(f for f in better if f.metric == "maxrss_kb")
+    assert not finding.regressed
+
+
+def test_run_rusage_watermark_checked():
+    base = {"rows": _BASE_ROWS, "rusage": {"maxrss_kb": 100_000, "utime_s": 1.0}}
+    cur = {
+        "rows": json.loads(json.dumps(_BASE_ROWS)),
+        "rusage": {"maxrss_kb": 260_000, "utime_s": 1.0},
+    }
+    findings = compare_baseline(base, cur, memory_tolerance=0.5)
+    finding = next(
+        f for f in findings if f.section == "run" and f.metric == "maxrss_kb"
+    )
+    assert finding.kind == "memory" and finding.regressed
+
+    # machine-dependent absolutes stay out of scale-free comparisons
+    assert not any(
+        f.section == "run" for f in compare_baseline(base, cur, ratios_only=True)
+    )
+
+
+def test_cli_check_memory_tolerance_golden_row(tmp_path, capsys):
+    base = tmp_path / "base.json"
+    cur = tmp_path / "cur.json"
+    base.write_text(json.dumps(_current(maxrss_kb=100_000)))
+    cur.write_text(json.dumps(_current(maxrss_kb=150_000)))
+
+    assert main([
+        "runs", "check", str(cur), "--baseline", str(base),
+        "--memory-tolerance", "0.1",
+    ]) == 1
+    captured = capsys.readouterr()
+    row = next(line for line in captured.out.splitlines() if "maxrss_kb" in line)
+    assert "memory" in row and "REGRESSED" in row
+
+    # widening just the memory tolerance clears the gate
+    assert main([
+        "runs", "check", str(cur), "--baseline", str(base),
+        "--memory-tolerance", "0.6",
+    ]) == 0
+
+
 def test_cli_bench_and_registry_flow(tmp_path, capsys):
     registry = str(tmp_path / "reg")
     rows_path = tmp_path / "rows.json"
